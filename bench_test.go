@@ -1,0 +1,150 @@
+package fabricsharp
+
+// One benchmark per table/figure of the paper's evaluation. Each runs the
+// corresponding experiment sweep on the deterministic simulator (quick
+// windows) and reports the headline series as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. cmd/benchall prints the full tables.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fabricsharp/internal/bench"
+	"fabricsharp/internal/network"
+	"fabricsharp/internal/sched"
+	"fabricsharp/internal/sim"
+	"fabricsharp/internal/workload"
+)
+
+var benchOpts = bench.Options{Quick: true, Seed: 42}
+
+func reportTable(b *testing.B, tables ...*bench.Table) {
+	b.Helper()
+	for _, t := range tables {
+		b.Log("\n" + t.String())
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, Figure1(benchOpts))
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, Table1())
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, Figure10(benchOpts)...)
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, Figure11(benchOpts)...)
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, Figure12(benchOpts)...)
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, Figure13(benchOpts)...)
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, Figure14(benchOpts)...)
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, Figure15(benchOpts))
+	}
+}
+
+func BenchmarkReorderCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, ReorderCost())
+	}
+}
+
+// BenchmarkSingleRunPerSystem measures one default-configuration run per
+// system and reports effective throughput — the quickest way to see the
+// paper's headline ordering (Fabric# > Fabric++ > Fabric > Focc-l > Focc-s
+// at the default contention).
+func BenchmarkSingleRunPerSystem(b *testing.B) {
+	for _, system := range sched.Systems() {
+		system := system
+		b.Run(string(system), func(b *testing.B) {
+			var eff float64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(42))
+				res, err := network.Run(network.Config{
+					System:      system,
+					Workload:    workload.NewModifiedSmallbank(rng, 0.1, 0.1),
+					Seed:        42,
+					Duration:    5 * sim.Second,
+					RequestRate: 700,
+					BlockSize:   100,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eff = res.EffectiveTPS
+			}
+			b.ReportMetric(eff, "effective-tps")
+		})
+	}
+}
+
+// BenchmarkSharpArrival micro-benchmarks the core manager's arrival path
+// (Algorithm 2 + Algorithm 4) under a contended stream.
+func BenchmarkSharpArrival(b *testing.B) {
+	s := sched.NewSharp(sched.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := mkBenchTx(fmt.Sprintf("t%d", i), i)
+		if _, err := s.OnArrival(tx); err != nil {
+			b.Fatal(err)
+		}
+		if s.PendingCount() >= 100 {
+			if _, err := s.OnBlockFormation(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkValidationMVCC micro-benchmarks the validation phase.
+func BenchmarkValidationMVCC(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := workload.NewModifiedSmallbank(rng, 0.1, 0.1)
+	res, err := network.Run(network.Config{
+		System: sched.SystemFabric, Workload: w, Seed: 1,
+		Duration: 2 * sim.Second, RequestRate: 400, BlockSize: 50,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := network.VerifySerializability(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

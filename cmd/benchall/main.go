@@ -1,0 +1,61 @@
+// Command benchall regenerates the paper's evaluation: every table and
+// figure of Section 5, printed as ASCII tables.
+//
+// Usage:
+//
+//	benchall [-quick] [-seed N] [-fig id]
+//
+// where id is one of: 1, t1, 10, 11, 12, 13, 14, 15, reorder, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fabricsharp/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "short measurement windows (5s virtual instead of 20s)")
+	seed := flag.Int64("seed", 42, "random seed for every run")
+	fig := flag.String("fig", "all", "which exhibit: 1, t1, 10, 11, 12, 13, 14, 15, reorder, ablation, all")
+	flag.Parse()
+
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	var tables []*bench.Table
+	switch *fig {
+	case "1":
+		tables = []*bench.Table{bench.Figure1(opts)}
+	case "t1":
+		tables = []*bench.Table{bench.Table1()}
+	case "10":
+		tables = bench.Figure10(opts)
+	case "11":
+		tables = bench.Figure11(opts)
+	case "12":
+		tables = bench.Figure12(opts)
+	case "13":
+		tables = bench.Figure13(opts)
+	case "14":
+		tables = bench.Figure14(opts)
+	case "15":
+		tables = []*bench.Table{bench.Figure15(opts)}
+	case "reorder":
+		tables = []*bench.Table{bench.ReorderCost()}
+	case "ablation":
+		tables = bench.Ablations(opts)
+	case "all":
+		tables = bench.All(opts)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown exhibit %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+	fmt.Printf("(regenerated in %.1fs, quick=%v, seed=%d)\n", time.Since(start).Seconds(), *quick, *seed)
+}

@@ -1,0 +1,61 @@
+// Paperexample walks through the paper's running example (Figure 2 /
+// Table 1): five transactions with fixed read/write sets are pushed through
+// vanilla Fabric, Fabric++ and FabricSharp, printing who commits what — the
+// motivating demonstration that the fine-grained reordering recovers
+// transactions both baselines abort.
+//
+//	go run ./examples/paperexample
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	fabricsharp "fabricsharp"
+)
+
+func main() {
+	fmt.Println(`Figure 2's scenario: after block 2 the state is
+  A = 100 @ (1,1)   B = 201 @ (2,1)   C = 201 @ (2,1)
+and five transactions are in flight:
+  Txn1: R(B) R(C)           (reads across blocks 1 and 2)
+  Txn2: R(A) R(B@1,2) W(C)  (stale read of B)
+  Txn3: R(B) W(C)
+  Txn4: R(C) W(B)
+  Txn5: R(C) W(A)`)
+	fmt.Println()
+	fmt.Println(fabricsharp.Table1())
+	fmt.Println(`Reading the table:
+  - Vanilla Fabric forbids Txn1 outright (simulation holds the state lock),
+    and its strict validation commits only Txn3: Txn4 and Txn5 read the
+    version of C that Txn3 just overwrote.
+  - Fabric++ reorders inside the block and saves one more transaction, but
+    its simulation-phase rule still kills the cross-block reader Txn1.
+  - FabricSharp executes Txn1 against the block-2 snapshot (it is snapshot
+    consistent - Proposition 1), drops only the truly unreorderable
+    conflicts before ordering (Theorem 2), and commits three transactions.`)
+
+	// The same experiment at scale: run all five systems on the contended
+	// modified-Smallbank workload and print the throughput ordering.
+	fmt.Println("\nSame effect at scale (5s simulated, 700 tps offered, defaults of Table 2):")
+	for _, system := range fabricsharp.Systems() {
+		res, err := fabricsharp.RunExperiment(fabricsharp.ExperimentConfig{
+			System:      system,
+			Workload:    fabricsharp.NewModifiedSmallbankWorkload(rand.New(rand.NewSource(7)), 0.1, 0.1),
+			Seed:        42,
+			Duration:    5 * fabricsharp.Second,
+			RequestRate: 700,
+			BlockSize:   100,
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if err := fabricsharp.VerifySerializability(res); err != nil {
+			fmt.Printf("  %-9s SERIALIZABILITY VIOLATION: %v\n", system, err)
+			continue
+		}
+		fmt.Printf("  %-9s effective %6.1f tps  raw %6.1f tps  abort %4.1f%%  (serializability verified)\n",
+			system, res.EffectiveTPS, res.RawTPS, 100*res.AbortRate())
+	}
+}

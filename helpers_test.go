@@ -1,0 +1,68 @@
+package fabricsharp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fabricsharp/internal/protocol"
+)
+
+// mkBenchTx builds a deterministic contended transaction for benchmarks.
+func mkBenchTx(id string, i int) *protocol.Transaction {
+	return &protocol.Transaction{
+		ID:            protocol.TxID(id),
+		SnapshotBlock: 0,
+		RWSet: protocol.RWSet{
+			Reads:  []protocol.ReadItem{{Key: fmt.Sprintf("k%d", (i*7)%40)}},
+			Writes: []protocol.WriteItem{{Key: fmt.Sprintf("k%d", (i*3)%40), Value: []byte("v")}},
+		},
+	}
+}
+
+func TestPublicAPILibraryMode(t *testing.T) {
+	net, err := NewNetwork(NetworkOptions{
+		System:       SystemSharp,
+		BlockSize:    4,
+		BlockTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	client, err := net.NewClient("api-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Submit("kv", "put", "k", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed() {
+		t.Fatalf("code = %v", res.Code)
+	}
+	val, err := client.Query("kv", "get", "k")
+	if err != nil || string(val) != "v" {
+		t.Fatalf("query = %q, %v", val, err)
+	}
+}
+
+func TestPublicAPIExperimentMode(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		System:      SystemSharp,
+		Workload:    NoOpWorkload(),
+		Seed:        1,
+		Duration:    2 * Second,
+		RequestRate: 200,
+		BlockSize:   20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if err := VerifySerializability(res); err != nil {
+		t.Fatal(err)
+	}
+}

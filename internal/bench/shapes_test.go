@@ -1,0 +1,131 @@
+package bench
+
+// Shape tests: quick-window runs asserting the *qualitative* results the
+// paper reports — the claims EXPERIMENTS.md documents quantitatively.
+
+import (
+	"testing"
+
+	"fabricsharp/internal/network"
+	"fabricsharp/internal/sched"
+	"fabricsharp/internal/sim"
+)
+
+var shapeOpts = Options{Quick: true, Seed: 7}
+
+func runQuick(t *testing.T, system sched.System, readHot, writeHot float64,
+	clientDelay, readInterval sim.Time) *network.Result {
+	t.Helper()
+	return run(msmallbankConfig(shapeOpts, system, readHot, writeHot,
+		Params.Defaults.BlockSize, clientDelay, readInterval))
+}
+
+func TestShapeSharpDominatesAtDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// The headline comparison at Table 2 defaults: Fabric# beats every
+	// other system's effective throughput.
+	sharp := runQuick(t, sched.SystemSharp, 0.1, 0.1, defaultClientDelay(), defaultReadInterval())
+	for _, other := range []sched.System{sched.SystemFabric, sched.SystemFabricPP, sched.SystemFoccS, sched.SystemFoccL} {
+		res := runQuick(t, other, 0.1, 0.1, defaultClientDelay(), defaultReadInterval())
+		if sharp.EffectiveTPS <= res.EffectiveTPS {
+			t.Errorf("fabric# (%.0f) did not beat %s (%.0f)", sharp.EffectiveTPS, other, res.EffectiveTPS)
+		}
+	}
+}
+
+func TestShapeFoccSCollapsesWithWriteHot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Figure 11: Focc-s's c-ww prevention costs it dearly as write-hot
+	// grows, while Fabric# degrades gracefully (c-ww is reorderable).
+	foccsLo := runQuick(t, sched.SystemFoccS, 0.1, 0.0, 0, 0)
+	foccsHi := runQuick(t, sched.SystemFoccS, 0.1, 0.5, 0, 0)
+	if foccsHi.EffectiveTPS > 0.5*foccsLo.EffectiveTPS {
+		t.Errorf("focc-s did not collapse: %.0f -> %.0f", foccsLo.EffectiveTPS, foccsHi.EffectiveTPS)
+	}
+	sharpLo := runQuick(t, sched.SystemSharp, 0.1, 0.0, 0, 0)
+	sharpHi := runQuick(t, sched.SystemSharp, 0.1, 0.5, 0, 0)
+	if sharpHi.EffectiveTPS < 0.5*sharpLo.EffectiveTPS {
+		t.Errorf("fabric# collapsed on write-hot: %.0f -> %.0f", sharpLo.EffectiveTPS, sharpHi.EffectiveTPS)
+	}
+}
+
+func TestShapeFoccSCrossoverAtHighReadHot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Figure 12: at 50% read-hot, Focc-s overtakes vanilla Fabric (it
+	// recovers serializable transactions with single rw conflicts).
+	foccs := runQuick(t, sched.SystemFoccS, 0.5, 0.1, defaultClientDelay(), defaultReadInterval())
+	fabric := runQuick(t, sched.SystemFabric, 0.5, 0.1, defaultClientDelay(), defaultReadInterval())
+	if foccs.EffectiveTPS <= fabric.EffectiveTPS {
+		t.Errorf("no crossover: focc-s %.0f <= fabric %.0f", foccs.EffectiveTPS, fabric.EffectiveTPS)
+	}
+}
+
+func TestShapeFigure15Overhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// On the contention-free Create Account workload FastFabric# pays at
+	// most a few percent vs FastFabric (paper: <5%).
+	tbl := Figure15(shapeOpts)
+	// Row 0 is create-account: columns are [workload, FastFabric, FastFabric#, rescued, gain].
+	var base, sharp float64
+	if _, err := fmtSscan(tbl.Rows[0][1], &base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tbl.Rows[0][2], &sharp); err != nil {
+		t.Fatal(err)
+	}
+	if sharp < 0.95*base {
+		t.Errorf("create-account overhead too high: %.0f vs %.0f", sharp, base)
+	}
+	// Last row is θ=1.0: the Sharp gain must be large.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if _, err := fmtSscan(last[1], &base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(last[2], &sharp); err != nil {
+		t.Fatal(err)
+	}
+	if sharp < 1.3*base {
+		t.Errorf("θ=1 gain too small: %.0f vs %.0f", sharp, base)
+	}
+}
+
+func TestShapeAblationMaxSpanTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	tbl := AblationMaxSpan(shapeOpts)
+	// Tiny horizon: high stale-abort share; large horizon: zero.
+	var tiny, large float64
+	if _, err := fmtSscan(tbl.Rows[0][2], &tiny); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tbl.Rows[len(tbl.Rows)-1][2], &large); err != nil {
+		t.Fatal(err)
+	}
+	if tiny < 10 || large > 1 {
+		t.Errorf("max_span tradeoff shape wrong: tiny=%.1f%% large=%.1f%%", tiny, large)
+	}
+}
+
+func TestShapeBloomAblationMonotone(t *testing.T) {
+	tbl := AblationBloomBits()
+	// Smaller filters can only abort more (false positives are one-sided).
+	var first, last float64
+	if _, err := fmtSscan(tbl.Rows[0][3], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tbl.Rows[len(tbl.Rows)-1][3], &last); err != nil {
+		t.Fatal(err)
+	}
+	if first < last {
+		t.Errorf("smaller blooms aborted less: %.2f%% < %.2f%%", first, last)
+	}
+}

@@ -1,0 +1,241 @@
+// Package chaincode implements the smart-contract runtime of the execution
+// phase: the stub API contracts program against, the read/write-set
+// recording simulation harness, and the contracts used by the paper's
+// evaluation (Smallbank, the modified Smallbank of the Fabric++ workload, a
+// generic KV contract) plus a supply-chain contract for the examples.
+package chaincode
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+)
+
+// StateReader resolves a simulation-time read. Implementations decide the
+// read semantics: a block snapshot (FabricSharp's Algorithm 1), the latest
+// committed state (Fabric++), or a lock-protected current state (vanilla
+// Fabric). In the discrete-event simulator the call may also advance
+// virtual time (the Read-Interval knob of Figure 14).
+type StateReader interface {
+	Read(key string) (value []byte, version seqno.Seq, found bool, err error)
+}
+
+// RangeReader extends StateReader with ordered range scans. Implementations
+// return the live keys in [start, end) in lexical order. Readers that do
+// not implement it make GetStateRange fail cleanly.
+type RangeReader interface {
+	StateReader
+	ReadRange(start, end string) (keys []string, err error)
+}
+
+// Stub is the API surface a contract invocation sees.
+type Stub interface {
+	// Function returns the invoked function name.
+	Function() string
+	// Args returns the invocation arguments.
+	Args() []string
+	// GetState reads a key, recording the version dependency.
+	GetState(key string) ([]byte, error)
+	// PutState buffers a write of key.
+	PutState(key string, value []byte) error
+	// DelState buffers a deletion of key.
+	DelState(key string) error
+	// GetStateRange reads every live key in [start, end), recording each
+	// returned entry in the readset (each read version is validated like a
+	// point read; new keys appearing in the range are not detected —
+	// Fabric's phantom-read caveat applies and is documented).
+	GetStateRange(start, end string) (map[string][]byte, error)
+	// SetResult records the invocation's return payload (query results).
+	SetResult(value []byte)
+}
+
+// Contract is a deployed smart contract.
+type Contract interface {
+	// Name is the contract's chain-unique name.
+	Name() string
+	// Invoke executes one function against the stub. Returning an error
+	// fails the proposal (no endorsement is produced).
+	Invoke(stub Stub) error
+}
+
+// Registry holds deployed contracts.
+type Registry struct{ contracts map[string]Contract }
+
+// NewRegistry builds a registry over the given contracts.
+func NewRegistry(contracts ...Contract) *Registry {
+	r := &Registry{contracts: make(map[string]Contract, len(contracts))}
+	for _, c := range contracts {
+		r.contracts[c.Name()] = c
+	}
+	return r
+}
+
+// Get looks a contract up by name.
+func (r *Registry) Get(name string) (Contract, bool) {
+	c, ok := r.contracts[name]
+	return c, ok
+}
+
+// Names lists deployed contract names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.contracts))
+	for n := range r.contracts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recordingStub implements Stub, recording the read and write sets of one
+// simulation. Reads resolve through a StateReader; Fabric semantics apply:
+// reads do not observe the transaction's own buffered writes, repeated reads
+// of a key return the first observation, and the write set keeps the final
+// value per key.
+type recordingStub struct {
+	reader    StateReader
+	function  string
+	args      []string
+	readCache map[string]cachedRead
+	reads     []protocol.ReadItem
+	writeIdx  map[string]int
+	writes    []protocol.WriteItem
+	result    []byte
+}
+
+type cachedRead struct {
+	value []byte
+	found bool
+}
+
+func (s *recordingStub) Function() string { return s.function }
+func (s *recordingStub) Args() []string   { return s.args }
+
+func (s *recordingStub) GetState(key string) ([]byte, error) {
+	if c, ok := s.readCache[key]; ok {
+		if !c.found {
+			return nil, nil
+		}
+		return append([]byte(nil), c.value...), nil
+	}
+	value, version, found, err := s.reader.Read(key)
+	if err != nil {
+		return nil, err
+	}
+	s.readCache[key] = cachedRead{value: value, found: found}
+	// Absent keys are recorded with the zero version: the validator (and
+	// the Sharp orderer) still checks the key stayed absent.
+	item := protocol.ReadItem{Key: key}
+	if found {
+		item.Version = version
+	}
+	s.reads = append(s.reads, item)
+	if !found {
+		return nil, nil
+	}
+	return append([]byte(nil), value...), nil
+}
+
+func (s *recordingStub) PutState(key string, value []byte) error {
+	w := protocol.WriteItem{Key: key, Value: append([]byte(nil), value...)}
+	if i, ok := s.writeIdx[key]; ok {
+		s.writes[i] = w
+		return nil
+	}
+	s.writeIdx[key] = len(s.writes)
+	s.writes = append(s.writes, w)
+	return nil
+}
+
+func (s *recordingStub) DelState(key string) error {
+	w := protocol.WriteItem{Key: key, Delete: true}
+	if i, ok := s.writeIdx[key]; ok {
+		s.writes[i] = w
+		return nil
+	}
+	s.writeIdx[key] = len(s.writes)
+	s.writes = append(s.writes, w)
+	return nil
+}
+
+// GetStateRange implements Stub.
+func (s *recordingStub) GetStateRange(start, end string) (map[string][]byte, error) {
+	rr, ok := s.reader.(RangeReader)
+	if !ok {
+		return nil, fmt.Errorf("chaincode: state reader does not support range scans")
+	}
+	keys, err := rr.ReadRange(start, end)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		v, err := s.GetState(k) // records the version dependency per key
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// SetResult implements Stub.
+func (s *recordingStub) SetResult(value []byte) { s.result = append([]byte(nil), value...) }
+
+// Simulate runs one contract invocation against reader and returns the
+// recorded read/write set (the endorsement-phase simulation of Section 2.1).
+func Simulate(c Contract, function string, args []string, reader StateReader) (protocol.RWSet, error) {
+	rw, _, err := SimulateFull(c, function, args, reader)
+	return rw, err
+}
+
+// SimulateFull is Simulate plus the invocation's result payload (set by the
+// contract via Stub.SetResult; nil for pure updates).
+func SimulateFull(c Contract, function string, args []string, reader StateReader) (protocol.RWSet, []byte, error) {
+	stub := &recordingStub{
+		reader:    reader,
+		function:  function,
+		args:      args,
+		readCache: make(map[string]cachedRead),
+		writeIdx:  make(map[string]int),
+	}
+	if err := c.Invoke(stub); err != nil {
+		return protocol.RWSet{}, nil, err
+	}
+	return protocol.RWSet{Reads: stub.reads, Writes: stub.writes}, stub.result, nil
+}
+
+// parseInt parses a decimal integer argument or stored balance.
+func parseInt(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("chaincode: bad integer %q", s)
+	}
+	return v, nil
+}
+
+func formatInt(v int64) []byte { return []byte(strconv.FormatInt(v, 10)) }
+
+// readInt reads key as an integer balance; missing keys are an error.
+func readInt(stub Stub, key string) (int64, error) {
+	raw, err := stub.GetState(key)
+	if err != nil {
+		return 0, err
+	}
+	if raw == nil {
+		return 0, fmt.Errorf("chaincode: account %q does not exist", key)
+	}
+	return parseInt(string(raw))
+}
+
+// needArgs validates the invocation arity.
+func needArgs(stub Stub, n int) error {
+	if len(stub.Args()) != n {
+		return fmt.Errorf("chaincode: %s expects %d args, got %d", stub.Function(), n, len(stub.Args()))
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package chaincode
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+)
+
+// mapReader is a StateReader over a plain map with a fixed version.
+type mapReader struct {
+	m     map[string]string
+	ver   seqno.Seq
+	reads int
+	fail  error
+}
+
+func (r *mapReader) Read(key string) ([]byte, seqno.Seq, bool, error) {
+	r.reads++
+	if r.fail != nil {
+		return nil, seqno.Seq{}, false, r.fail
+	}
+	v, ok := r.m[key]
+	if !ok {
+		return nil, seqno.Seq{}, false, nil
+	}
+	return []byte(v), r.ver, true, nil
+}
+
+func simulate(t *testing.T, c Contract, fn string, args []string, state map[string]string) protocol.RWSet {
+	t.Helper()
+	rw, err := Simulate(c, fn, args, &mapReader{m: state, ver: seqno.Commit(1, 1)})
+	if err != nil {
+		t.Fatalf("Simulate(%s %s): %v", fn, args, err)
+	}
+	return rw
+}
+
+func writesAsMap(rw protocol.RWSet) map[string]string {
+	out := map[string]string{}
+	for _, w := range rw.Writes {
+		if !w.Delete {
+			out[w.Key] = string(w.Value)
+		}
+	}
+	return out
+}
+
+func TestKVNoop(t *testing.T) {
+	rw := simulate(t, KVContract{}, "noop", nil, nil)
+	if len(rw.Reads) != 0 || len(rw.Writes) != 0 {
+		t.Errorf("noop produced rwset %v", rw)
+	}
+}
+
+func TestKVPutGetDel(t *testing.T) {
+	rw := simulate(t, KVContract{}, "put", []string{"k", "v"}, nil)
+	if len(rw.Reads) != 0 || len(rw.Writes) != 1 || string(rw.Writes[0].Value) != "v" {
+		t.Errorf("put rwset = %+v", rw)
+	}
+	rw = simulate(t, KVContract{}, "get", []string{"k"}, map[string]string{"k": "v"})
+	if len(rw.Reads) != 1 || rw.Reads[0].Version != seqno.Commit(1, 1) {
+		t.Errorf("get rwset = %+v", rw)
+	}
+	rw = simulate(t, KVContract{}, "del", []string{"k"}, nil)
+	if len(rw.Writes) != 1 || !rw.Writes[0].Delete {
+		t.Errorf("del rwset = %+v", rw)
+	}
+}
+
+func TestKVRmw(t *testing.T) {
+	rw := simulate(t, KVContract{}, "rmw", []string{"counter", "5"}, map[string]string{"counter": "37"})
+	if got := writesAsMap(rw)["counter"]; got != "42" {
+		t.Errorf("rmw wrote %q want 42", got)
+	}
+	// Absent key treated as zero.
+	rw = simulate(t, KVContract{}, "rmw", []string{"fresh", "7"}, nil)
+	if got := writesAsMap(rw)["fresh"]; got != "7" {
+		t.Errorf("rmw on absent wrote %q want 7", got)
+	}
+	// The read of the absent key must still be recorded (phantom check).
+	if len(rw.Reads) != 1 || rw.Reads[0].Key != "fresh" {
+		t.Errorf("absent read not recorded: %+v", rw.Reads)
+	}
+}
+
+func TestKVTransfer(t *testing.T) {
+	state := map[string]string{"a": "100", "b": "10"}
+	rw := simulate(t, KVContract{}, "transfer", []string{"a", "b", "30"}, state)
+	w := writesAsMap(rw)
+	if w["a"] != "70" || w["b"] != "40" {
+		t.Errorf("transfer writes = %v", w)
+	}
+	if _, err := Simulate(KVContract{}, "transfer", []string{"a", "b", "1000"}, &mapReader{m: state}); err == nil {
+		t.Error("overdraft accepted")
+	}
+}
+
+func TestUnknownFunctionAndArity(t *testing.T) {
+	for _, c := range []Contract{KVContract{}, Smallbank{}, ModifiedSmallbank{}, SupplyChain{}} {
+		if _, err := Simulate(c, "no_such_fn", nil, &mapReader{}); err == nil {
+			t.Errorf("%s accepted unknown function", c.Name())
+		}
+	}
+	if _, err := Simulate(KVContract{}, "put", []string{"only-key"}, &mapReader{}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestReadYourFirstObservation(t *testing.T) {
+	// Fabric semantics: repeated reads return the first observation and
+	// record a single readset entry; reads never observe own writes.
+	c := KVContract{}
+	_ = c
+	reader := &mapReader{m: map[string]string{"k": "1"}, ver: seqno.Commit(2, 3)}
+	stub := &recordingStub{
+		reader:    reader,
+		function:  "custom",
+		readCache: map[string]cachedRead{},
+		writeIdx:  map[string]int{},
+	}
+	v1, _ := stub.GetState("k")
+	if err := stub.PutState("k", []byte("99")); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := stub.GetState("k")
+	if string(v1) != "1" || string(v2) != "1" {
+		t.Errorf("reads = %q,%q want 1,1 (no read-your-writes)", v1, v2)
+	}
+	if reader.reads != 1 {
+		t.Errorf("reader hit %d times, want 1", reader.reads)
+	}
+	if len(stub.reads) != 1 {
+		t.Errorf("readset has %d entries, want 1", len(stub.reads))
+	}
+}
+
+func TestWriteSetKeepsFinalValue(t *testing.T) {
+	stub := &recordingStub{
+		reader:    &mapReader{},
+		readCache: map[string]cachedRead{},
+		writeIdx:  map[string]int{},
+	}
+	stub.PutState("k", []byte("v1"))
+	stub.PutState("k", []byte("v2"))
+	stub.DelState("x")
+	stub.PutState("x", []byte("back"))
+	if len(stub.writes) != 2 {
+		t.Fatalf("writeset has %d entries, want 2", len(stub.writes))
+	}
+	w := writesAsMap(protocol.RWSet{Writes: stub.writes})
+	if w["k"] != "v2" || w["x"] != "back" {
+		t.Errorf("final writes = %v", w)
+	}
+}
+
+func TestSimulationErrorPropagates(t *testing.T) {
+	boom := errors.New("disk on fire")
+	_, err := Simulate(KVContract{}, "get", []string{"k"}, &mapReader{fail: boom})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSmallbankLifecycle(t *testing.T) {
+	sb := Smallbank{}
+	state := map[string]string{}
+	apply := func(fn string, args ...string) {
+		t.Helper()
+		rw := simulate(t, sb, fn, args, state)
+		for k, v := range writesAsMap(rw) {
+			state[k] = v
+		}
+	}
+	apply("create_account", "alice", "100", "50")
+	apply("create_account", "bob", "20", "5")
+	apply("deposit_checking", "alice", "10") // alice checking 110
+	apply("write_check", "alice", "30")      // alice checking 80
+	apply("transact_savings", "bob", "45")   // bob savings 50
+	apply("send_payment", "alice", "bob", "25")
+	apply("amalgamate", "bob", "alice")
+
+	if state[CheckingKey("alice")] != "105" { // 80-25 + (bob savings 50)
+		t.Errorf("alice checking = %s", state[CheckingKey("alice")])
+	}
+	if state[SavingsKey("bob")] != "0" {
+		t.Errorf("bob savings = %s", state[SavingsKey("bob")])
+	}
+	if state[CheckingKey("bob")] != "45" {
+		t.Errorf("bob checking = %s", state[CheckingKey("bob")])
+	}
+	// Query is read-only.
+	rw := simulate(t, sb, "query", []string{"alice"}, state)
+	if len(rw.Writes) != 0 || len(rw.Reads) != 2 {
+		t.Errorf("query rwset = %+v", rw)
+	}
+}
+
+func TestSmallbankMoneyConservation(t *testing.T) {
+	// send_payment and amalgamate conserve total funds.
+	state := map[string]string{
+		CheckingKey("a"): "70", SavingsKey("a"): "30",
+		CheckingKey("b"): "40", SavingsKey("b"): "60",
+	}
+	total := func(m map[string]string) int64 {
+		var sum int64
+		for _, v := range m {
+			var x int64
+			fmt.Sscanf(v, "%d", &x)
+			sum += x
+		}
+		return sum
+	}
+	before := total(state)
+	for _, op := range [][]string{
+		{"send_payment", "a", "b", "15"},
+		{"amalgamate", "a", "b"},
+		{"send_payment", "b", "a", "5"},
+	} {
+		rw := simulate(t, Smallbank{}, op[0], op[1:], state)
+		for k, v := range writesAsMap(rw) {
+			state[k] = v
+		}
+	}
+	if after := total(state); after != before {
+		t.Errorf("money not conserved: %d -> %d", before, after)
+	}
+}
+
+func TestSmallbankMissingAccount(t *testing.T) {
+	if _, err := Simulate(Smallbank{}, "query", []string{"ghost"}, &mapReader{m: map[string]string{}}); err == nil {
+		t.Error("query of missing account succeeded")
+	}
+}
+
+func TestModifiedSmallbankOp(t *testing.T) {
+	state := map[string]string{}
+	for i := 0; i < 8; i++ {
+		state[AccountKey(fmt.Sprint(i))] = fmt.Sprint((i + 1) * 100)
+	}
+	rw := simulate(t, ModifiedSmallbank{}, "op",
+		[]string{"0", "1", "2", "3", "4", "5", "6", "7"}, state)
+	if len(rw.Reads) != 4 {
+		t.Errorf("reads = %d want 4", len(rw.Reads))
+	}
+	if len(rw.Writes) != 4 {
+		t.Errorf("writes = %d want 4", len(rw.Writes))
+	}
+	// sum = 100+200+300+400 = 1000; writes are sum/4 + i for i in 4..7.
+	w := writesAsMap(rw)
+	for i := 4; i < 8; i++ {
+		want := fmt.Sprint(250 + i)
+		if got := w[AccountKey(fmt.Sprint(i))]; got != want {
+			t.Errorf("write %d = %q want %q", i, got, want)
+		}
+	}
+}
+
+func TestModifiedSmallbankDeterministic(t *testing.T) {
+	// Same reads => same writes: required by the serializability
+	// re-execution check.
+	state := map[string]string{}
+	for i := 0; i < 4; i++ {
+		state[AccountKey(fmt.Sprint(i))] = "10"
+	}
+	args := []string{"0", "1", "2", "3", "0", "1", "2", "3"}
+	a := simulate(t, ModifiedSmallbank{}, "op", args, state)
+	b := simulate(t, ModifiedSmallbank{}, "op", args, state)
+	if fmt.Sprint(writesAsMap(a)) != fmt.Sprint(writesAsMap(b)) {
+		t.Error("op is not deterministic")
+	}
+}
+
+func TestSupplyChainLifecycle(t *testing.T) {
+	state := map[string]string{}
+	apply := func(fn string, args ...string) {
+		t.Helper()
+		rw := simulate(t, SupplyChain{}, fn, args, state)
+		for k, v := range writesAsMap(rw) {
+			state[k] = v
+		}
+	}
+	apply("register", "crate-7", "acme", "shenzhen")
+	apply("ship", "crate-7", "singapore")
+	apply("ship", "crate-7", "rotterdam")
+	apply("transfer", "crate-7", "globex")
+	apply("inspect", "crate-7", "customs-cleared")
+
+	rw := simulate(t, SupplyChain{}, "track", []string{"crate-7"}, state)
+	if len(rw.Writes) != 0 {
+		t.Error("track must be read-only")
+	}
+	var it Item
+	if err := jsonUnmarshal(state[ItemKey("crate-7")], &it); err != nil {
+		t.Fatal(err)
+	}
+	if it.Owner != "globex" || it.Location != "rotterdam" || it.Hops != 2 || it.Status != "customs-cleared" {
+		t.Errorf("item = %+v", it)
+	}
+	if _, err := Simulate(SupplyChain{}, "ship", []string{"ghost", "nowhere"}, &mapReader{m: state}); err == nil {
+		t.Error("shipping unknown item succeeded")
+	}
+}
+
+func jsonUnmarshal(s string, v any) error {
+	return json.Unmarshal([]byte(s), v)
+}
+
+// rangeMapReader adds RangeReader to mapReader.
+type rangeMapReader struct{ mapReader }
+
+func (r *rangeMapReader) ReadRange(start, end string) ([]string, error) {
+	var keys []string
+	for k := range r.m {
+		if k >= start && (end == "" || k < end) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func TestGetStateRangeRecordsReads(t *testing.T) {
+	reader := &rangeMapReader{mapReader{m: map[string]string{
+		"item:a": "1", "item:b": "2", "other:z": "9",
+	}, ver: seqno.Commit(2, 1)}}
+	stub := &recordingStub{
+		reader:    reader,
+		readCache: map[string]cachedRead{},
+		writeIdx:  map[string]int{},
+	}
+	out, err := stub.GetStateRange("item:", "item;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || string(out["item:a"]) != "1" || string(out["item:b"]) != "2" {
+		t.Errorf("range = %v", out)
+	}
+	// Each returned key became a versioned readset entry.
+	if len(stub.reads) != 2 {
+		t.Fatalf("readset = %+v", stub.reads)
+	}
+	for _, r := range stub.reads {
+		if r.Version != seqno.Commit(2, 1) {
+			t.Errorf("read %s version %v", r.Key, r.Version)
+		}
+	}
+}
+
+func TestGetStateRangeWithoutSupportFails(t *testing.T) {
+	stub := &recordingStub{
+		reader:    &mapReader{m: map[string]string{}},
+		readCache: map[string]cachedRead{},
+		writeIdx:  map[string]int{},
+	}
+	if _, err := stub.GetStateRange("a", "z"); err == nil {
+		t.Error("range scan on a non-range reader succeeded")
+	}
+}
+
+func TestSupplyChainManifest(t *testing.T) {
+	state := map[string]string{}
+	apply := func(fn string, args ...string) {
+		t.Helper()
+		rw := simulate(t, SupplyChain{}, fn, args, state)
+		for k, v := range writesAsMap(rw) {
+			state[k] = v
+		}
+	}
+	apply("register", "beta", "o", "l")
+	apply("register", "alpha", "o", "l")
+	reader := &rangeMapReader{mapReader{m: state, ver: seqno.Commit(1, 1)}}
+	rw, result, err := SimulateFull(SupplyChain{}, "manifest", nil, reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(result) != `["alpha","beta"]` {
+		t.Errorf("manifest = %s", result)
+	}
+	if len(rw.Writes) != 0 || len(rw.Reads) != 2 {
+		t.Errorf("manifest rwset = %+v", rw)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry(KVContract{}, Smallbank{}, ModifiedSmallbank{}, SupplyChain{})
+	if _, ok := r.Get("smallbank"); !ok {
+		t.Error("smallbank missing")
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("phantom contract found")
+	}
+	names := r.Names()
+	if len(names) != 4 || names[0] != "kv" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRWSetKeyHelpers(t *testing.T) {
+	rw := protocol.RWSet{
+		Reads: []protocol.ReadItem{{Key: "b"}, {Key: "a"}, {Key: "b"}},
+		Writes: []protocol.WriteItem{
+			{Key: "z"}, {Key: "y"}, {Key: "z"},
+		},
+	}
+	if got := rw.ReadKeys(); fmt.Sprint(got) != "[a b]" {
+		t.Errorf("ReadKeys = %v", got)
+	}
+	if got := rw.WriteKeys(); fmt.Sprint(got) != "[y z]" {
+		t.Errorf("WriteKeys = %v", got)
+	}
+}

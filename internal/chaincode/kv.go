@@ -1,0 +1,93 @@
+package chaincode
+
+import "fmt"
+
+// KVContract is a generic key-value contract. Besides basic operations it
+// provides the two micro-workloads of Figure 1: "noop" (no data access) and
+// "rmw" (a single read-modify-write used as the single-modification
+// transaction with varying skewness).
+type KVContract struct{}
+
+// Name implements Contract.
+func (KVContract) Name() string { return "kv" }
+
+// Invoke implements Contract.
+//
+// Functions:
+//
+//	noop                       — no reads, no writes
+//	get k                      — read k
+//	put k v                    — blind write
+//	del k                      — delete
+//	rmw k delta                — read k (integer, 0 if absent), write k+delta
+//	transfer from to amount    — move integer balance between keys
+func (KVContract) Invoke(stub Stub) error {
+	switch stub.Function() {
+	case "noop":
+		return nil
+	case "get":
+		if err := needArgs(stub, 1); err != nil {
+			return err
+		}
+		v, err := stub.GetState(stub.Args()[0])
+		if err != nil {
+			return err
+		}
+		stub.SetResult(v)
+		return nil
+	case "put":
+		if err := needArgs(stub, 2); err != nil {
+			return err
+		}
+		return stub.PutState(stub.Args()[0], []byte(stub.Args()[1]))
+	case "del":
+		if err := needArgs(stub, 1); err != nil {
+			return err
+		}
+		return stub.DelState(stub.Args()[0])
+	case "rmw":
+		if err := needArgs(stub, 2); err != nil {
+			return err
+		}
+		key := stub.Args()[0]
+		delta, err := parseInt(stub.Args()[1])
+		if err != nil {
+			return err
+		}
+		var cur int64
+		if raw, err := stub.GetState(key); err != nil {
+			return err
+		} else if raw != nil {
+			if cur, err = parseInt(string(raw)); err != nil {
+				return err
+			}
+		}
+		return stub.PutState(key, formatInt(cur+delta))
+	case "transfer":
+		if err := needArgs(stub, 3); err != nil {
+			return err
+		}
+		from, to := stub.Args()[0], stub.Args()[1]
+		amount, err := parseInt(stub.Args()[2])
+		if err != nil {
+			return err
+		}
+		fromBal, err := readInt(stub, from)
+		if err != nil {
+			return err
+		}
+		toBal, err := readInt(stub, to)
+		if err != nil {
+			return err
+		}
+		if fromBal < amount {
+			return fmt.Errorf("chaincode: insufficient funds in %q", from)
+		}
+		if err := stub.PutState(from, formatInt(fromBal-amount)); err != nil {
+			return err
+		}
+		return stub.PutState(to, formatInt(toBal+amount))
+	default:
+		return fmt.Errorf("chaincode: kv has no function %q", stub.Function())
+	}
+}

@@ -1,0 +1,208 @@
+package chaincode
+
+import "fmt"
+
+// Smallbank implements the original Smallbank benchmark contract used in
+// the FastFabric(Sharp) experiments (Figure 15): every customer has a
+// checking and a savings account, and seven operations exercise them.
+//
+// Keys: "checking:<id>" and "savings:<id>", balances stored as decimal
+// integers.
+type Smallbank struct{}
+
+// Name implements Contract.
+func (Smallbank) Name() string { return "smallbank" }
+
+// CheckingKey returns the state key of a customer's checking account.
+func CheckingKey(id string) string { return "checking:" + id }
+
+// SavingsKey returns the state key of a customer's savings account.
+func SavingsKey(id string) string { return "savings:" + id }
+
+// Invoke implements Contract.
+//
+// Functions (amounts are decimal integers):
+//
+//	create_account id checking savings   — blind writes (contention-free)
+//	query id                             — read-only: both balances
+//	deposit_checking id amount           — single-account update
+//	write_check id amount                — single-account update
+//	transact_savings id amount           — single-account update
+//	send_payment from to amount          — two-account update
+//	amalgamate from to                   — two-account update
+func (Smallbank) Invoke(stub Stub) error {
+	switch stub.Function() {
+	case "create_account":
+		if err := needArgs(stub, 3); err != nil {
+			return err
+		}
+		id := stub.Args()[0]
+		checking, err := parseInt(stub.Args()[1])
+		if err != nil {
+			return err
+		}
+		savings, err := parseInt(stub.Args()[2])
+		if err != nil {
+			return err
+		}
+		if err := stub.PutState(CheckingKey(id), formatInt(checking)); err != nil {
+			return err
+		}
+		return stub.PutState(SavingsKey(id), formatInt(savings))
+
+	case "query":
+		if err := needArgs(stub, 1); err != nil {
+			return err
+		}
+		id := stub.Args()[0]
+		checking, err := readInt(stub, CheckingKey(id))
+		if err != nil {
+			return err
+		}
+		savings, err := readInt(stub, SavingsKey(id))
+		if err != nil {
+			return err
+		}
+		stub.SetResult([]byte(fmt.Sprintf(`{"checking":%d,"savings":%d}`, checking, savings)))
+		return nil
+
+	case "deposit_checking":
+		return addTo(stub, CheckingKey, false)
+
+	case "write_check":
+		// Write a check against checking; Smallbank allows overdraft with a
+		// penalty, which we fold into a plain subtraction.
+		return addTo(stub, CheckingKey, true)
+
+	case "transact_savings":
+		return addTo(stub, SavingsKey, false)
+
+	case "send_payment":
+		if err := needArgs(stub, 3); err != nil {
+			return err
+		}
+		from, to := stub.Args()[0], stub.Args()[1]
+		amount, err := parseInt(stub.Args()[2])
+		if err != nil {
+			return err
+		}
+		fromBal, err := readInt(stub, CheckingKey(from))
+		if err != nil {
+			return err
+		}
+		toBal, err := readInt(stub, CheckingKey(to))
+		if err != nil {
+			return err
+		}
+		if err := stub.PutState(CheckingKey(from), formatInt(fromBal-amount)); err != nil {
+			return err
+		}
+		return stub.PutState(CheckingKey(to), formatInt(toBal+amount))
+
+	case "amalgamate":
+		if err := needArgs(stub, 2); err != nil {
+			return err
+		}
+		from, to := stub.Args()[0], stub.Args()[1]
+		savings, err := readInt(stub, SavingsKey(from))
+		if err != nil {
+			return err
+		}
+		checking, err := readInt(stub, CheckingKey(to))
+		if err != nil {
+			return err
+		}
+		if err := stub.PutState(SavingsKey(from), formatInt(0)); err != nil {
+			return err
+		}
+		return stub.PutState(CheckingKey(to), formatInt(checking+savings))
+
+	default:
+		return fmt.Errorf("chaincode: smallbank has no function %q", stub.Function())
+	}
+}
+
+// addTo applies a single-account delta: args are (id, amount). negate
+// subtracts instead.
+func addTo(stub Stub, key func(string) string, negate bool) error {
+	if err := needArgs(stub, 2); err != nil {
+		return err
+	}
+	id := stub.Args()[0]
+	amount, err := parseInt(stub.Args()[1])
+	if err != nil {
+		return err
+	}
+	if negate {
+		amount = -amount
+	}
+	bal, err := readInt(stub, key(id))
+	if err != nil {
+		return err
+	}
+	return stub.PutState(key(id), formatInt(bal+amount))
+}
+
+// ModifiedSmallbank is the Fabric++ evaluation workload's contract
+// (Section 5.2): every transaction reads 4 accounts and writes 4 accounts
+// out of 10k, with independently chosen read/write targets so that the
+// read-hot and write-hot ratios steer rw- and ww-conflicts separately.
+//
+// Keys: "acct:<id>".
+type ModifiedSmallbank struct{}
+
+// Name implements Contract.
+func (ModifiedSmallbank) Name() string { return "msmallbank" }
+
+// AccountKey returns the state key of a modified-Smallbank account.
+func AccountKey(id string) string { return "acct:" + id }
+
+// Invoke implements Contract.
+//
+// Functions:
+//
+//	init id balance                — create an account (blind write)
+//	op r1 r2 r3 r4 w1 w2 w3 w4     — read the four r-accounts, then write
+//	                                 each w-account to a value derived from
+//	                                 the sum read (keeps re-execution
+//	                                 deterministic for the serializability
+//	                                 verifier)
+func (ModifiedSmallbank) Invoke(stub Stub) error {
+	switch stub.Function() {
+	case "init":
+		if err := needArgs(stub, 2); err != nil {
+			return err
+		}
+		bal, err := parseInt(stub.Args()[1])
+		if err != nil {
+			return err
+		}
+		return stub.PutState(AccountKey(stub.Args()[0]), formatInt(bal))
+
+	case "op":
+		if err := needArgs(stub, 8); err != nil {
+			return err
+		}
+		args := stub.Args()
+		var sum int64
+		for i := 0; i < 4; i++ {
+			bal, err := readInt(stub, AccountKey(args[i]))
+			if err != nil {
+				return err
+			}
+			sum += bal
+		}
+		for i := 4; i < 8; i++ {
+			// Derivation keeps balances bounded while remaining a pure
+			// function of the values read.
+			v := sum/4 + int64(i)
+			if err := stub.PutState(AccountKey(args[i]), formatInt(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("chaincode: msmallbank has no function %q", stub.Function())
+	}
+}

@@ -1,0 +1,141 @@
+package chaincode
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// SupplyChain is a small asset-tracking contract for the examples: the kind
+// of permissioned-blockchain application (supply chain, per the paper's
+// introduction) whose concurrent updates benefit from Sharp's reordering.
+//
+// Keys: "item:<id>" holding a JSON Item document.
+type SupplyChain struct{}
+
+// Item is the tracked asset document.
+type Item struct {
+	ID       string `json:"id"`
+	Owner    string `json:"owner"`
+	Location string `json:"location"`
+	Hops     int    `json:"hops"`
+	Status   string `json:"status"`
+}
+
+// Name implements Contract.
+func (SupplyChain) Name() string { return "supplychain" }
+
+// ItemKey returns the state key of an item.
+func ItemKey(id string) string { return "item:" + id }
+
+func getItem(stub Stub, id string) (*Item, error) {
+	raw, err := stub.GetState(ItemKey(id))
+	if err != nil {
+		return nil, err
+	}
+	if raw == nil {
+		return nil, fmt.Errorf("chaincode: item %q not found", id)
+	}
+	var it Item
+	if err := json.Unmarshal(raw, &it); err != nil {
+		return nil, fmt.Errorf("chaincode: corrupt item %q: %w", id, err)
+	}
+	return &it, nil
+}
+
+func putItem(stub Stub, it *Item) error {
+	raw, err := json.Marshal(it)
+	if err != nil {
+		return err
+	}
+	return stub.PutState(ItemKey(it.ID), raw)
+}
+
+// Invoke implements Contract.
+//
+// Functions:
+//
+//	register id owner location      — create an item
+//	ship id to                      — move to a new location (+1 hop)
+//	transfer id newOwner            — change ownership
+//	inspect id status               — stamp a status after reading it
+//	track id                        — read-only
+func (SupplyChain) Invoke(stub Stub) error {
+	args := stub.Args()
+	switch stub.Function() {
+	case "register":
+		if err := needArgs(stub, 3); err != nil {
+			return err
+		}
+		return putItem(stub, &Item{ID: args[0], Owner: args[1], Location: args[2], Status: "registered"})
+	case "ship":
+		if err := needArgs(stub, 2); err != nil {
+			return err
+		}
+		it, err := getItem(stub, args[0])
+		if err != nil {
+			return err
+		}
+		it.Location = args[1]
+		it.Hops++
+		it.Status = "in-transit"
+		return putItem(stub, it)
+	case "transfer":
+		if err := needArgs(stub, 2); err != nil {
+			return err
+		}
+		it, err := getItem(stub, args[0])
+		if err != nil {
+			return err
+		}
+		it.Owner = args[1]
+		return putItem(stub, it)
+	case "inspect":
+		if err := needArgs(stub, 2); err != nil {
+			return err
+		}
+		it, err := getItem(stub, args[0])
+		if err != nil {
+			return err
+		}
+		it.Status = args[1]
+		return putItem(stub, it)
+	case "track":
+		if err := needArgs(stub, 1); err != nil {
+			return err
+		}
+		it, err := getItem(stub, args[0])
+		if err != nil {
+			return err
+		}
+		raw, err := json.Marshal(it)
+		if err != nil {
+			return err
+		}
+		stub.SetResult(raw)
+		return nil
+	case "manifest":
+		// Read-only range scan over every registered item; returns the
+		// sorted item IDs as JSON.
+		if err := needArgs(stub, 0); err != nil {
+			return err
+		}
+		items, err := stub.GetStateRange("item:", "item;") // ';' = ':'+1
+		if err != nil {
+			return err
+		}
+		ids := make([]string, 0, len(items))
+		for k := range items {
+			ids = append(ids, k[len("item:"):])
+		}
+		sort.Strings(ids)
+		raw, err := json.Marshal(ids)
+		if err != nil {
+			return err
+		}
+		stub.SetResult(raw)
+		return nil
+	default:
+		return fmt.Errorf("chaincode: supplychain has no function %q", stub.Function())
+	}
+}

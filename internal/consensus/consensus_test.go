@@ -1,0 +1,139 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fabricsharp/internal/protocol"
+)
+
+func env(id string) Envelope {
+	return Envelope{Tx: &protocol.Transaction{ID: protocol.TxID(id)}, SubmittedBy: "client"}
+}
+
+func collect(t *testing.T, ch <-chan Sequenced, n int) []Sequenced {
+	t.Helper()
+	out := make([]Sequenced, 0, n)
+	timeout := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case s, ok := <-ch:
+			if !ok {
+				t.Fatalf("stream closed after %d of %d", len(out), n)
+			}
+			out = append(out, s)
+		case <-timeout:
+			t.Fatalf("timed out after %d of %d", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestTotalOrderAcrossSubscribers(t *testing.T) {
+	k := NewKafka()
+	defer k.Close()
+	ch1, cancel1 := k.Subscribe()
+	defer cancel1()
+	ch2, cancel2 := k.Subscribe()
+	defer cancel2()
+
+	// Concurrent submitters, like Orderer1 and Orderer2 in Figure 2a.
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := k.Submit(env(fmt.Sprintf("s%d-t%d", s, i))); err != nil {
+					t.Error(err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	a := collect(t, ch1, 100)
+	b := collect(t, ch2, 100)
+	for i := range a {
+		if a[i].Offset != uint64(i) {
+			t.Fatalf("offsets not dense: %d at %d", a[i].Offset, i)
+		}
+		if a[i].Env.Tx.ID != b[i].Env.Tx.ID {
+			t.Fatalf("subscribers diverge at %d: %s vs %s", i, a[i].Env.Tx.ID, b[i].Env.Tx.ID)
+		}
+	}
+}
+
+func TestLateSubscriberReplays(t *testing.T) {
+	k := NewKafka()
+	defer k.Close()
+	for i := 0; i < 10; i++ {
+		if err := k.Submit(env(fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch, cancel := k.Subscribe()
+	defer cancel()
+	got := collect(t, ch, 10)
+	for i, s := range got {
+		if string(s.Env.Tx.ID) != fmt.Sprintf("t%d", i) {
+			t.Fatalf("replay out of order at %d: %s", i, s.Env.Tx.ID)
+		}
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	k := NewKafka()
+	k.Close()
+	if err := k.Submit(env("x")); err == nil {
+		t.Error("submit after close succeeded")
+	}
+}
+
+func TestCloseDrainsSubscribers(t *testing.T) {
+	k := NewKafka()
+	ch, cancel := k.Subscribe()
+	defer cancel()
+	k.Submit(env("a"))
+	k.Submit(env("b"))
+	k.Close()
+	got := collect(t, ch, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("unexpected extra message")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("channel not closed after Close")
+	}
+}
+
+func TestCancelDetachesSubscriber(t *testing.T) {
+	k := NewKafka()
+	defer k.Close()
+	ch, cancel := k.Subscribe()
+	k.Submit(env("a"))
+	collect(t, ch, 1)
+	cancel()
+	// Further submissions must not block even with the subscriber gone.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			k.Submit(env(fmt.Sprintf("flood%d", i)))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("submit blocked on a cancelled subscriber")
+	}
+	if k.Len() != 1001 {
+		t.Errorf("log length = %d", k.Len())
+	}
+}

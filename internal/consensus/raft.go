@@ -1,0 +1,200 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Raft is a crash-fault-tolerant replicated log providing the same
+// totally-ordered broadcast Service as Kafka, built from an explicit
+// leader/follower replication protocol: submissions go to the leader, the
+// leader replicates entries to followers and commits once a majority has
+// acknowledged, and subscribers read the committed prefix. It models the
+// Raft-based ordering service that replaced Kafka in later Fabric versions;
+// the schedulers are oblivious to which Service backs them (tested by
+// running the same workload over both).
+//
+// Scope: log replication, majority commit, leader failover to the most
+// up-to-date replica, and crash/restart of followers. Elections are
+// deterministic (lowest-ID candidate with the longest log wins) rather than
+// randomized-timeout driven — the properties the blockchain relies on are
+// the log ones, not liveness under partition.
+type Raft struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	nodes  []*raftNode
+	leader int
+	// committed is the commit index (length of the durable prefix).
+	committed int
+	closed    bool
+}
+
+type raftNode struct {
+	id    int
+	log   []Envelope
+	alive bool
+}
+
+// NewRaft creates a cluster of n replicas (n >= 1); node 0 starts as leader.
+func NewRaft(n int) *Raft {
+	if n < 1 {
+		panic("consensus: raft needs at least one node")
+	}
+	r := &Raft{}
+	r.cond = sync.NewCond(&r.mu)
+	for i := 0; i < n; i++ {
+		r.nodes = append(r.nodes, &raftNode{id: i, alive: true})
+	}
+	return r
+}
+
+// Submit implements Service: append to the leader, replicate, commit on
+// majority.
+func (r *Raft) Submit(env Envelope) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("consensus: service closed")
+	}
+	leader := r.nodes[r.leader]
+	if !leader.alive {
+		return fmt.Errorf("consensus: leader %d is down (call Elect)", r.leader)
+	}
+	leader.log = append(leader.log, env)
+	// Replicate to every live follower.
+	acks := 1
+	for _, n := range r.nodes {
+		if n == leader || !n.alive {
+			continue
+		}
+		// Followers may be behind (they were down): catch them up.
+		n.log = append(n.log[:min(len(n.log), len(leader.log)-1)], leader.log[min(len(n.log), len(leader.log)-1):]...)
+		acks++
+	}
+	if acks*2 > len(r.nodes) {
+		r.committed = len(leader.log)
+		r.cond.Broadcast()
+		return nil
+	}
+	// No majority: the entry stays uncommitted; report the stall.
+	return fmt.Errorf("consensus: no quorum (%d/%d alive)", acks, len(r.nodes))
+}
+
+// Crash takes a node down. Crashing the leader stalls submissions until
+// Elect promotes a replacement.
+func (r *Raft) Crash(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nodes[id].alive = false
+}
+
+// Restart brings a node back; it will be caught up on the next submission.
+func (r *Raft) Restart(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nodes[id].alive = true
+}
+
+// Elect promotes the most up-to-date live node (ties broken by lowest ID) —
+// Raft's leader-completeness property guarantees it holds every committed
+// entry.
+func (r *Raft) Elect() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best := -1
+	for _, n := range r.nodes {
+		if !n.alive {
+			continue
+		}
+		if best == -1 || len(n.log) > len(r.nodes[best].log) {
+			best = n.id
+		}
+	}
+	if best == -1 {
+		return -1, fmt.Errorf("consensus: no live node")
+	}
+	r.leader = best
+	// A new leader can only have >= committed entries (majority intersection);
+	// its log defines the authoritative suffix.
+	if len(r.nodes[best].log) < r.committed {
+		return -1, fmt.Errorf("consensus: elected leader misses committed entries — quorum invariant broken")
+	}
+	return best, nil
+}
+
+// Leader returns the current leader's ID.
+func (r *Raft) Leader() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leader
+}
+
+// Subscribe implements Service: deliver the committed prefix and its
+// extension, exactly like the Kafka subscriber.
+func (r *Raft) Subscribe() (<-chan Sequenced, func()) {
+	ch := make(chan Sequenced, 128)
+	done := make(chan struct{})
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			close(done)
+			r.mu.Lock()
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		})
+	}
+	go func() {
+		defer close(ch)
+		next := 0
+		for {
+			r.mu.Lock()
+			for next >= r.committed && !r.closed {
+				select {
+				case <-done:
+					r.mu.Unlock()
+					return
+				default:
+				}
+				r.cond.Wait()
+			}
+			if next >= r.committed && r.closed {
+				r.mu.Unlock()
+				return
+			}
+			env := r.nodes[r.leader].log[next]
+			r.mu.Unlock()
+			select {
+			case ch <- Sequenced{Offset: uint64(next), Env: env}:
+				next++
+			case <-done:
+				return
+			}
+		}
+	}()
+	return ch, cancel
+}
+
+// Close implements Service.
+func (r *Raft) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.cond.Broadcast()
+}
+
+// Len returns the committed log length.
+func (r *Raft) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.committed
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ Service = (*Raft)(nil)
+var _ Service = (*Kafka)(nil)

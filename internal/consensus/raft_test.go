@@ -1,0 +1,162 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRaftBasicReplication(t *testing.T) {
+	r := NewRaft(3)
+	defer r.Close()
+	ch, cancel := r.Subscribe()
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		if err := r.Submit(env(fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, ch, 10)
+	for i, s := range got {
+		if string(s.Env.Tx.ID) != fmt.Sprintf("t%d", i) {
+			t.Fatalf("order broken at %d: %s", i, s.Env.Tx.ID)
+		}
+	}
+	if r.Len() != 10 {
+		t.Errorf("committed = %d", r.Len())
+	}
+}
+
+func TestRaftLeaderFailover(t *testing.T) {
+	r := NewRaft(3)
+	defer r.Close()
+	ch, cancel := r.Subscribe()
+	defer cancel()
+
+	for i := 0; i < 5; i++ {
+		if err := r.Submit(env(fmt.Sprintf("pre%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Crash(r.Leader())
+	if err := r.Submit(env("stalled")); err == nil {
+		t.Fatal("submit succeeded with a dead leader")
+	}
+	leader, err := r.Elect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader == 0 {
+		t.Fatalf("dead node re-elected")
+	}
+	// Committed entries survive the failover; new submissions continue.
+	for i := 0; i < 5; i++ {
+		if err := r.Submit(env(fmt.Sprintf("post%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, ch, 10)
+	if string(got[4].Env.Tx.ID) != "pre4" || string(got[5].Env.Tx.ID) != "post0" {
+		t.Fatalf("log around failover: %s then %s", got[4].Env.Tx.ID, got[5].Env.Tx.ID)
+	}
+}
+
+func TestRaftQuorumLoss(t *testing.T) {
+	r := NewRaft(3)
+	defer r.Close()
+	r.Crash(1)
+	r.Crash(2)
+	if err := r.Submit(env("no-quorum")); err == nil {
+		t.Fatal("committed without a majority")
+	}
+	r.Restart(1)
+	if err := r.Submit(env("quorum-back")); err != nil {
+		t.Fatalf("submit after restart: %v", err)
+	}
+}
+
+func TestRaftFollowerCatchUp(t *testing.T) {
+	r := NewRaft(3)
+	defer r.Close()
+	r.Crash(2)
+	for i := 0; i < 5; i++ {
+		if err := r.Submit(env(fmt.Sprintf("while-down%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Restart(2)
+	if err := r.Submit(env("after")); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 can now win an election only with the full log.
+	r.Crash(0)
+	r.Crash(1)
+	leader, err := r.Elect()
+	if err != nil || leader != 2 {
+		t.Fatalf("leader = %d, %v", leader, err)
+	}
+	ch, cancel := r.Subscribe()
+	defer cancel()
+	got := collect(t, ch, 6)
+	if string(got[5].Env.Tx.ID) != "after" {
+		t.Fatalf("caught-up log wrong: %v", got[5].Env.Tx.ID)
+	}
+}
+
+func TestRaftElectionNeedsLiveNode(t *testing.T) {
+	r := NewRaft(1)
+	defer r.Close()
+	r.Crash(0)
+	if _, err := r.Elect(); err == nil {
+		t.Fatal("elected a leader from zero live nodes")
+	}
+}
+
+func TestRaftSingleNode(t *testing.T) {
+	r := NewRaft(1)
+	defer r.Close()
+	if err := r.Submit(env("solo")); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := r.Subscribe()
+	defer cancel()
+	got := collect(t, ch, 1)
+	if string(got[0].Env.Tx.ID) != "solo" {
+		t.Fatal("single-node log broken")
+	}
+}
+
+func TestRaftSubmitAfterClose(t *testing.T) {
+	r := NewRaft(3)
+	r.Close()
+	if err := r.Submit(env("late")); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+}
+
+func TestRaftTwoSubscribersAgree(t *testing.T) {
+	r := NewRaft(5)
+	defer r.Close()
+	a, cancelA := r.Subscribe()
+	defer cancelA()
+	for i := 0; i < 20; i++ {
+		if err := r.Submit(env(fmt.Sprintf("x%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i == 10 {
+			r.Crash(4)
+		}
+	}
+	b, cancelB := r.Subscribe() // late subscriber replays
+	defer cancelB()
+	ga := collect(t, a, 20)
+	gb := collect(t, b, 20)
+	for i := range ga {
+		if ga[i].Env.Tx.ID != gb[i].Env.Tx.ID {
+			t.Fatalf("subscribers diverge at %d", i)
+		}
+	}
+	select {
+	case <-time.After(10 * time.Millisecond):
+	}
+}

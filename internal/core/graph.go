@@ -1,0 +1,381 @@
+package core
+
+import (
+	"sort"
+
+	"fabricsharp/internal/bloom"
+	"fabricsharp/internal/seqno"
+)
+
+// txNode is one transaction in the dependency graph G. Edges are stored as
+// explicit successor links (p.succ holds every node depending on p), and the
+// full ancestor closure is summarized in the `anti` bloom filter
+// (anti_reachable in the paper: the set of transactions that can reach this
+// node, plus the node itself).
+type txNode struct {
+	id        TxID
+	arrival   uint64 // monotone arrival index: the deterministic tie-break
+	startTS   seqno.Seq
+	endTS     seqno.Seq // zero until committed
+	committed bool
+	pruned    bool
+	readKeys  []string
+	writeKeys []string
+	succ      map[*txNode]struct{}
+	anti      *bloom.Filter
+	age       uint64 // block recency of the node's newest committed ancestor (incl. itself)
+}
+
+// graph is the dependency graph with its reachability machinery.
+type graph struct {
+	nodes       map[TxID]*txNode
+	bloomBits   uint64
+	bloomHashes int
+	arrivals    uint64
+}
+
+func newGraph(bloomBits uint64, bloomHashes int) *graph {
+	return &graph{
+		nodes:       make(map[TxID]*txNode),
+		bloomBits:   bloomBits,
+		bloomHashes: bloomHashes,
+	}
+}
+
+func (g *graph) newNode(id TxID, startTS seqno.Seq, readKeys, writeKeys []string) *txNode {
+	g.arrivals++
+	n := &txNode{
+		id:        id,
+		arrival:   g.arrivals,
+		startTS:   startTS,
+		readKeys:  readKeys,
+		writeKeys: writeKeys,
+		succ:      make(map[*txNode]struct{}),
+		anti:      bloom.New(g.bloomBits, g.bloomHashes),
+	}
+	n.anti.Add(string(id))
+	return n
+}
+
+// lookup resolves an index hit to a live node; pruned or unknown
+// transactions are beyond the reachability horizon and are safely ignored
+// (Section 4.6's age argument).
+func (g *graph) lookup(id TxID) (*txNode, bool) {
+	n, ok := g.nodes[id]
+	if !ok || n.pruned {
+		return nil, false
+	}
+	return n, true
+}
+
+// hasCycle implements the arrival-time reorderability test of Algorithm 2:
+// inserting txn with the given predecessors and successors closes a cycle
+// iff some successor can already reach some predecessor. Bloom false
+// positives report a cycle where none exists — a preventive abort, never a
+// missed cycle.
+func hasCycle(pred, succ map[*txNode]struct{}) bool {
+	if len(pred) == 0 || len(succ) == 0 {
+		return false
+	}
+	for p := range pred {
+		for s := range succ {
+			if p == s {
+				return true
+			}
+			// anti(p) = {ancestors of p} ∪ {p}; a hit means s -> ... -> p.
+			if p.anti.MayContain(string(s.id)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// insert wires txn into the graph per Algorithm 4: predecessor edges are
+// created, the ancestor filter is assembled from the predecessors', and the
+// filter (which includes txn itself) is pushed to every node reachable from
+// txn's successors. nextBlock is M, the presumptive commit block, used as
+// the age hint. It returns the number of nodes traversed (the "# of hops"
+// statistic of Figure 13).
+func (g *graph) insert(txn *txNode, pred, succ map[*txNode]struct{}, nextBlock uint64) (hops int) {
+	for p := range pred {
+		p.succ[txn] = struct{}{}
+		txn.anti.Union(p.anti)
+	}
+	for s := range succ {
+		txn.succ[s] = struct{}{}
+	}
+	txn.age = nextBlock
+	g.nodes[txn.id] = txn
+
+	// Push txn's ancestor set (which includes txn) to all descendants and
+	// refresh their age: txn is a new, soon-to-commit ancestor of each.
+	visited := map[*txNode]struct{}{txn: {}}
+	stack := make([]*txNode, 0, len(succ))
+	for s := range succ {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, seen := visited[n]; seen || n.pruned {
+			continue
+		}
+		visited[n] = struct{}{}
+		hops++
+		n.anti.Union(txn.anti)
+		if n.age < nextBlock {
+			n.age = nextBlock
+		}
+		for s := range n.succ {
+			stack = append(stack, s)
+		}
+	}
+	return hops
+}
+
+// topoOrder returns every live node in a deterministic topological order
+// (Kahn's algorithm with arrival-index tie-breaking). It is used both for
+// block formation (the pending sub-sequence of this order is the commit
+// order) and for the reachability rebuilds.
+func (g *graph) topoOrder() []*txNode {
+	indeg := make(map[*txNode]int, len(g.nodes))
+	var all []*txNode
+	for _, n := range g.nodes {
+		if n.pruned {
+			continue
+		}
+		all = append(all, n)
+		if _, ok := indeg[n]; !ok {
+			indeg[n] = 0
+		}
+		for s := range n.succ {
+			if !s.pruned {
+				indeg[s]++
+			}
+		}
+	}
+	// Ready min-heap by arrival index, seeded with all zero-indegree nodes.
+	var ready nodeHeap
+	for _, n := range all {
+		if indeg[n] == 0 {
+			ready.push(n)
+		}
+	}
+	out := make([]*txNode, 0, len(all))
+	for ready.len() > 0 {
+		n := ready.pop()
+		out = append(out, n)
+		for s := range n.succ {
+			if s.pruned {
+				continue
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready.push(s)
+			}
+		}
+	}
+	if len(out) != len(all) {
+		// The arrival-time cycle test makes this unreachable; failing loud
+		// beats emitting an unserializable block.
+		panic("core: dependency graph contains a cycle")
+	}
+	return out
+}
+
+// rebuildReachability recomputes every live node's ancestor filter from the
+// explicit edges (fresh filters, forward propagation in topological order).
+// This is the relay mechanism of Section 4.4: periodically resetting the
+// filters bounds their fill ratio — and with it the false-positive rate —
+// without ever losing a true member.
+func (g *graph) rebuildReachability() {
+	order := g.topoOrder()
+	for _, n := range order {
+		n.anti = bloom.New(g.bloomBits, g.bloomHashes)
+		n.anti.Add(string(n.id))
+	}
+	for _, n := range order {
+		for s := range n.succ {
+			if !s.pruned {
+				s.anti.Union(n.anti)
+			}
+		}
+	}
+}
+
+// bumpCommitted refreshes ages after the given nodes committed in block B:
+// each is now a committed ancestor of everything it reaches, so descendants'
+// ages rise to B. The arrival-time hint may have underestimated (the
+// transaction might have been deferred to a later block); re-bumping at
+// commit keeps pruning strictly conservative.
+func (g *graph) bumpCommitted(committed []*txNode, block uint64) {
+	visited := make(map[*txNode]struct{}, len(committed))
+	var stack []*txNode
+	for _, n := range committed {
+		stack = append(stack, n)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, seen := visited[n]; seen || n.pruned {
+			continue
+		}
+		visited[n] = struct{}{}
+		if n.age < block {
+			n.age = block
+		}
+		for s := range n.succ {
+			stack = append(stack, s)
+		}
+	}
+}
+
+// prune removes committed nodes whose age fell below the horizon: no future
+// transaction can be part of a cycle through them (Section 4.6). Pending
+// nodes are never pruned. It returns the number of pruned nodes.
+func (g *graph) prune(horizon uint64) int {
+	pruned := 0
+	for id, n := range g.nodes {
+		if !n.committed || n.pruned {
+			continue
+		}
+		if n.age < horizon {
+			n.pruned = true
+			delete(g.nodes, id)
+			pruned++
+		}
+	}
+	if pruned > 0 {
+		// Drop dangling successor links so traversals stay tight.
+		for _, n := range g.nodes {
+			for s := range n.succ {
+				if s.pruned {
+					delete(n.succ, s)
+				}
+			}
+		}
+	}
+	return pruned
+}
+
+// size returns the number of live nodes.
+func (g *graph) size() int { return len(g.nodes) }
+
+// nodeHeap is a minimal min-heap of nodes ordered by arrival index; it keeps
+// the topological sort deterministic across replicas.
+type nodeHeap struct{ ns []*txNode }
+
+func (h *nodeHeap) len() int { return len(h.ns) }
+
+func (h *nodeHeap) push(n *txNode) {
+	h.ns = append(h.ns, n)
+	i := len(h.ns) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ns[parent].arrival <= h.ns[i].arrival {
+			break
+		}
+		h.ns[parent], h.ns[i] = h.ns[i], h.ns[parent]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() *txNode {
+	top := h.ns[0]
+	last := len(h.ns) - 1
+	h.ns[0] = h.ns[last]
+	h.ns = h.ns[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.ns) && h.ns[l].arrival < h.ns[smallest].arrival {
+			smallest = l
+		}
+		if r < len(h.ns) && h.ns[r].arrival < h.ns[smallest].arrival {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ns[i], h.ns[smallest] = h.ns[smallest], h.ns[i]
+		i = smallest
+	}
+	return top
+}
+
+// sortedKeys returns map keys in sorted order (deterministic iteration for
+// the ww restoration pass).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// restoreWW implements Algorithm 5: after the commit order `order` has been
+// fixed, write-write dependencies between pending transactions are installed
+// so that future cycle checks see them. For every key written by more than
+// one newly committed transaction, adjacent writer pairs not already
+// connected receive an edge and the downstream reachability is refreshed in
+// one topologically ordered pass from the collected heads.
+func (g *graph) restoreWW(pw map[string]map[*txNode]struct{}, position map[*txNode]int) (heads []*txNode) {
+	headSet := make(map[*txNode]struct{})
+	for _, key := range sortedKeys(pw) {
+		writers := make([]*txNode, 0, len(pw[key]))
+		for n := range pw[key] {
+			writers = append(writers, n)
+		}
+		if len(writers) < 2 {
+			continue
+		}
+		sort.Slice(writers, func(i, j int) bool { return position[writers[i]] < position[writers[j]] })
+		for i := 0; i+1 < len(writers); i++ {
+			t1, t2 := writers[i], writers[i+1]
+			if t2.anti.MayContain(string(t1.id)) {
+				// Already connected (possibly via another key): the edge is
+				// implicit, as with Txn0 -> Txn3 in Figure 9.
+				continue
+			}
+			t1.succ[t2] = struct{}{}
+			t2.anti.Union(t1.anti)
+			headSet[t2] = struct{}{}
+		}
+	}
+	if len(headSet) == 0 {
+		return nil
+	}
+	// Propagate from the heads in topological order so each node's filter
+	// is final before its successors consume it (Figure 9's single-pass
+	// iteration).
+	reachable := make(map[*txNode]struct{})
+	var mark func(n *txNode)
+	mark = func(n *txNode) {
+		if _, ok := reachable[n]; ok || n.pruned {
+			return
+		}
+		reachable[n] = struct{}{}
+		for s := range n.succ {
+			mark(s)
+		}
+	}
+	for h := range headSet {
+		mark(h)
+		heads = append(heads, h)
+	}
+	for _, n := range g.topoOrder() {
+		if _, ok := reachable[n]; !ok {
+			continue
+		}
+		for s := range n.succ {
+			if !s.pruned {
+				s.anti.Union(n.anti)
+			}
+		}
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i].arrival < heads[j].arrival })
+	return heads
+}

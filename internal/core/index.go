@@ -1,0 +1,291 @@
+// Package core implements the paper's primary contribution: the
+// fine-grained, reordering-based concurrency control for execute-order-
+// validate blockchains (Sections 3.4 and 4).
+//
+// The Manager ingests transactions in consensus order (Algorithm 2),
+// resolves their dependencies against four indices (Section 4.3), detects
+// unreorderable cycles with bloom-filter reachability (Section 4.4,
+// Theorem 2), emits a serializable commit order at block formation
+// (Algorithm 3), restores write-write dependencies (Algorithm 5), and prunes
+// the graph by snapshot staleness and age (Section 4.6).
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"fabricsharp/internal/kvstore"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+)
+
+// TxID aliases the protocol transaction identifier.
+type TxID = protocol.TxID
+
+// VersionIndex is the committed-transaction index shape of Section 4.3:
+// CommittedWriteTxns (CW) and CommittedReadTxns (CR) both map a record key
+// plus the commit sequence of the accessing transaction to that
+// transaction's identifier, and support the point and range queries the
+// dependency resolution needs.
+type VersionIndex interface {
+	// Put records that transaction id accessed key at commit sequence seq.
+	Put(key string, seq seqno.Seq, id TxID) error
+	// After returns, in commit order, every transaction that accessed key
+	// with commit sequence >= from (the CW[key][from:] range query).
+	After(key string, from seqno.Seq) ([]TxID, error)
+	// Before returns the last transaction that accessed key strictly before
+	// `before` (the CW.Before point query).
+	Before(key string, before seqno.Seq) (TxID, bool, error)
+	// Last returns the most recent transaction that accessed key
+	// (the CW.Last point query).
+	Last(key string) (TxID, bool, error)
+	// All returns, in commit order, every retained transaction that
+	// accessed key (the CR[key] query).
+	All(key string) ([]TxID, error)
+	// PruneBefore removes every entry whose commit sequence's block is
+	// strictly below minBlock (Section 4.6's index pruning).
+	PruneBefore(minBlock uint64) error
+}
+
+// ---------------------------------------------------------------------------
+// In-memory index
+// ---------------------------------------------------------------------------
+
+type memEntry struct {
+	seq seqno.Seq
+	id  TxID
+}
+
+// MemIndex is a purely in-memory VersionIndex: per key, an append-ordered
+// slice of (commit seq, txn) entries. Commit sequences arrive in increasing
+// order, so the slices stay sorted without explicit sorting.
+type MemIndex struct {
+	mu      sync.RWMutex
+	entries map[string][]memEntry
+}
+
+// NewMemIndex returns an empty in-memory index.
+func NewMemIndex() *MemIndex { return &MemIndex{entries: make(map[string][]memEntry)} }
+
+// Put implements VersionIndex.
+func (m *MemIndex) Put(key string, seq seqno.Seq, id TxID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.entries[key]
+	if n := len(es); n > 0 && !es[n-1].seq.Less(seq) {
+		// Defensive: out-of-order insert keeps the slice sorted.
+		i := sort.Search(n, func(i int) bool { return !es[i].seq.Less(seq) })
+		es = append(es, memEntry{})
+		copy(es[i+1:], es[i:])
+		es[i] = memEntry{seq: seq, id: id}
+		m.entries[key] = es
+		return nil
+	}
+	m.entries[key] = append(es, memEntry{seq: seq, id: id})
+	return nil
+}
+
+// After implements VersionIndex.
+func (m *MemIndex) After(key string, from seqno.Seq) ([]TxID, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	es := m.entries[key]
+	i := sort.Search(len(es), func(i int) bool { return !es[i].seq.Less(from) })
+	if i == len(es) {
+		return nil, nil
+	}
+	out := make([]TxID, 0, len(es)-i)
+	for ; i < len(es); i++ {
+		out = append(out, es[i].id)
+	}
+	return out, nil
+}
+
+// Before implements VersionIndex.
+func (m *MemIndex) Before(key string, before seqno.Seq) (TxID, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	es := m.entries[key]
+	i := sort.Search(len(es), func(i int) bool { return !es[i].seq.Less(before) })
+	if i == 0 {
+		return "", false, nil
+	}
+	return es[i-1].id, true, nil
+}
+
+// Last implements VersionIndex.
+func (m *MemIndex) Last(key string) (TxID, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	es := m.entries[key]
+	if len(es) == 0 {
+		return "", false, nil
+	}
+	return es[len(es)-1].id, true, nil
+}
+
+// All implements VersionIndex.
+func (m *MemIndex) All(key string) ([]TxID, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	es := m.entries[key]
+	out := make([]TxID, len(es))
+	for i, e := range es {
+		out[i] = e.id
+	}
+	return out, nil
+}
+
+// PruneBefore implements VersionIndex.
+func (m *MemIndex) PruneBefore(minBlock uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, es := range m.entries {
+		i := 0
+		for i < len(es) && es[i].seq.Block < minBlock {
+			i++
+		}
+		if i == 0 {
+			continue
+		}
+		if i == len(es) {
+			delete(m.entries, key)
+			continue
+		}
+		m.entries[key] = append([]memEntry(nil), es[i:]...)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// kvstore-backed index
+// ---------------------------------------------------------------------------
+
+// KVIndex is a VersionIndex persisted in a kvstore.DB, mirroring the
+// paper's LevelDB layout: the primary records are keyed
+// "p/<record key>\x00<commit seq>" so that a prefix scan walks one record
+// key's accesses in commit order, and a secondary family
+// "b/<commit seq>\x00<record key>" supports pruning whole block ranges.
+// Record keys must not contain NUL bytes (all workload keys are printable).
+type KVIndex struct {
+	db *kvstore.DB
+}
+
+// NewKVIndex wraps db as a VersionIndex.
+func NewKVIndex(db *kvstore.DB) *KVIndex { return &KVIndex{db: db} }
+
+func kvPrimaryKey(key string, seq seqno.Seq) []byte {
+	out := make([]byte, 0, 2+len(key)+1+seqno.EncodedLen())
+	out = append(out, 'p', '/')
+	out = append(out, key...)
+	out = append(out, 0)
+	return seq.AppendTo(out)
+}
+
+func kvPrimaryPrefix(key string) []byte {
+	out := make([]byte, 0, 2+len(key)+1)
+	out = append(out, 'p', '/')
+	out = append(out, key...)
+	return append(out, 0)
+}
+
+func kvSecondaryKey(key string, seq seqno.Seq) []byte {
+	out := make([]byte, 0, 2+seqno.EncodedLen()+1+len(key))
+	out = append(out, 'b', '/')
+	out = seq.AppendTo(out)
+	out = append(out, 0)
+	return append(out, key...)
+}
+
+// Put implements VersionIndex.
+func (k *KVIndex) Put(key string, seq seqno.Seq, id TxID) error {
+	if err := k.db.Put(kvPrimaryKey(key, seq), []byte(id)); err != nil {
+		return err
+	}
+	return k.db.Put(kvSecondaryKey(key, seq), nil)
+}
+
+// After implements VersionIndex.
+func (k *KVIndex) After(key string, from seqno.Seq) ([]TxID, error) {
+	start := kvPrimaryKey(key, from)
+	limit := kvstore.PrefixSuccessor(kvPrimaryPrefix(key))
+	var out []TxID
+	for it := k.db.NewIterator(start, limit); it.Valid(); it.Next() {
+		out = append(out, TxID(it.Value()))
+	}
+	return out, nil
+}
+
+// Before implements VersionIndex.
+func (k *KVIndex) Before(key string, before seqno.Seq) (TxID, bool, error) {
+	prefix := kvPrimaryPrefix(key)
+	limit := kvPrimaryKey(key, before)
+	var (
+		id    TxID
+		found bool
+	)
+	for it := k.db.NewIterator(prefix, limit); it.Valid(); it.Next() {
+		id, found = TxID(it.Value()), true
+	}
+	return id, found, nil
+}
+
+// Last implements VersionIndex.
+func (k *KVIndex) Last(key string) (TxID, bool, error) {
+	var (
+		id    TxID
+		found bool
+	)
+	for it := k.db.NewPrefixIterator(kvPrimaryPrefix(key)); it.Valid(); it.Next() {
+		id, found = TxID(it.Value()), true
+	}
+	return id, found, nil
+}
+
+// All implements VersionIndex.
+func (k *KVIndex) All(key string) ([]TxID, error) {
+	var out []TxID
+	for it := k.db.NewPrefixIterator(kvPrimaryPrefix(key)); it.Valid(); it.Next() {
+		out = append(out, TxID(it.Value()))
+	}
+	return out, nil
+}
+
+// PruneBefore implements VersionIndex.
+func (k *KVIndex) PruneBefore(minBlock uint64) error {
+	limit := []byte{'b', '/'}
+	limit = (seqno.Seq{Block: minBlock}).AppendTo(limit)
+	var primaries, secondaries [][]byte
+	for it := k.db.NewIterator([]byte("b/"), limit); it.Valid(); it.Next() {
+		sk := append([]byte(nil), it.Key()...)
+		secondaries = append(secondaries, sk)
+		// Decode "b/<seq>\x00<record key>" back into the primary key.
+		body := sk[2:]
+		seq, err := seqno.FromBytes(body)
+		if err != nil {
+			return err
+		}
+		rest := body[seqno.EncodedLen():]
+		if len(rest) > 0 && rest[0] == 0 {
+			rest = rest[1:]
+		}
+		primaries = append(primaries, kvPrimaryKey(string(rest), seq))
+	}
+	for _, pk := range primaries {
+		if err := k.db.Delete(pk); err != nil {
+			return err
+		}
+	}
+	for _, sk := range secondaries {
+		if err := k.db.Delete(sk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensure interface compliance
+var (
+	_ VersionIndex = (*MemIndex)(nil)
+	_ VersionIndex = (*KVIndex)(nil)
+)

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fabricsharp/internal/kvstore"
+	"fabricsharp/internal/seqno"
+)
+
+func newKVIndexForTest(t *testing.T) *KVIndex {
+	t.Helper()
+	db, err := kvstore.Open(kvstore.Options{}) // in-memory
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewKVIndex(db)
+}
+
+func testIndexBasics(t *testing.T, idx VersionIndex) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(idx.Put("A", seqno.Commit(3, 2), "txn1"))
+	must(idx.Put("A", seqno.Commit(4, 1), "txn7"))
+	must(idx.Put("A", seqno.Commit(5, 3), "txn9"))
+	must(idx.Put("B", seqno.Commit(4, 2), "txn8"))
+
+	// Last
+	if id, ok, _ := idx.Last("A"); !ok || id != "txn9" {
+		t.Errorf("Last(A) = %v,%v", id, ok)
+	}
+	if _, ok, _ := idx.Last("missing"); ok {
+		t.Error("Last(missing) found something")
+	}
+	// Before: the paper's CW.Before(key, seq) — last committed strictly
+	// earlier than seq.
+	if id, ok, _ := idx.Before("A", seqno.Snapshot(3)); !ok || id != "txn1" {
+		t.Errorf("Before(A,(4,0)) = %v,%v want txn1", id, ok)
+	}
+	if _, ok, _ := idx.Before("A", seqno.Commit(3, 2)); ok {
+		t.Error("Before at the exact first seq should be empty")
+	}
+	// After: CW[key][seq:].
+	got, _ := idx.After("A", seqno.Snapshot(3))
+	if fmt.Sprint(got) != "[txn7 txn9]" {
+		t.Errorf("After(A,(4,0)) = %v", got)
+	}
+	got, _ = idx.After("A", seqno.Seq{})
+	if fmt.Sprint(got) != "[txn1 txn7 txn9]" {
+		t.Errorf("After(A,zero) = %v", got)
+	}
+	// All
+	got, _ = idx.All("B")
+	if fmt.Sprint(got) != "[txn8]" {
+		t.Errorf("All(B) = %v", got)
+	}
+	// PruneBefore drops block < 4.
+	must(idx.PruneBefore(4))
+	got, _ = idx.All("A")
+	if fmt.Sprint(got) != "[txn7 txn9]" {
+		t.Errorf("after prune All(A) = %v", got)
+	}
+	if id, ok, _ := idx.Last("B"); !ok || id != "txn8" {
+		t.Errorf("prune damaged B: %v,%v", id, ok)
+	}
+}
+
+func TestMemIndexBasics(t *testing.T) { testIndexBasics(t, NewMemIndex()) }
+func TestKVIndexBasics(t *testing.T)  { testIndexBasics(t, newKVIndexForTest(t)) }
+
+func TestIndexDifferential(t *testing.T) {
+	// MemIndex and KVIndex must agree on every query under a random
+	// operation stream — the kvstore-backed index is the LevelDB-equivalent
+	// layout, the memory index is the model.
+	mem := NewMemIndex()
+	kv := newKVIndexForTest(t)
+	rng := rand.New(rand.NewSource(5))
+	keys := []string{"A", "B", "acct:17", "checking:alice"}
+	seq := seqno.Seq{Block: 1, Pos: 1}
+	for i := 0; i < 500; i++ {
+		key := keys[rng.Intn(len(keys))]
+		id := TxID(fmt.Sprintf("t%d", i))
+		if err := mem.Put(key, seq, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := kv.Put(key, seq, id); err != nil {
+			t.Fatal(err)
+		}
+		// advance commit seq
+		if rng.Intn(3) == 0 {
+			seq = seqno.Commit(seq.Block+1, 1)
+		} else {
+			seq = seqno.Commit(seq.Block, seq.Pos+1)
+		}
+		if rng.Intn(40) == 0 {
+			h := seq.Block / 2
+			if err := mem.PruneBefore(h); err != nil {
+				t.Fatal(err)
+			}
+			if err := kv.PruneBefore(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Compare queries at random probe points.
+		probe := seqno.Commit(uint64(rng.Intn(int(seq.Block)+1)), uint32(rng.Intn(4)))
+		for _, k := range keys {
+			ma, _ := mem.After(k, probe)
+			ka, _ := kv.After(k, probe)
+			if fmt.Sprint(ma) != fmt.Sprint(ka) {
+				t.Fatalf("After(%q,%v) diverged: %v vs %v", k, probe, ma, ka)
+			}
+			mb, mok, _ := mem.Before(k, probe)
+			kb, kok, _ := kv.Before(k, probe)
+			if mok != kok || mb != kb {
+				t.Fatalf("Before(%q,%v) diverged: %v,%v vs %v,%v", k, probe, mb, mok, kb, kok)
+			}
+			ml, mok2, _ := mem.Last(k)
+			kl, kok2, _ := kv.Last(k)
+			if mok2 != kok2 || ml != kl {
+				t.Fatalf("Last(%q) diverged", k)
+			}
+			mall, _ := mem.All(k)
+			kall, _ := kv.All(k)
+			if fmt.Sprint(mall) != fmt.Sprint(kall) {
+				t.Fatalf("All(%q) diverged: %v vs %v", k, mall, kall)
+			}
+		}
+	}
+}
+
+func TestMemIndexOutOfOrderInsert(t *testing.T) {
+	idx := NewMemIndex()
+	idx.Put("K", seqno.Commit(5, 1), "late")
+	idx.Put("K", seqno.Commit(3, 1), "early") // defensive path
+	got, _ := idx.All("K")
+	if fmt.Sprint(got) != "[early late]" {
+		t.Errorf("All = %v", got)
+	}
+}
+
+func TestManagerWithKVIndices(t *testing.T) {
+	// The manager must behave identically over kvstore-backed indices.
+	mkManager := func(kvBacked bool) *Manager {
+		opts := Options{}
+		if kvBacked {
+			dbw, _ := kvstore.Open(kvstore.Options{})
+			dbr, _ := kvstore.Open(kvstore.Options{})
+			opts.CW = NewKVIndex(dbw)
+			opts.CR = NewKVIndex(dbr)
+		}
+		return NewManager(opts)
+	}
+	run := func(m *Manager) []string {
+		var log []string
+		height := uint64(0)
+		for i := 0; i < 150; i++ {
+			r := fmt.Sprintf("k%d", (i*3)%7)
+			w := fmt.Sprintf("k%d", (i*5)%7)
+			code, err := m.OnArrival(TxID(fmt.Sprintf("t%d", i)), height, []string{r}, []string{w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			log = append(log, fmt.Sprintf("%d:%v", i, code))
+			if (i+1)%25 == 0 {
+				ids, block, err := m.OnBlockFormation()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ids) > 0 {
+					height = block
+				}
+				log = append(log, fmt.Sprint(ids))
+			}
+		}
+		return log
+	}
+	a := run(mkManager(false))
+	b := run(mkManager(true))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("kv-backed manager diverges at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

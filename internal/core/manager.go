@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+)
+
+// Options configures a Manager. The zero value is usable; unset fields get
+// the paper's defaults.
+type Options struct {
+	// MaxSpan is the maximum block span of a transaction (Section 4.6);
+	// snapshots at or below nextBlock - MaxSpan are aborted as stale.
+	// Default 10 (the paper's fixed setting).
+	MaxSpan uint64
+	// BloomBits and BloomHashes size every reachability filter.
+	// Defaults: 1<<14 bits, 4 hashes.
+	BloomBits   uint64
+	BloomHashes int
+	// RelayBlocks is the reachability-filter relay period in blocks
+	// (Section 4.4): filters are rebuilt from the explicit edges every
+	// RelayBlocks formations, bounding their false-positive rate.
+	// Default 2*MaxSpan.
+	RelayBlocks uint64
+	// CW and CR supply the committed write/read indices. Defaults to fresh
+	// in-memory indices; pass KVIndex-backed ones for persistence.
+	CW, CR VersionIndex
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSpan == 0 {
+		o.MaxSpan = 10
+	}
+	if o.BloomBits == 0 {
+		o.BloomBits = 1 << 14
+	}
+	if o.BloomHashes == 0 {
+		o.BloomHashes = 4
+	}
+	if o.RelayBlocks == 0 {
+		o.RelayBlocks = 2 * o.MaxSpan
+	}
+	if o.CW == nil {
+		o.CW = NewMemIndex()
+	}
+	if o.CR == nil {
+		o.CR = NewMemIndex()
+	}
+	return o
+}
+
+// Stats aggregates the measurements the evaluation reports: abort taxonomy,
+// reachability traversal hops and block spans (Figure 13), the arrival
+// processing breakdown (Figure 12, right) and the reordering latency
+// breakdown (Figure 11, right).
+type Stats struct {
+	Arrivals       uint64
+	Accepted       uint64
+	AbortCycle     uint64
+	AbortStale     uint64
+	AbortDuplicate uint64
+
+	Formations   uint64
+	Committed    uint64
+	PrunedNodes  uint64
+	MaxGraphSize int
+
+	Hops      uint64 // nodes traversed by reachability updates
+	SpanSum   uint64 // sum of committed transactions' block spans
+	SpanCount uint64
+
+	// Arrival-time breakdown (Figure 12): conflict identification,
+	// graph/reachability update, pending-index recording.
+	IdentifyConflictNS int64
+	UpdateGraphNS      int64
+	IndexRecordNS      int64
+
+	// Formation-time breakdown (Figure 11): commit-order computation,
+	// ww restoration, persisting to the committed indices, graph pruning.
+	ComputeOrderNS int64
+	RestoreWWNS    int64
+	PersistNS      int64
+	PruneNS        int64
+}
+
+// MeanSpan returns the average block span of committed transactions.
+func (s Stats) MeanSpan() float64 {
+	if s.SpanCount == 0 {
+		return 0
+	}
+	return float64(s.SpanSum) / float64(s.SpanCount)
+}
+
+// MeanHops returns the average reachability-update traversal per arrival.
+func (s Stats) MeanHops() float64 {
+	if s.Arrivals == 0 {
+		return 0
+	}
+	return float64(s.Hops) / float64(s.Arrivals)
+}
+
+// Manager is the fine-grained concurrency control of Section 3.4, replicated
+// inside every orderer. It is single-goroutine by design — the consensus
+// stream is already serialized when it reaches the reordering step — and the
+// caller provides that serialization.
+type Manager struct {
+	opts Options
+	g    *graph
+	cw   VersionIndex
+	cr   VersionIndex
+	// Pending transaction set P with its PW / PR key indices.
+	pending []*txNode
+	pw      map[string]map[*txNode]struct{}
+	pr      map[string]map[*txNode]struct{}
+	// nextBlock is M, the number of the next block to be committed.
+	nextBlock uint64
+	stats     Stats
+}
+
+// NewManager creates a Manager whose first formed block is number 1
+// (block 0 being genesis).
+func NewManager(opts Options) *Manager {
+	opts = opts.withDefaults()
+	return &Manager{
+		opts:      opts,
+		g:         newGraph(opts.BloomBits, opts.BloomHashes),
+		cw:        opts.CW,
+		cr:        opts.CR,
+		pending:   nil,
+		pw:        make(map[string]map[*txNode]struct{}),
+		pr:        make(map[string]map[*txNode]struct{}),
+		nextBlock: 1,
+	}
+}
+
+// NextBlock returns M, the number of the block the next formation will seal.
+func (m *Manager) NextBlock() uint64 { return m.nextBlock }
+
+// PendingCount returns |P|.
+func (m *Manager) PendingCount() int { return len(m.pending) }
+
+// GraphSize returns the number of live nodes in G.
+func (m *Manager) GraphSize() int { return m.g.size() }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// horizon returns H = M - max_span, and whether a horizon exists yet.
+func (m *Manager) horizon() (uint64, bool) {
+	if m.nextBlock <= m.opts.MaxSpan {
+		return 0, false
+	}
+	return m.nextBlock - m.opts.MaxSpan, true
+}
+
+// OnArrival is Algorithm 2: it runs when the consensus hands the orderer a
+// transaction, decides reorderability, and either admits the transaction to
+// the pending set or drops it. The returned code is protocol.Valid on
+// admission or one of the early-abort codes.
+//
+// snapshotBlock is the block the transaction simulated against (Algorithm 1)
+// and must be below NextBlock.
+func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys []string) (protocol.ValidationCode, error) {
+	m.stats.Arrivals++
+	if snapshotBlock >= m.nextBlock {
+		return 0, fmt.Errorf("core: transaction %s simulated against future block %d (next block %d)",
+			id, snapshotBlock, m.nextBlock)
+	}
+	if _, dup := m.g.nodes[id]; dup {
+		m.stats.AbortDuplicate++
+		return protocol.AbortDuplicate, nil
+	}
+	if h, ok := m.horizon(); ok && snapshotBlock <= h {
+		m.stats.AbortStale++
+		return protocol.AbortStaleSnapshot, nil
+	}
+	startTS := seqno.Snapshot(snapshotBlock)
+
+	// Phase 1 (Figure 12: "Identify conflict"): resolve the dependency sets
+	// of Section 4.3 — everything except c-ww among pending transactions.
+	t0 := time.Now()
+	pred := make(map[*txNode]struct{})
+	succ := make(map[*txNode]struct{})
+	addTo := func(set map[*txNode]struct{}, txid TxID) {
+		if n, ok := m.g.lookup(txid); ok {
+			set[n] = struct{}{}
+		}
+	}
+	for _, r := range readKeys {
+		// anti-rw: committed writers at or after the snapshot, plus pending
+		// writers. These must serialize after the new transaction.
+		after, err := m.cw.After(r, startTS)
+		if err != nil {
+			return 0, err
+		}
+		for _, txid := range after {
+			addTo(succ, txid)
+		}
+		for n := range m.pw[r] {
+			succ[n] = struct{}{}
+		}
+		// n-wr: the writer of the version actually read.
+		if txid, ok, err := m.cw.Before(r, startTS); err != nil {
+			return 0, err
+		} else if ok {
+			addTo(pred, txid)
+		}
+	}
+	for _, w := range writeKeys {
+		// rw: committed and pending readers of the keys we overwrite.
+		all, err := m.cr.All(w)
+		if err != nil {
+			return 0, err
+		}
+		for _, txid := range all {
+			addTo(pred, txid)
+		}
+		for n := range m.pr[w] {
+			pred[n] = struct{}{}
+		}
+		// ww against the last committed writer.
+		if txid, ok, err := m.cw.Last(w); err != nil {
+			return 0, err
+		} else if ok {
+			addTo(pred, txid)
+		}
+	}
+	cyclic := hasCycle(pred, succ)
+	m.stats.IdentifyConflictNS += time.Since(t0).Nanoseconds()
+
+	if cyclic {
+		m.stats.AbortCycle++
+		return protocol.AbortCycle, nil
+	}
+
+	// Phase 2 (Figure 12: "Update graph"): Algorithm 4.
+	t1 := time.Now()
+	node := m.g.newNode(id, startTS, append([]string(nil), readKeys...), append([]string(nil), writeKeys...))
+	hops := m.g.insert(node, pred, succ, m.nextBlock)
+	m.stats.Hops += uint64(hops)
+	m.stats.UpdateGraphNS += time.Since(t1).Nanoseconds()
+
+	// Phase 3 (Figure 12: "Index record"): register in P, PW, PR.
+	t2 := time.Now()
+	m.pending = append(m.pending, node)
+	for _, r := range node.readKeys {
+		if m.pr[r] == nil {
+			m.pr[r] = make(map[*txNode]struct{})
+		}
+		m.pr[r][node] = struct{}{}
+	}
+	for _, w := range node.writeKeys {
+		if m.pw[w] == nil {
+			m.pw[w] = make(map[*txNode]struct{})
+		}
+		m.pw[w][node] = struct{}{}
+	}
+	m.stats.IndexRecordNS += time.Since(t2).Nanoseconds()
+
+	m.stats.Accepted++
+	if n := m.g.size(); n > m.stats.MaxGraphSize {
+		m.stats.MaxGraphSize = n
+	}
+	return protocol.Valid, nil
+}
+
+// OnBlockFormation is Algorithm 3: it fixes the commit order of the pending
+// transactions (a topological order of G restricted to P), restores ww
+// dependencies (Algorithm 5), records the commitments in CW/CR, prunes, and
+// empties P. It returns the ordered transaction IDs and the sealed block
+// number. With no pending transactions it returns (nil, next block) without
+// consuming a block number.
+func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
+	if len(m.pending) == 0 {
+		return nil, m.nextBlock, nil
+	}
+	block := m.nextBlock
+	m.stats.Formations++
+
+	// Compute the commit order (Figure 11: "Compute order").
+	t0 := time.Now()
+	topo := m.g.topoOrder()
+	order := make([]*txNode, 0, len(m.pending))
+	position := make(map[*txNode]int, len(m.pending))
+	for _, n := range topo {
+		if !n.committed {
+			position[n] = len(order)
+			order = append(order, n)
+		}
+	}
+	for i, n := range order {
+		n.endTS = seqno.Commit(block, uint32(i+1))
+		n.committed = true
+		span := block - n.startTS.SnapshotBlock()
+		m.stats.SpanSum += span
+		m.stats.SpanCount++
+	}
+	m.stats.ComputeOrderNS += time.Since(t0).Nanoseconds()
+
+	// Restore ww dependencies (Figure 11: "Restore ww").
+	t1 := time.Now()
+	m.g.restoreWW(m.pw, position)
+	m.stats.RestoreWWNS += time.Since(t1).Nanoseconds()
+
+	// Persist commitments to the CW/CR storages (Figure 11: "Persist to
+	// storage") and clear the pending indices.
+	t2 := time.Now()
+	ids := make([]TxID, len(order))
+	for i, n := range order {
+		ids[i] = n.id
+		for _, w := range n.writeKeys {
+			if err := m.cw.Put(w, n.endTS, n.id); err != nil {
+				return nil, 0, err
+			}
+		}
+		for _, r := range n.readKeys {
+			if err := m.cr.Put(r, n.endTS, n.id); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	m.pending = m.pending[:0]
+	m.pw = make(map[string]map[*txNode]struct{})
+	m.pr = make(map[string]map[*txNode]struct{})
+	m.g.bumpCommitted(order, block)
+	m.stats.PersistNS += time.Since(t2).Nanoseconds()
+
+	// Prune G and the indices (Figure 11: "Prune G"), then advance M.
+	t3 := time.Now()
+	m.nextBlock++
+	if h, ok := m.horizon(); ok {
+		m.stats.PrunedNodes += uint64(m.g.prune(h))
+		if err := m.cw.PruneBefore(h); err != nil {
+			return nil, 0, err
+		}
+		if err := m.cr.PruneBefore(h); err != nil {
+			return nil, 0, err
+		}
+	}
+	if block%m.opts.RelayBlocks == 0 {
+		m.g.rebuildReachability()
+	}
+	m.stats.PruneNS += time.Since(t3).Nanoseconds()
+
+	m.stats.Committed += uint64(len(ids))
+	return ids, block, nil
+}
+
+// FastForward moves a fresh manager's block cursor past an externally
+// stored chain of `height` blocks (restart from persistence). It is only
+// legal before any arrival: the restart contract is clean-shutdown, every
+// pre-restart transaction is committed and beyond conflict range of any
+// future snapshot (which will be >= height), so the empty graph and indices
+// are sound.
+func (m *Manager) FastForward(height uint64) error {
+	if m.stats.Arrivals > 0 || len(m.pending) > 0 || m.nextBlock != 1 {
+		return fmt.Errorf("core: cannot fast-forward a manager with history")
+	}
+	m.nextBlock = height + 1
+	return nil
+}
+
+// MinRetainedSnapshot returns the oldest snapshot block a newly arriving
+// transaction may still read from; the state database can prune history
+// below it (Section 4.2).
+func (m *Manager) MinRetainedSnapshot() uint64 {
+	if h, ok := m.horizon(); ok {
+		return h + 1
+	}
+	return 0
+}

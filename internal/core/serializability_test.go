@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+)
+
+// committedTx mirrors what a committed transaction exposes to the oracle.
+type committedTx struct {
+	id     string
+	snap   uint64
+	endTS  seqno.Seq
+	reads  []string
+	writes []string
+}
+
+// serializabilityOracle builds the exact precedence graph over committed
+// transactions from first principles (no blooms, no pruning):
+//
+//	wr:      version-source writer -> reader
+//	ww:      earlier writer -> later writer (by commit order)
+//	anti-rw: reader -> any writer committing after the reader's snapshot
+//
+// and reports whether it is acyclic. An acyclic exact graph is precisely
+// One-Copy Serializability of the committed schedule — the guarantee
+// Theorem 2's filter is supposed to enforce.
+func serializabilityOracle(txs []committedTx) (acyclic bool, cycleWitness []string) {
+	writersOf := map[string][]*committedTx{}
+	for i := range txs {
+		for _, w := range txs[i].writes {
+			writersOf[w] = append(writersOf[w], &txs[i])
+		}
+	}
+	// Writers are appended in commit order because txs is commit-ordered.
+	adj := map[string]map[string]bool{}
+	addEdge := func(from, to string) {
+		if from == to {
+			return
+		}
+		if adj[from] == nil {
+			adj[from] = map[string]bool{}
+		}
+		adj[from][to] = true
+	}
+	for i := range txs {
+		t := &txs[i]
+		for _, r := range t.reads {
+			var source *committedTx
+			for _, w := range writersOf[r] {
+				if w.endTS.Block <= t.snap {
+					source = w // last writer at or before the snapshot
+				}
+			}
+			if source != nil {
+				addEdge(source.id, t.id) // wr
+			}
+			for _, w := range writersOf[r] {
+				if w.endTS.Block > t.snap && w.id != t.id {
+					addEdge(t.id, w.id) // anti-rw: the read precedes the write
+				}
+			}
+		}
+	}
+	for _, writers := range writersOf {
+		for i := 0; i+1 < len(writers); i++ {
+			addEdge(writers[i].id, writers[i+1].id) // ww in commit order
+		}
+	}
+	// Cycle detection by coloring DFS.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	var dfs func(u string) bool
+	dfs = func(u string) bool {
+		color[u] = gray
+		stack = append(stack, u)
+		for v := range adj[u] {
+			switch color[v] {
+			case gray:
+				stack = append(stack, v)
+				return false
+			case white:
+				if !dfs(v) {
+					return false
+				}
+			}
+		}
+		color[u] = black
+		stack = stack[:len(stack)-1]
+		return true
+	}
+	for i := range txs {
+		if color[txs[i].id] == white {
+			if !dfs(txs[i].id) {
+				return false, stack
+			}
+		}
+	}
+	return true, nil
+}
+
+func TestOracleDetectsKnownCycle(t *testing.T) {
+	// Sanity-check the oracle itself: the classic write-skew pair committed
+	// together is unserializable.
+	txs := []committedTx{
+		{id: "t1", snap: 0, endTS: seqno.Commit(1, 1), reads: []string{"a"}, writes: []string{"b"}},
+		{id: "t2", snap: 0, endTS: seqno.Commit(1, 2), reads: []string{"b"}, writes: []string{"a"}},
+	}
+	if ok, _ := serializabilityOracle(txs); ok {
+		t.Fatal("oracle failed to flag write-skew cycle")
+	}
+	// And a clean pair passes.
+	clean := []committedTx{
+		{id: "t1", snap: 0, endTS: seqno.Commit(1, 1), reads: []string{"a"}, writes: []string{"b"}},
+		{id: "t2", snap: 0, endTS: seqno.Commit(1, 2), reads: []string{"c"}, writes: []string{"d"}},
+	}
+	if ok, w := serializabilityOracle(clean); !ok {
+		t.Fatalf("oracle flagged a clean schedule: %v", w)
+	}
+}
+
+// runRandomWorkload drives a Manager with a seeded random stream and returns
+// every committed transaction in commit order.
+func runRandomWorkload(t *testing.T, seed int64, nTxs, nKeys, formEvery int, opts Options) []committedTx {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := NewManager(opts)
+	byID := map[string]*committedTx{}
+	var committed []committedTx
+	height := uint64(0)
+
+	randKeys := func(n int) []string {
+		if n > nKeys {
+			n = nKeys
+		}
+		seen := map[string]bool{}
+		var out []string
+		for len(out) < n {
+			k := fmt.Sprintf("k%d", rng.Intn(nKeys))
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+
+	for i := 0; i < nTxs; i++ {
+		// Snapshot lags the formed height by a random amount, exercising
+		// cross-block concurrency (Proposition 3).
+		lag := uint64(rng.Intn(3))
+		snap := height
+		if lag < snap {
+			snap -= lag
+		} else {
+			snap = 0
+		}
+		tx := committedTx{
+			id:     fmt.Sprintf("tx%d", i),
+			snap:   snap,
+			reads:  randKeys(1 + rng.Intn(3)),
+			writes: randKeys(1 + rng.Intn(3)),
+		}
+		code, err := m.OnArrival(TxID(tx.id), snap, tx.reads, tx.writes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code == protocol.Valid {
+			cp := tx
+			byID[tx.id] = &cp
+		}
+		if (i+1)%formEvery == 0 {
+			ids, block, err := m.OnBlockFormation()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) > 0 {
+				height = block
+			}
+			for pos, id := range ids {
+				ct := byID[string(id)]
+				ct.endTS = seqno.Commit(block, uint32(pos+1))
+				committed = append(committed, *ct)
+			}
+		}
+	}
+	return committed
+}
+
+func TestCommittedScheduleAlwaysSerializable(t *testing.T) {
+	// The headline property: under many random contended workloads, the
+	// set of transactions Sharp admits is serializable — verified against
+	// the exact oracle, independent of blooms, pruning and restoration.
+	for seed := int64(0); seed < 15; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			committed := runRandomWorkload(t, seed, 600, 8, 23, Options{MaxSpan: 6, RelayBlocks: 4})
+			if len(committed) == 0 {
+				t.Fatal("nothing committed")
+			}
+			if ok, witness := serializabilityOracle(committed); !ok {
+				t.Fatalf("unserializable committed schedule, cycle: %v", witness)
+			}
+		})
+	}
+}
+
+func TestHighContentionStillSerializable(t *testing.T) {
+	// Two keys, long spans, tiny filters (forcing bloom false positives and
+	// relays): aborts rise, but never a serializability violation.
+	committed := runRandomWorkload(t, 424242, 800, 2, 11, Options{
+		MaxSpan:     4,
+		RelayBlocks: 2,
+		BloomBits:   256, // deliberately undersized
+		BloomHashes: 2,
+	})
+	if ok, witness := serializabilityOracle(committed); !ok {
+		t.Fatalf("unserializable schedule under tiny blooms, cycle: %v", witness)
+	}
+}
+
+func TestThroughputAdvantageOverStrictPolicy(t *testing.T) {
+	// Sharp must commit strictly more transactions than a strawman that
+	// aborts on any stale read (vanilla Fabric's rule) on a contended
+	// stream. This pins down that the machinery actually recovers
+	// serializable-but-stale transactions instead of degenerating into the
+	// preventive policy.
+	rng := rand.New(rand.NewSource(7))
+	m := NewManager(Options{})
+	height := uint64(0)
+	lastWriteBlock := map[string]uint64{} // block in which each key last committed a write
+	var pendingWrites []string            // shared keys written by not-yet-formed transactions
+	sharpCommitted, strictCommitted := 0, 0
+	for i := 0; i < 500; i++ {
+		snap := height
+		if snap > 0 && rng.Intn(2) == 0 {
+			snap-- // simulate against a slightly stale snapshot
+		}
+		var reads, writes []string
+		shared := fmt.Sprintf("k%d", rng.Intn(4))
+		if i%2 == 0 {
+			// Blind writer to a shared key.
+			writes = []string{shared}
+			pendingWrites = append(pendingWrites, shared)
+		} else {
+			// Reader of a shared key writing only its private key: stale
+			// reads here are anti-rw-only and serializable before the
+			// writer; the strict (vanilla Fabric) rule aborts them anyway.
+			reads = []string{shared}
+			writes = []string{fmt.Sprintf("private%d", i)}
+		}
+		code, err := m.OnArrival(TxID(fmt.Sprintf("tx%d", i)), snap, reads, writes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code == protocol.Valid {
+			sharpCommitted++
+		}
+		// Strict policy: abort if any read key has a committed version
+		// newer than the snapshot.
+		stale := false
+		for _, r := range reads {
+			if lastWriteBlock[r] > snap {
+				stale = true
+			}
+		}
+		if !stale {
+			strictCommitted++
+		}
+		if (i+1)%20 == 0 {
+			ids, block, err := m.OnBlockFormation()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) > 0 {
+				height = block
+				for _, w := range pendingWrites {
+					lastWriteBlock[w] = block
+				}
+				pendingWrites = pendingWrites[:0]
+			}
+		}
+	}
+	if sharpCommitted <= strictCommitted {
+		t.Errorf("sharp committed %d <= strict policy %d; reordering recovered nothing",
+			sharpCommitted, strictCommitted)
+	}
+}

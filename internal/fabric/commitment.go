@@ -1,0 +1,140 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsharp/internal/consensus"
+	"fabricsharp/internal/protocol"
+)
+
+// This file implements the Section 3.5 mitigation against reordering abuse.
+//
+// The attack: the consensus leader (or any party controlling proposal order)
+// observes an undesirable transaction TxnT reading and writing a record
+// against snapshot N, forges TxnT' touching the same record, and sequences
+// TxnT' first. TxnT' passes the reorderability test; TxnT then forms an
+// unreorderable cycle with it (c-rw one way, anti-rw the other) and every
+// honest orderer aborts TxnT — censorship through the public reordering
+// algorithm.
+//
+// The mitigation: clients first publish only the transaction's digest; once
+// consensus has fixed the digest's position, the client discloses the
+// payload. Orderers process disclosed transactions in the order their
+// digests were sequenced, so an adversary must commit to its own
+// transactions before seeing anyone else's read/write sets. (It also stops
+// clients from mutating content after sequencing: the disclosure must match
+// the committed digest.)
+
+// CommitmentBroker sequences hash commitments and releases payloads to the
+// scheduler in commitment order. It sits between the consensus stream and a
+// scheduler; the fabric orderer uses it when Options.HashCommitment is set.
+type CommitmentBroker struct {
+	mu        sync.Mutex
+	order     []string                         // digests in consensus order
+	disclosed map[string]*protocol.Transaction // digest -> payload
+	released  int                              // prefix of order already released
+}
+
+// NewCommitmentBroker returns an empty broker.
+func NewCommitmentBroker() *CommitmentBroker {
+	return &CommitmentBroker{disclosed: map[string]*protocol.Transaction{}}
+}
+
+// Commit records a sequenced digest commitment.
+func (b *CommitmentBroker) Commit(digest string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.order = append(b.order, digest)
+}
+
+// Disclose delivers a payload for a previously committed digest. It returns
+// the transactions that became releasable, in commitment order, and an error
+// if the payload does not hash to the claimed digest (a client mutating its
+// transaction after sequencing).
+func (b *CommitmentBroker) Disclose(tx *protocol.Transaction) ([]*protocol.Transaction, error) {
+	digest := tx.DigestHex()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	found := false
+	for _, d := range b.order[b.released:] {
+		if d == digest {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("fabric: disclosure without commitment (digest %.12s...)", digest)
+	}
+	if _, dup := b.disclosed[digest]; dup {
+		return nil, fmt.Errorf("fabric: duplicate disclosure (digest %.12s...)", digest)
+	}
+	b.disclosed[digest] = tx
+	// Release the longest disclosed prefix.
+	var out []*protocol.Transaction
+	for b.released < len(b.order) {
+		next, ok := b.disclosed[b.order[b.released]]
+		if !ok {
+			break
+		}
+		delete(b.disclosed, b.order[b.released])
+		b.released++
+		out = append(out, next)
+	}
+	return out, nil
+}
+
+// PendingCommitments returns how many sequenced digests still await
+// disclosure.
+func (b *CommitmentBroker) PendingCommitments() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.order) - b.released
+}
+
+// SubmitCommitted runs the two-phase submission: the digest commitment is
+// sequenced first; once it is in the stream, the payload is disclosed. With
+// Options.HashCommitment enabled the orderers only act on the disclosure,
+// in commitment order.
+func (c *Client) SubmitCommitted(contract, function string, args ...string) (TxResult, error) {
+	if !c.net.opts.HashCommitment {
+		return TxResult{}, fmt.Errorf("fabric: network does not run the hash-commitment protocol")
+	}
+	tx := &protocol.Transaction{
+		ID:       c.net.nextTxID(c.id.ID),
+		ClientID: c.id.ID,
+		Contract: contract,
+		Function: function,
+		Args:     args,
+	}
+	peer := c.net.peers[0]
+	if _, err := peer.Endorse(c.net.registry, tx); err != nil {
+		return TxResult{}, err
+	}
+	ch := make(chan TxResult, 1)
+	c.net.waitersMu.Lock()
+	c.net.waiters[tx.ID] = ch
+	c.net.waitersMu.Unlock()
+	// Phase 1: publish only the digest.
+	if err := c.net.kafka.Submit(consensus.Envelope{
+		SubmittedBy: c.id.ID,
+		Commitment:  tx.DigestHex(),
+	}); err != nil {
+		return TxResult{}, err
+	}
+	// Phase 2: disclose the payload (a separate consensus message).
+	if err := c.net.kafka.Submit(consensus.Envelope{
+		SubmittedBy: c.id.ID,
+		Tx:          tx,
+		Disclosure:  true,
+	}); err != nil {
+		return TxResult{}, err
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-time.After(c.net.opts.SubmitTimeout):
+		return TxResult{}, fmt.Errorf("fabric: transaction %s timed out", tx.ID)
+	}
+}

@@ -1,0 +1,407 @@
+// Package fabric is the runnable, real-time in-process EOV blockchain: the
+// library mode of this repository. It wires the membership service, the
+// chaincode runtime, endorsing peers with snapshot reads (Algorithm 1), the
+// Kafka-model ordering service, replicated orderers running any of the five
+// schedulers, and validating peers committing to hash-chained ledgers — the
+// full transaction lifecycle of Section 2.1 over Go channels instead of
+// gRPC.
+//
+// A minimal session:
+//
+//	net, _ := fabric.NewNetwork(fabric.Options{System: sched.SystemSharp})
+//	defer net.Close()
+//	client, _ := net.NewClient("alice")
+//	res, _ := client.Submit("kv", "put", "greeting", "hello")
+//	val, _ := client.Query("kv", "get", "greeting")
+package fabric
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"fabricsharp/internal/chaincode"
+	"fabricsharp/internal/consensus"
+	"fabricsharp/internal/identity"
+	"fabricsharp/internal/kvstore"
+	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/sched"
+	"fabricsharp/internal/seqno"
+	"fabricsharp/internal/statedb"
+)
+
+// Options configures a network.
+type Options struct {
+	// System selects the ordering-phase concurrency control
+	// (default sched.SystemSharp).
+	System sched.System
+	// Peers is the number of endorsing/validating peers (default 4, the
+	// paper's setup).
+	Peers int
+	// Orderers is the number of replicated orderers (default 2). All run
+	// the same scheduler on the same consensus stream; the first one
+	// delivers blocks.
+	Orderers int
+	// BlockSize cuts a block at this many pending transactions
+	// (default 100).
+	BlockSize int
+	// BlockTimeout cuts a partial block (default 500ms).
+	BlockTimeout time.Duration
+	// Contracts to deploy; defaults to the built-in suite (kv, smallbank,
+	// msmallbank, supplychain).
+	Contracts []chaincode.Contract
+	// MaxSpan is Sharp's pruning horizon (default 10).
+	MaxSpan uint64
+	// SubmitTimeout bounds Client.Submit waiting for a commit
+	// (default 10s).
+	SubmitTimeout time.Duration
+	// HashCommitment enables the Section 3.5 two-phase submission: clients
+	// sequence a digest commitment first and disclose the payload after;
+	// orderers process disclosures in commitment order, which blinds
+	// order-choosing adversaries to transaction contents (see
+	// Client.SubmitCommitted).
+	HashCommitment bool
+	// DataDir, when non-empty, persists peer 0's ledger and latest state in
+	// kvstore databases under it; a network booted again on the same
+	// directory resumes from the stored chain (crash recovery is inherited
+	// from the kvstore WAL).
+	DataDir string
+	// Consensus selects the ordering service backend: "kafka" (default,
+	// the paper's setup) or "raft" (the crash-fault replicated log that
+	// replaced Kafka in later Fabric versions). The schedulers are
+	// oblivious to the choice.
+	Consensus string
+	// RaftNodes sizes the raft cluster (default 3; kafka ignores it).
+	RaftNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.System == "" {
+		o.System = sched.SystemSharp
+	}
+	if o.Peers == 0 {
+		o.Peers = 4
+	}
+	if o.Orderers == 0 {
+		o.Orderers = 2
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 100
+	}
+	if o.BlockTimeout == 0 {
+		o.BlockTimeout = 500 * time.Millisecond
+	}
+	if len(o.Contracts) == 0 {
+		o.Contracts = []chaincode.Contract{
+			chaincode.KVContract{}, chaincode.Smallbank{},
+			chaincode.ModifiedSmallbank{}, chaincode.SupplyChain{},
+		}
+	}
+	if o.MaxSpan == 0 {
+		o.MaxSpan = 10
+	}
+	if o.SubmitTimeout == 0 {
+		o.SubmitTimeout = 10 * time.Second
+	}
+	if o.Consensus == "" {
+		o.Consensus = "kafka"
+	}
+	if o.RaftNodes == 0 {
+		o.RaftNodes = 3
+	}
+	return o
+}
+
+// TxResult reports a transaction's fate.
+type TxResult struct {
+	TxID  protocol.TxID
+	Code  protocol.ValidationCode
+	Block uint64 // 0 when dropped before the ledger
+}
+
+// Committed reports whether the transaction made it into the state.
+func (r TxResult) Committed() bool { return r.Code == protocol.Valid }
+
+// Network is a running blockchain network.
+type Network struct {
+	opts      Options
+	msp       *identity.Service
+	registry  *chaincode.Registry
+	policy    identity.Policy
+	kafka     consensus.Service
+	peers     []*Peer
+	orderers  []*orderer
+	waitersMu sync.Mutex
+	waiters   map[protocol.TxID]chan TxResult
+	txSeq     uint64
+	seqMu     sync.Mutex
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closers   []interface{ Close() error }
+}
+
+// Peer is an endorsing + validating peer with its own state and ledger.
+type Peer struct {
+	id    *identity.Identity
+	state *statedb.DB
+	chain *ledger.Chain
+}
+
+// State exposes the peer's state database (read-only use).
+func (p *Peer) State() *statedb.DB { return p.state }
+
+// Chain exposes the peer's ledger.
+func (p *Peer) Chain() *ledger.Chain { return p.chain }
+
+// NewNetwork boots a network.
+func NewNetwork(opts Options) (*Network, error) {
+	opts = opts.withDefaults()
+	var ordering consensus.Service
+	switch opts.Consensus {
+	case "kafka":
+		ordering = consensus.NewKafka()
+	case "raft":
+		ordering = consensus.NewRaft(opts.RaftNodes)
+	default:
+		return nil, fmt.Errorf("fabric: unknown consensus backend %q", opts.Consensus)
+	}
+	n := &Network{
+		opts:     opts,
+		msp:      identity.NewService(),
+		registry: chaincode.NewRegistry(opts.Contracts...),
+		kafka:    ordering,
+		waiters:  map[protocol.TxID]chan TxResult{},
+		done:     make(chan struct{}),
+	}
+	var peerIDs []string
+	for i := 0; i < opts.Peers; i++ {
+		name := fmt.Sprintf("peer%d", i)
+		id, err := n.msp.Enroll(name, identity.RolePeer)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			stateOpts statedb.Options
+			chainKV   *kvstore.DB
+		)
+		if opts.DataDir != "" && i == 0 {
+			// Peer 0 is the durable replica: its ledger blocks and latest
+			// state live in kvstore databases under DataDir.
+			stateKV, err := kvstore.Open(kvstore.Options{Dir: filepath.Join(opts.DataDir, "state")})
+			if err != nil {
+				return nil, err
+			}
+			n.closers = append(n.closers, stateKV)
+			stateOpts.Backing = stateKV
+			if chainKV, err = kvstore.Open(kvstore.Options{Dir: filepath.Join(opts.DataDir, "blocks")}); err != nil {
+				return nil, err
+			}
+			n.closers = append(n.closers, chainKV)
+		}
+		state, err := statedb.New(stateOpts)
+		if err != nil {
+			return nil, err
+		}
+		chain, err := ledger.NewChain(chainKV)
+		if err != nil {
+			return nil, err
+		}
+		n.peers = append(n.peers, &Peer{id: id, state: state, chain: chain})
+		peerIDs = append(peerIDs, name)
+	}
+	// The paper's endorsement policy: any single peer endorses
+	// (Section 5.1), so any of the peers can spread the load.
+	n.policy = identity.AnyPeerOf(peerIDs...)
+
+	for i := 0; i < opts.Orderers; i++ {
+		name := fmt.Sprintf("orderer%d", i)
+		if _, err := n.msp.Enroll(name, identity.RoleOrderer); err != nil {
+			return nil, err
+		}
+		scheduler, err := sched.New(opts.System, sched.Options{MaxSpan: opts.MaxSpan})
+		if err != nil {
+			return nil, err
+		}
+		chain, err := ledger.NewChain(nil)
+		if err != nil {
+			return nil, err
+		}
+		o := &orderer{
+			net:       n,
+			name:      name,
+			scheduler: scheduler,
+			chain:     chain,
+			deliver:   i == 0, // the lead orderer delivers to peers
+			seen:      map[protocol.TxID]bool{},
+		}
+		if opts.HashCommitment {
+			o.broker = NewCommitmentBroker()
+		}
+		n.orderers = append(n.orderers, o)
+	}
+	// When resuming from disk, adopt the stored chain everywhere before the
+	// orderers start consuming the stream.
+	if opts.DataDir != "" && n.peers[0].chain.Len() > 0 {
+		if err := n.replayStoredChain(); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range n.orderers {
+		n.wg.Add(1)
+		go o.run()
+	}
+	return n, nil
+}
+
+// replayStoredChain distributes peer 0's persisted blocks to the in-memory
+// peers and the orderers, and fast-forwards every scheduler past the stored
+// height. Restart semantics are clean-shutdown: nothing was pending across
+// the restart, so new transactions (whose snapshots are at or above the
+// stored height) cannot conflict with pre-restart history and the schedulers
+// may start from an empty dependency graph.
+func (n *Network) replayStoredChain() error {
+	ref := n.peers[0]
+	var walkErr error
+	apply := func(p *Peer, b *ledger.Block) error {
+		blk := *b
+		if err := p.chain.Append(&blk); err != nil {
+			return err
+		}
+		if len(blk.Validation) != len(blk.Transactions) {
+			return fmt.Errorf("fabric: stored block %d missing validation metadata", blk.Header.Number)
+		}
+		var writes []statedb.BlockWrites
+		for i, tx := range blk.Transactions {
+			if blk.Validation[i] == protocol.Valid {
+				writes = append(writes, statedb.BlockWrites{Pos: uint32(i + 1), Writes: tx.RWSet.Writes})
+			}
+		}
+		return p.state.ApplyBlock(blk.Header.Number, writes)
+	}
+	ref.chain.ForEach(func(b *ledger.Block) bool {
+		for _, p := range n.peers[1:] {
+			if walkErr = apply(p, b); walkErr != nil {
+				return false
+			}
+		}
+		for _, o := range n.orderers {
+			blk := *b
+			if walkErr = o.chain.Append(&blk); walkErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	height, _ := ref.chain.Height()
+	for _, o := range n.orderers {
+		if err := o.scheduler.FastForward(height); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts the network down and waits for the orderers to stop.
+func (n *Network) Close() {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.kafka.Close()
+	})
+	n.wg.Wait()
+	for _, c := range n.closers {
+		_ = c.Close()
+	}
+}
+
+// Peer returns peer i.
+func (n *Network) Peer(i int) *Peer { return n.peers[i] }
+
+// Orderers returns the number of orderer replicas.
+func (n *Network) Orderers() int { return len(n.orderers) }
+
+// OrdererChain exposes orderer i's sealed chain (agreement checks).
+func (n *Network) OrdererChain(i int) *ledger.Chain { return n.orderers[i].chain }
+
+// Height returns the lead peer's committed block height.
+func (n *Network) Height() uint64 { return n.peers[0].state.Height() }
+
+// WaitIdle blocks until every submitted transaction has been resolved or the
+// timeout elapses; it reports whether the network went idle.
+func (n *Network) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		n.waitersMu.Lock()
+		idle := len(n.waiters) == 0
+		n.waitersMu.Unlock()
+		if idle {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+// resolve delivers a transaction result to its waiter.
+func (n *Network) resolve(id protocol.TxID, res TxResult) {
+	n.waitersMu.Lock()
+	ch, ok := n.waiters[id]
+	if ok {
+		delete(n.waiters, id)
+	}
+	n.waitersMu.Unlock()
+	if ok {
+		ch <- res
+	}
+}
+
+// snapshotReader performs Algorithm 1's snapshot reads on a peer.
+type snapshotReader struct {
+	state *statedb.DB
+	snap  uint64
+}
+
+func (r snapshotReader) Read(key string) ([]byte, seqno.Seq, bool, error) {
+	vv, ok, err := r.state.GetAt(key, r.snap)
+	if err != nil || !ok {
+		return nil, seqno.Seq{}, false, err
+	}
+	return vv.Value, vv.Version, true, nil
+}
+
+// ReadRange implements chaincode.RangeReader over the same snapshot.
+func (r snapshotReader) ReadRange(start, end string) ([]string, error) {
+	return r.state.KeysInRange(start, end, r.snap), nil
+}
+
+// simulateOnPeer runs a read-only evaluation against the peer's latest
+// snapshot (the query path — no endorsement, no ordering).
+func simulateOnPeer(contract chaincode.Contract, function string, args []string, p *Peer) (protocol.RWSet, []byte, error) {
+	return chaincode.SimulateFull(contract, function, args, snapshotReader{state: p.state, snap: p.state.Height()})
+}
+
+// Endorse simulates a proposal on this peer against its latest block
+// snapshot and signs the result.
+func (p *Peer) Endorse(registry *chaincode.Registry, tx *protocol.Transaction) ([]byte, error) {
+	contract, ok := registry.Get(tx.Contract)
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown contract %q", tx.Contract)
+	}
+	snap := p.state.Height()
+	rwset, result, err := chaincode.SimulateFull(contract, tx.Function, tx.Args, snapshotReader{state: p.state, snap: snap})
+	if err != nil {
+		return nil, fmt.Errorf("fabric: simulation failed: %w", err)
+	}
+	tx.SnapshotBlock = snap
+	tx.RWSet = rwset
+	tx.Endorsements = append(tx.Endorsements, protocol.Endorsement{
+		EndorserID: p.id.ID,
+		Signature:  p.id.Sign(tx.Digest()),
+	})
+	return result, nil
+}

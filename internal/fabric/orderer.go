@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"fabricsharp/internal/consensus"
+	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/sched"
+	"fabricsharp/internal/validation"
+)
+
+// orderer is one replicated orderer: it consumes the consensus stream, runs
+// its scheduler (Algorithm 2 on arrival, Algorithm 3 at formation for
+// Sharp), seals blocks on its own hash chain, and — when it is the lead
+// replica — delivers them to the peers. Because every replica runs the same
+// deterministic scheduler over the same stream, all orderer chains are
+// identical (the agreement property of Section 3.5, asserted in tests).
+type orderer struct {
+	net       *Network
+	name      string
+	scheduler sched.Scheduler
+	chain     *ledger.Chain
+	deliver   bool
+	seen      map[protocol.TxID]bool
+	broker    *CommitmentBroker // non-nil when the network runs hash commitments
+}
+
+func (o *orderer) run() {
+	defer o.net.wg.Done()
+	stream, cancel := o.net.kafka.Subscribe()
+	defer cancel()
+	timer := time.NewTimer(o.net.opts.BlockTimeout)
+	defer timer.Stop()
+	timerArmed := false
+	disarm := func() {
+		if timerArmed && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timerArmed = false
+	}
+	arm := func() {
+		disarm()
+		timer.Reset(o.net.opts.BlockTimeout)
+		timerArmed = true
+	}
+
+	for {
+		select {
+		case <-o.net.done:
+			return
+		case <-timer.C:
+			timerArmed = false
+			if o.scheduler.PendingCount() > 0 {
+				// Do not cut locally: post a time-to-cut marker through
+				// consensus so every replica cuts at the same stream
+				// position (deterministic block boundaries).
+				_ = o.net.kafka.Submit(consensusCutMarker(o.name, o.nextCutBlock()))
+			}
+		case seq, ok := <-stream:
+			if !ok {
+				// Consensus closed: cut the tail so waiters resolve.
+				if o.scheduler.PendingCount() > 0 {
+					o.cut()
+				}
+				return
+			}
+			if seq.Env.Commitment != "" {
+				// Phase-1 hash commitment (Section 3.5): only the digest's
+				// position is fixed now.
+				if o.broker != nil {
+					o.broker.Commit(seq.Env.Commitment)
+				}
+				continue
+			}
+			if seq.Env.Tx == nil {
+				// Time-to-cut marker. Cut if it targets the block still
+				// being assembled; stale markers (another replica already
+				// triggered the cut, or the block filled up) are ignored.
+				if seq.Env.CutBlock == o.nextCutBlock() && o.scheduler.PendingCount() > 0 {
+					o.cut()
+					disarm()
+				}
+				continue
+			}
+			if seq.Env.Disclosure && o.broker != nil {
+				// Phase-2 payload reveal: process whatever became
+				// releasable, in commitment order.
+				released, err := o.broker.Disclose(seq.Env.Tx)
+				if err != nil {
+					// Disclosure without (or not matching) a commitment:
+					// the client broke its security commitment.
+					if o.deliver {
+						o.net.resolve(seq.Env.Tx.ID, TxResult{TxID: seq.Env.Tx.ID, Code: protocol.EndorsementFailure})
+					}
+					continue
+				}
+				for _, tx := range released {
+					o.processArrival(tx, arm, disarm)
+				}
+				continue
+			}
+			o.processArrival(seq.Env.Tx, arm, disarm)
+		}
+	}
+}
+
+// processArrival runs one transaction through dedup and the scheduler,
+// cutting a block when the batch fills.
+func (o *orderer) processArrival(tx *protocol.Transaction, arm, disarm func()) {
+	if o.seen[tx.ID] {
+		if o.deliver {
+			o.net.resolve(tx.ID, TxResult{TxID: tx.ID, Code: protocol.AbortDuplicate})
+		}
+		return
+	}
+	o.seen[tx.ID] = true
+	code, err := o.scheduler.OnArrival(tx)
+	if err != nil {
+		panic(fmt.Sprintf("fabric: orderer %s arrival: %v", o.name, err))
+	}
+	if code != protocol.Valid {
+		if o.deliver {
+			o.net.resolve(tx.ID, TxResult{TxID: tx.ID, Code: code})
+		}
+		return
+	}
+	if o.scheduler.PendingCount() >= o.net.opts.BlockSize {
+		o.cut()
+		disarm()
+	} else if o.scheduler.PendingCount() == 1 {
+		arm()
+	}
+}
+
+// nextCutBlock returns the number of the block currently being assembled.
+func (o *orderer) nextCutBlock() uint64 {
+	return uint64(o.chain.Len()) + 1
+}
+
+// consensusCutMarker builds a TTC control envelope.
+func consensusCutMarker(from string, block uint64) (env consensus.Envelope) {
+	env.SubmittedBy = from
+	env.CutBlock = block
+	return env
+}
+
+// cut forms a block, seals it on the orderer's chain, and (lead only)
+// validates and commits it on every peer.
+func (o *orderer) cut() {
+	res, err := o.scheduler.OnBlockFormation()
+	if err != nil {
+		panic(fmt.Sprintf("fabric: orderer %s formation: %v", o.name, err))
+	}
+	for _, d := range res.DroppedTxs {
+		if o.deliver {
+			o.net.resolve(d.Tx.ID, TxResult{TxID: d.Tx.ID, Code: d.Code})
+		}
+	}
+	if len(res.Ordered) == 0 {
+		return
+	}
+	blk, err := o.chain.Seal(res.Ordered, nil)
+	if err != nil {
+		panic(fmt.Sprintf("fabric: orderer %s seal: %v", o.name, err))
+	}
+	if !o.deliver {
+		return
+	}
+	// Deliver to every peer; all validate identically. MVCC runs only for
+	// the systems whose ordering phase does not already guarantee
+	// serializability (Figure 8).
+	var codes []protocol.ValidationCode
+	for _, p := range o.net.peers {
+		peerBlk := *blk
+		if err := p.chain.Append(&peerBlk); err != nil {
+			panic(fmt.Sprintf("fabric: peer append: %v", err))
+		}
+		cs, err := validation.ValidateAndCommit(p.state, &peerBlk, validation.Options{
+			MVCC:   o.scheduler.NeedsMVCCValidation(),
+			MSP:    o.net.msp,
+			Policy: o.net.policy,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("fabric: peer commit: %v", err))
+		}
+		if err := p.chain.SetValidation(peerBlk.Header.Number, cs); err != nil {
+			panic(err)
+		}
+		if codes == nil {
+			codes = cs
+		}
+	}
+	o.scheduler.OnBlockCommitted(blk.Header.Number, blk.Transactions, codes)
+	for i, tx := range blk.Transactions {
+		o.net.resolve(tx.ID, TxResult{TxID: tx.ID, Code: codes[i], Block: blk.Header.Number})
+	}
+}

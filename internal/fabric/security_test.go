@@ -1,0 +1,180 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/sched"
+	"fabricsharp/internal/seqno"
+)
+
+// TestFrontRunningAttack demonstrates the Section 3.5 vulnerability the
+// hash-commitment protocol exists for: a party controlling proposal order
+// observes TxnT (read-modify-write on a record against snapshot N), forges
+// TxnT' touching the same record, and sequences TxnT' first. TxnT' passes
+// the reorderability test; TxnT then closes an unreorderable cycle (c-rw one
+// way, anti-rw the other) and every honest orderer aborts it.
+func TestFrontRunningAttack(t *testing.T) {
+	s := sched.NewSharp(sched.Options{})
+	victim := &protocol.Transaction{
+		ID:            "TxnT",
+		SnapshotBlock: 0,
+		RWSet: protocol.RWSet{
+			Reads:  []protocol.ReadItem{{Key: "record"}},
+			Writes: []protocol.WriteItem{{Key: "record", Value: []byte("victim")}},
+		},
+	}
+	// The attacker sees the victim's read/write set and mirrors it.
+	attacker := &protocol.Transaction{
+		ID:            "TxnT-prime",
+		SnapshotBlock: 0,
+		RWSet: protocol.RWSet{
+			Reads:  []protocol.ReadItem{{Key: "record"}},
+			Writes: []protocol.WriteItem{{Key: "record", Value: []byte("attacker")}},
+		},
+	}
+	// Malicious ordering: attacker first.
+	code, err := s.OnArrival(attacker)
+	if err != nil || code != protocol.Valid {
+		t.Fatalf("attacker tx: %v %v", code, err)
+	}
+	code, err = s.OnArrival(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != protocol.AbortCycle {
+		t.Fatalf("victim should be censored via cycle abort, got %v", code)
+	}
+	// Had the victim been sequenced first, it would have been admitted —
+	// the attack is purely about ordering, which is why hiding contents
+	// until the order is fixed (hash commitment) mitigates it.
+	s2 := sched.NewSharp(sched.Options{})
+	if code, _ := s2.OnArrival(victim); code != protocol.Valid {
+		t.Fatalf("victim first should be admitted, got %v", code)
+	}
+}
+
+func TestHashCommitmentEndToEnd(t *testing.T) {
+	n := newNet(t, Options{System: sched.SystemSharp, HashCommitment: true})
+	client, err := n.NewClient("committed-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.SubmitCommitted("kv", "put", "sealed", "envelope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed() {
+		t.Fatalf("code = %v", res.Code)
+	}
+	val, err := client.Query("kv", "get", "sealed")
+	if err != nil || string(val) != "envelope" {
+		t.Fatalf("query = %q, %v", val, err)
+	}
+}
+
+func TestHashCommitmentRequiresOption(t *testing.T) {
+	n := newNet(t, Options{System: sched.SystemSharp})
+	client, _ := n.NewClient("c")
+	if _, err := client.SubmitCommitted("kv", "put", "x", "y"); err == nil {
+		t.Error("SubmitCommitted worked without the protocol enabled")
+	}
+}
+
+func TestCommitmentBrokerOrdering(t *testing.T) {
+	b := NewCommitmentBroker()
+	tx := func(id string) *protocol.Transaction {
+		return &protocol.Transaction{ID: protocol.TxID(id), SnapshotBlock: 1,
+			RWSet: protocol.RWSet{Reads: []protocol.ReadItem{{Key: id, Version: seqno.Commit(1, 1)}}}}
+	}
+	t1, t2, t3 := tx("t1"), tx("t2"), tx("t3")
+	// Commitments sequenced t1, t2, t3; disclosures arrive out of order.
+	b.Commit(t1.DigestHex())
+	b.Commit(t2.DigestHex())
+	b.Commit(t3.DigestHex())
+	if b.PendingCommitments() != 3 {
+		t.Fatalf("pending = %d", b.PendingCommitments())
+	}
+	rel, err := b.Disclose(t2)
+	if err != nil || len(rel) != 0 {
+		t.Fatalf("t2 disclosure released %v, %v (t1 still sealed)", rel, err)
+	}
+	rel, err = b.Disclose(t1)
+	if err != nil || len(rel) != 2 || rel[0].ID != "t1" || rel[1].ID != "t2" {
+		t.Fatalf("t1 disclosure released %v, %v", ids(rel), err)
+	}
+	rel, err = b.Disclose(t3)
+	if err != nil || len(rel) != 1 || rel[0].ID != "t3" {
+		t.Fatalf("t3 disclosure released %v, %v", ids(rel), err)
+	}
+	if b.PendingCommitments() != 0 {
+		t.Fatalf("pending = %d", b.PendingCommitments())
+	}
+}
+
+func ids(txs []*protocol.Transaction) []string {
+	out := make([]string, len(txs))
+	for i, tx := range txs {
+		out[i] = string(tx.ID)
+	}
+	return out
+}
+
+func TestCommitmentBrokerRejectsTampering(t *testing.T) {
+	b := NewCommitmentBroker()
+	honest := &protocol.Transaction{ID: "tx", RWSet: protocol.RWSet{
+		Writes: []protocol.WriteItem{{Key: "k", Value: []byte("promised")}}}}
+	b.Commit(honest.DigestHex())
+	// The client mutates the payload after sequencing the commitment.
+	tampered := &protocol.Transaction{ID: "tx", RWSet: protocol.RWSet{
+		Writes: []protocol.WriteItem{{Key: "k", Value: []byte("mutated")}}}}
+	if _, err := b.Disclose(tampered); err == nil {
+		t.Error("tampered disclosure accepted")
+	}
+	// The honest disclosure still goes through.
+	if rel, err := b.Disclose(honest); err != nil || len(rel) != 1 {
+		t.Errorf("honest disclosure: %v %v", rel, err)
+	}
+	// Replayed disclosure rejected.
+	if _, err := b.Disclose(honest); err == nil {
+		t.Error("replayed disclosure accepted")
+	}
+}
+
+func TestCommitmentBrokerRejectsUncommittedDisclosure(t *testing.T) {
+	b := NewCommitmentBroker()
+	if _, err := b.Disclose(&protocol.Transaction{ID: "ghost"}); err == nil {
+		t.Error("disclosure without commitment accepted")
+	}
+}
+
+func TestHashCommitmentConcurrentClients(t *testing.T) {
+	n := newNet(t, Options{System: sched.SystemSharp, HashCommitment: true, BlockSize: 6})
+	done := make(chan error, 3)
+	for c := 0; c < 3; c++ {
+		go func(c int) {
+			client, err := n.NewClient(fmt.Sprintf("cc%d", c))
+			if err != nil {
+				done <- err
+				return
+			}
+			for i := 0; i < 8; i++ {
+				if _, err := client.SubmitCommitted("kv", "put", fmt.Sprintf("k%d-%d", c, i), "v"); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(c)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !n.WaitIdle(5 * time.Second) {
+		t.Fatal("network did not go idle")
+	}
+}

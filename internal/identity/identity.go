@@ -1,0 +1,214 @@
+// Package identity implements the membership service of a permissioned
+// blockchain: enrollment of clients, peers and orderers with ed25519 key
+// pairs, signature verification, revocation, and the endorsement policies
+// (AND / OR / K-of-N expression trees) that the validation phase evaluates.
+package identity
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fabricsharp/internal/protocol"
+)
+
+// Role classifies a network member (Section 2.1's three node roles).
+type Role int
+
+const (
+	// RoleClient submits transaction proposals.
+	RoleClient Role = iota
+	// RolePeer executes and validates transactions.
+	RolePeer
+	// RoleOrderer sequences transactions into blocks.
+	RoleOrderer
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleClient:
+		return "client"
+	case RolePeer:
+		return "peer"
+	case RoleOrderer:
+		return "orderer"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Identity is an enrolled member's credential, holding the private key.
+type Identity struct {
+	ID   string
+	Role Role
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// Sign signs msg with the member's private key.
+func (id *Identity) Sign(msg []byte) []byte { return ed25519.Sign(id.priv, msg) }
+
+// Public returns the member's public key.
+func (id *Identity) Public() ed25519.PublicKey { return id.pub }
+
+// Service is the trusted membership service ("MSP"). Enrollment hands out
+// identities; verification and role lookup use only public material.
+type Service struct {
+	mu      sync.RWMutex
+	members map[string]memberRecord
+}
+
+type memberRecord struct {
+	role    Role
+	pub     ed25519.PublicKey
+	revoked bool
+}
+
+// NewService creates an empty membership service.
+func NewService() *Service { return &Service{members: make(map[string]memberRecord)} }
+
+// Enroll registers a new member and returns its credential. Member IDs are
+// unique; re-enrollment is rejected.
+func (s *Service) Enroll(id string, role Role) (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("identity: keygen: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.members[id]; exists {
+		return nil, fmt.Errorf("identity: %q already enrolled", id)
+	}
+	s.members[id] = memberRecord{role: role, pub: pub}
+	return &Identity{ID: id, Role: role, pub: pub, priv: priv}, nil
+}
+
+// Revoke bans a member; its signatures stop verifying.
+func (s *Service) Revoke(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.members[id]; ok {
+		rec.revoked = true
+		s.members[id] = rec
+	}
+}
+
+// RoleOf returns the member's role.
+func (s *Service) RoleOf(id string) (Role, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.members[id]
+	if !ok || rec.revoked {
+		return 0, false
+	}
+	return rec.role, true
+}
+
+// Verify checks that sig is member id's signature over msg.
+func (s *Service) Verify(id string, msg, sig []byte) bool {
+	s.mu.RLock()
+	rec, ok := s.members[id]
+	s.mu.RUnlock()
+	if !ok || rec.revoked {
+		return false
+	}
+	return ed25519.Verify(rec.pub, msg, sig)
+}
+
+// Members lists enrolled, unrevoked member IDs with the given role, sorted.
+func (s *Service) Members(role Role) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for id, rec := range s.members {
+		if rec.role == role && !rec.revoked {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Policy is an endorsement policy: a predicate over the set of members that
+// produced valid endorsement signatures.
+type Policy interface {
+	// Satisfied reports whether the set of verified endorser IDs meets the
+	// policy.
+	Satisfied(endorsers map[string]bool) bool
+	// String renders the policy for diagnostics.
+	String() string
+}
+
+type signedBy struct{ id string }
+
+// SignedBy requires a specific member's endorsement.
+func SignedBy(id string) Policy { return signedBy{id} }
+
+func (p signedBy) Satisfied(e map[string]bool) bool { return e[p.id] }
+func (p signedBy) String() string                   { return fmt.Sprintf("SignedBy(%s)", p.id) }
+
+type kOutOf struct {
+	k    int
+	subs []Policy
+}
+
+// KOutOf requires at least k of the sub-policies to be satisfied.
+func KOutOf(k int, subs ...Policy) Policy { return kOutOf{k: k, subs: subs} }
+
+// And requires every sub-policy.
+func And(subs ...Policy) Policy { return kOutOf{k: len(subs), subs: subs} }
+
+// Or requires any sub-policy.
+func Or(subs ...Policy) Policy { return kOutOf{k: 1, subs: subs} }
+
+// AnyPeerOf requires an endorsement from any one of the given peers — the
+// paper's experimental setup ("configure the smart contract to be endorsed
+// by a single peer; any of the four peers can serve as the endorser").
+func AnyPeerOf(ids ...string) Policy {
+	subs := make([]Policy, len(ids))
+	for i, id := range ids {
+		subs[i] = SignedBy(id)
+	}
+	return Or(subs...)
+}
+
+func (p kOutOf) Satisfied(e map[string]bool) bool {
+	n := 0
+	for _, sub := range p.subs {
+		if sub.Satisfied(e) {
+			n++
+			if n >= p.k {
+				return true
+			}
+		}
+	}
+	return n >= p.k // covers k == 0
+}
+
+func (p kOutOf) String() string {
+	return fmt.Sprintf("KOutOf(%d,%d subs)", p.k, len(p.subs))
+}
+
+// CheckEndorsements verifies every endorsement signature on tx against the
+// membership service, then evaluates the policy over the set of valid
+// endorsers. Non-peer or revoked signers never count.
+func (s *Service) CheckEndorsements(tx *protocol.Transaction, policy Policy) error {
+	digest := tx.Digest()
+	valid := make(map[string]bool, len(tx.Endorsements))
+	for _, e := range tx.Endorsements {
+		role, ok := s.RoleOf(e.EndorserID)
+		if !ok || role != RolePeer {
+			continue
+		}
+		if s.Verify(e.EndorserID, digest, e.Signature) {
+			valid[e.EndorserID] = true
+		}
+	}
+	if !policy.Satisfied(valid) {
+		return fmt.Errorf("identity: endorsement policy %s unsatisfied by %d valid endorsements", policy, len(valid))
+	}
+	return nil
+}

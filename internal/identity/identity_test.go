@@ -1,0 +1,160 @@
+package identity
+
+import (
+	"testing"
+
+	"fabricsharp/internal/protocol"
+)
+
+func TestEnrollSignVerify(t *testing.T) {
+	svc := NewService()
+	alice, err := svc.Enroll("alice", RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello")
+	sig := alice.Sign(msg)
+	if !svc.Verify("alice", msg, sig) {
+		t.Error("valid signature rejected")
+	}
+	if svc.Verify("alice", []byte("tampered"), sig) {
+		t.Error("tampered message accepted")
+	}
+	if svc.Verify("bob", msg, sig) {
+		t.Error("unknown member accepted")
+	}
+}
+
+func TestDuplicateEnrollmentRejected(t *testing.T) {
+	svc := NewService()
+	if _, err := svc.Enroll("x", RolePeer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Enroll("x", RoleClient); err == nil {
+		t.Error("duplicate enrollment accepted")
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	svc := NewService()
+	p, _ := svc.Enroll("peer1", RolePeer)
+	msg := []byte("m")
+	sig := p.Sign(msg)
+	if !svc.Verify("peer1", msg, sig) {
+		t.Fatal("pre-revocation verify failed")
+	}
+	svc.Revoke("peer1")
+	if svc.Verify("peer1", msg, sig) {
+		t.Error("revoked member's signature accepted")
+	}
+	if _, ok := svc.RoleOf("peer1"); ok {
+		t.Error("revoked member still has a role")
+	}
+}
+
+func TestMembersListing(t *testing.T) {
+	svc := NewService()
+	svc.Enroll("p2", RolePeer)
+	svc.Enroll("p1", RolePeer)
+	svc.Enroll("c1", RoleClient)
+	got := svc.Members(RolePeer)
+	if len(got) != 2 || got[0] != "p1" || got[1] != "p2" {
+		t.Errorf("Members = %v", got)
+	}
+}
+
+func TestPolicyTrees(t *testing.T) {
+	e := func(ids ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, id := range ids {
+			m[id] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name   string
+		policy Policy
+		have   map[string]bool
+		want   bool
+	}{
+		{"signedby-yes", SignedBy("a"), e("a"), true},
+		{"signedby-no", SignedBy("a"), e("b"), false},
+		{"and-yes", And(SignedBy("a"), SignedBy("b")), e("a", "b"), true},
+		{"and-partial", And(SignedBy("a"), SignedBy("b")), e("a"), false},
+		{"or-yes", Or(SignedBy("a"), SignedBy("b")), e("b"), true},
+		{"or-no", Or(SignedBy("a"), SignedBy("b")), e("c"), false},
+		{"2of3-yes", KOutOf(2, SignedBy("a"), SignedBy("b"), SignedBy("c")), e("a", "c"), true},
+		{"2of3-no", KOutOf(2, SignedBy("a"), SignedBy("b"), SignedBy("c")), e("c"), false},
+		{"nested", And(SignedBy("root"), Or(SignedBy("a"), SignedBy("b"))), e("root", "b"), true},
+		{"anypeer", AnyPeerOf("p1", "p2", "p3"), e("p2"), true},
+		{"empty-and", And(), e(), true},
+	}
+	for _, c := range cases {
+		if got := c.policy.Satisfied(c.have); got != c.want {
+			t.Errorf("%s: Satisfied=%v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func endorse(t *testing.T, svc *Service, tx *protocol.Transaction, peer *Identity) {
+	t.Helper()
+	tx.Endorsements = append(tx.Endorsements, protocol.Endorsement{
+		EndorserID: peer.ID,
+		Signature:  peer.Sign(tx.Digest()),
+	})
+}
+
+func TestCheckEndorsements(t *testing.T) {
+	svc := NewService()
+	p1, _ := svc.Enroll("p1", RolePeer)
+	p2, _ := svc.Enroll("p2", RolePeer)
+	client, _ := svc.Enroll("c", RoleClient)
+
+	tx := &protocol.Transaction{ID: "tx1", Contract: "kv", Function: "put"}
+	endorse(t, svc, tx, p1)
+
+	if err := svc.CheckEndorsements(tx, SignedBy("p1")); err != nil {
+		t.Errorf("single endorsement rejected: %v", err)
+	}
+	if err := svc.CheckEndorsements(tx, And(SignedBy("p1"), SignedBy("p2"))); err == nil {
+		t.Error("AND policy satisfied with one endorsement")
+	}
+	endorse(t, svc, tx, p2)
+	if err := svc.CheckEndorsements(tx, And(SignedBy("p1"), SignedBy("p2"))); err != nil {
+		t.Errorf("two endorsements rejected: %v", err)
+	}
+
+	// Clients cannot endorse even with a valid signature.
+	tx2 := &protocol.Transaction{ID: "tx2"}
+	tx2.Endorsements = []protocol.Endorsement{{EndorserID: "c", Signature: client.Sign(tx2.Digest())}}
+	if err := svc.CheckEndorsements(tx2, SignedBy("c")); err == nil {
+		t.Error("client endorsement counted")
+	}
+}
+
+func TestEndorsementBindsRWSet(t *testing.T) {
+	// An endorsement signs the digest of the simulation results; mutating
+	// the write set afterwards must invalidate it (no-creation property).
+	svc := NewService()
+	p1, _ := svc.Enroll("p1", RolePeer)
+	tx := &protocol.Transaction{
+		ID:    "tx",
+		RWSet: protocol.RWSet{Writes: []protocol.WriteItem{{Key: "k", Value: []byte("honest")}}},
+	}
+	endorse(t, svc, tx, p1)
+	tx.RWSet.Writes[0].Value = []byte("tampered")
+	if err := svc.CheckEndorsements(tx, SignedBy("p1")); err == nil {
+		t.Error("tampered rwset passed endorsement check")
+	}
+}
+
+func TestRevokedEndorserDoesNotCount(t *testing.T) {
+	svc := NewService()
+	p1, _ := svc.Enroll("p1", RolePeer)
+	tx := &protocol.Transaction{ID: "tx"}
+	endorse(t, svc, tx, p1)
+	svc.Revoke("p1")
+	if err := svc.CheckEndorsements(tx, SignedBy("p1")); err == nil {
+		t.Error("revoked endorser satisfied policy")
+	}
+}

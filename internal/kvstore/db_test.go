@@ -1,0 +1,497 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, opts Options) *DB {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPutGetDelete(t *testing.T) {
+	for _, mode := range []string{"disk", "memory"} {
+		t.Run(mode, func(t *testing.T) {
+			var db *DB
+			if mode == "disk" {
+				db = openTemp(t, Options{})
+			} else {
+				var err error
+				db, err = Open(Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Put([]byte("a"), []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := db.Get([]byte("a"))
+			if err != nil || !ok || string(v) != "1" {
+				t.Fatalf("Get=%q,%v,%v", v, ok, err)
+			}
+			if err := db.Put([]byte("a"), []byte("2")); err != nil {
+				t.Fatal(err)
+			}
+			v, _, _ = db.Get([]byte("a"))
+			if string(v) != "2" {
+				t.Fatalf("overwrite failed: %q", v)
+			}
+			if err := db.Delete([]byte("a")); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := db.Get([]byte("a")); ok {
+				t.Fatal("deleted key still present")
+			}
+			if _, ok, _ := db.Get([]byte("never")); ok {
+				t.Fatal("absent key reported present")
+			}
+		})
+	}
+}
+
+func TestIterationSortedAndBounded(t *testing.T) {
+	db := openTemp(t, Options{})
+	keys := []string{"d", "a", "c", "b", "e"}
+	for _, k := range keys {
+		if err := db.Put([]byte(k), []byte("v"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for it := db.NewIterator(nil, nil); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	want := []string{"a", "b", "c", "d", "e"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("full scan = %v want %v", got, want)
+	}
+	got = nil
+	for it := db.NewIterator([]byte("b"), []byte("d")); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]string{"b", "c"}) {
+		t.Fatalf("bounded scan = %v", got)
+	}
+}
+
+func TestPrefixIterator(t *testing.T) {
+	db := openTemp(t, Options{})
+	for _, k := range []string{"acct/1", "acct/2", "acct/3", "balance/1", "aard"} {
+		if err := db.Put([]byte(k), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for it := db.NewPrefixIterator([]byte("acct/")); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]string{"acct/1", "acct/2", "acct/3"}) {
+		t.Fatalf("prefix scan = %v", got)
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte("abc"), []byte("abd")},
+		{[]byte{0x01, 0xff}, []byte{0x02}},
+		{[]byte{0xff, 0xff}, nil},
+		{nil, nil},
+	}
+	for _, c := range cases {
+		if got := PrefixSuccessor(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixSuccessor(%x)=%x want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFlushAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-flush writes live only in the WAL.
+	if err := db.Put([]byte("wal-only"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("k005")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, ok, _ := db2.Get([]byte("k042")); !ok || string(v) != "v42" {
+		t.Fatalf("flushed key lost: %q %v", v, ok)
+	}
+	if v, ok, _ := db2.Get([]byte("wal-only")); !ok || string(v) != "yes" {
+		t.Fatalf("wal key lost: %q %v", v, ok)
+	}
+	if _, ok, _ := db2.Get([]byte("k005")); ok {
+		t.Fatal("wal tombstone lost")
+	}
+}
+
+func TestRecoveryWithoutClose(t *testing.T) {
+	// Simulate a crash: write, never Close, reopen from the same directory.
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("c%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush the WAL buffer as the OS would have on a real crash of the
+	// process (the data made it to the file, fsync pending).
+	if err := db.wal.flush(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n := db2.Len(); n != 50 {
+		t.Fatalf("recovered %d keys, want 50", n)
+	}
+}
+
+func TestTornWALTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("t%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the WAL mid-record.
+	walPath := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n := db2.Len(); n != 9 {
+		t.Fatalf("recovered %d keys after torn tail, want 9", n)
+	}
+}
+
+func TestCompactionPreservesContent(t *testing.T) {
+	// Tiny memtable forces many flushes and compactions.
+	db := openTemp(t, Options{MemtableBytes: 512, CompactAfter: 2})
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(300))
+		switch rng.Intn(4) {
+		case 0:
+			delete(model, k)
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			v := fmt.Sprintf("val-%d", i)
+			model[k] = v
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	checkAgainstModel(t, db, model)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstModel(t, db, model)
+}
+
+func checkAgainstModel(t *testing.T, db *DB, model map[string]string) {
+	t.Helper()
+	for k, want := range model {
+		v, ok, err := db.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("Get(%q)=%q,%v,%v want %q", k, v, ok, err, want)
+		}
+	}
+	var modelKeys []string
+	for k := range model {
+		modelKeys = append(modelKeys, k)
+	}
+	sort.Strings(modelKeys)
+	var got []string
+	for it := db.NewIterator(nil, nil); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+		if want := model[string(it.Key())]; want != string(it.Value()) {
+			t.Fatalf("iterator value mismatch at %q", it.Key())
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(modelKeys) {
+		t.Fatalf("iterator keys %d != model keys %d", len(got), len(modelKeys))
+	}
+}
+
+func TestModelEquivalenceProperty(t *testing.T) {
+	type op struct {
+		Del bool
+		K   uint8
+		V   uint16
+	}
+	prop := func(ops []op) bool {
+		db, err := Open(Options{}) // in-memory
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.K%32)
+			if o.Del {
+				delete(model, k)
+				if err := db.Delete([]byte(k)); err != nil {
+					return false
+				}
+			} else {
+				v := fmt.Sprintf("v%d", o.V)
+				model[k] = v
+				if err := db.Put([]byte(k), []byte(v)); err != nil {
+					return false
+				}
+			}
+		}
+		for k, want := range model {
+			v, ok, err := db.Get([]byte(k))
+			if err != nil || !ok || string(v) != want {
+				return false
+			}
+		}
+		n := 0
+		for it := db.NewIterator(nil, nil); it.Valid(); it.Next() {
+			n++
+		}
+		return n == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRange(t *testing.T) {
+	db := openTemp(t, Options{})
+	for i := 0; i < 10; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("r%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.DeleteRange([]byte("r2"), []byte("r7")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"r0", "r1", "r7", "r8", "r9"}
+	var got []string
+	for it := db.NewIterator(nil, nil); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after DeleteRange: %v want %v", got, want)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	db := openTemp(t, Options{})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("x"), []byte("y")); err == nil {
+		t.Error("Put on closed store should fail")
+	}
+	if _, _, err := db.Get([]byte("x")); err == nil {
+		t.Error("Get on closed store should fail")
+	}
+	if err := db.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}
+
+func TestLargeValuesAcrossFlush(t *testing.T) {
+	db := openTemp(t, Options{MemtableBytes: 1024})
+	big := bytes.Repeat([]byte("x"), 10_000)
+	if err := db.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("small"), []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("big"))
+	if err != nil || !ok || !bytes.Equal(v, big) {
+		t.Fatal("large value corrupted across flush")
+	}
+}
+
+func TestEmptyKeyAndValue(t *testing.T) {
+	db := openTemp(t, Options{})
+	if err := db.Put([]byte{}, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte{})
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("empty key round trip: %q %v %v", v, ok, err)
+	}
+}
+
+func TestSkiplistSeek(t *testing.T) {
+	s := newSkiplist()
+	for _, k := range []string{"b", "d", "f"} {
+		s.set([]byte(k), []byte("v"), false)
+	}
+	cases := []struct{ target, want string }{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"f", "f"}, {"g", ""},
+	}
+	for _, c := range cases {
+		n := s.seek([]byte(c.target))
+		got := ""
+		if n != nil {
+			got = string(n.key)
+		}
+		if got != c.want {
+			t.Errorf("seek(%q)=%q want %q", c.target, got, c.want)
+		}
+	}
+}
+
+func TestSSTableRoundTrip(t *testing.T) {
+	s := newSkiplist()
+	for i := 0; i < 200; i++ {
+		s.set([]byte(fmt.Sprintf("key%04d", i)), []byte(fmt.Sprintf("val%d", i)), i%7 == 0)
+	}
+	path := filepath.Join(t.TempDir(), "test.sst")
+	if err := writeSSTable(path, s.iterator()); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := openSSTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key%04d", i))
+		v, tomb, ok := tab.get(k)
+		if !ok {
+			t.Fatalf("missing %q", k)
+		}
+		if tomb != (i%7 == 0) {
+			t.Fatalf("tombstone flag wrong for %q", k)
+		}
+		if !tomb && string(v) != fmt.Sprintf("val%d", i) {
+			t.Fatalf("value wrong for %q: %q", k, v)
+		}
+	}
+	if _, _, ok := tab.get([]byte("absent")); ok {
+		t.Fatal("absent key found")
+	}
+	// Seeked iteration.
+	it := tab.iteratorFrom([]byte("key0150"))
+	k, _, _ := it.entry()
+	if string(k) != "key0150" {
+		t.Fatalf("iteratorFrom landed on %q", k)
+	}
+	n := 0
+	for ; it.valid(); it.next() {
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("iterated %d entries from key0150, want 50", n)
+	}
+}
+
+func TestSSTableCorruptionDetected(t *testing.T) {
+	s := newSkiplist()
+	for i := 0; i < 50; i++ {
+		s.set([]byte(fmt.Sprintf("k%02d", i)), []byte("v"), false)
+	}
+	path := filepath.Join(t.TempDir(), "c.sst")
+	if err := writeSSTable(path, s.iterator()); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xff // clobber the magic
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSSTable(path); err == nil {
+		t.Fatal("corrupt table opened without error")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	db, _ := Open(Options{})
+	key := make([]byte, 16)
+	val := bytes.Repeat([]byte("v"), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binaryKey(key, uint64(i))
+		_ = db.Put(key, val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	db, _ := Open(Options{})
+	key := make([]byte, 16)
+	for i := 0; i < 100_000; i++ {
+		binaryKey(key, uint64(i))
+		_ = db.Put(key, []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binaryKey(key, uint64(i%100_000))
+		_, _, _ = db.Get(key)
+	}
+}
+
+func binaryKey(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (8 * (7 - i)))
+	}
+}

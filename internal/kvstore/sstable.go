@@ -1,0 +1,279 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"fabricsharp/internal/bloom"
+)
+
+// SSTable file format (all integers little-endian):
+//
+//	entry region:  repeated  op byte | keyLen uvarint | key | valLen uvarint | val
+//	index region:  repeated  offset uint64 | keyLen uvarint | key   (one per indexInterval entries)
+//	footer:        indexOffset uint64 | indexLen uint64 | entryCount uint64 | crc32(index) uint32 | magic uint64
+//
+// Tables are immutable once written. On open the whole table is read into
+// memory: tables are bounded by the memtable flush threshold (a few MB), and
+// an in-memory slice keeps the read path free of I/O error handling — a
+// deliberate simplification relative to LevelDB's block cache that preserves
+// identical query semantics.
+
+const (
+	sstMagic      = 0x5348415250544142 // "SHARPTAB"
+	indexInterval = 16
+	footerSize    = 8 + 8 + 8 + 4 + 8
+)
+
+type indexEntry struct {
+	offset uint64
+	key    []byte
+}
+
+// sstable is an immutable sorted table loaded in memory.
+type sstable struct {
+	path    string
+	data    []byte // entry region only
+	index   []indexEntry
+	entries uint64
+	// filter short-circuits point lookups for absent keys (LevelDB's
+	// per-table bloom filter). Rebuilt at open from the entries — cheaper
+	// than a filter block given tables are memory-resident anyway.
+	filter *bloom.Filter
+}
+
+// writeSSTable persists the ascending (key, value, tombstone) stream from it
+// into a new table file at path. The iterator must yield strictly increasing
+// keys; tombstones are preserved so newer tables can shadow older ones until
+// a full merge drops them.
+func writeSSTable(path string, it *skiplistIterator) (retErr error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: create sstable: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); retErr == nil {
+			retErr = cerr
+		}
+	}()
+
+	w := bufio.NewWriter(f)
+	var (
+		offset  uint64
+		count   uint64
+		index   []byte
+		idxCRC  = crc32.NewIEEE()
+		scratch []byte
+	)
+	for ; it.valid(); it.next() {
+		key, value, tombstone := it.entry()
+		op := walOpPut
+		if tombstone {
+			op = walOpDelete
+		}
+		scratch = scratch[:0]
+		scratch = append(scratch, op)
+		scratch = binary.AppendUvarint(scratch, uint64(len(key)))
+		scratch = append(scratch, key...)
+		scratch = binary.AppendUvarint(scratch, uint64(len(value)))
+		scratch = append(scratch, value...)
+		if _, err := w.Write(scratch); err != nil {
+			return err
+		}
+		if count%indexInterval == 0 {
+			var ent []byte
+			ent = binary.LittleEndian.AppendUint64(ent, offset)
+			ent = binary.AppendUvarint(ent, uint64(len(key)))
+			ent = append(ent, key...)
+			index = append(index, ent...)
+			_, _ = idxCRC.Write(ent)
+		}
+		offset += uint64(len(scratch))
+		count++
+	}
+	if _, err := w.Write(index); err != nil {
+		return err
+	}
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], offset)
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(len(index)))
+	binary.LittleEndian.PutUint64(footer[16:24], count)
+	binary.LittleEndian.PutUint32(footer[24:28], idxCRC.Sum32())
+	binary.LittleEndian.PutUint64(footer[28:36], sstMagic)
+	if _, err := w.Write(footer[:]); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// openSSTable loads the table at path.
+func openSSTable(path string) (*sstable, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open sstable: %w", err)
+	}
+	if len(raw) < footerSize {
+		return nil, fmt.Errorf("kvstore: sstable %s truncated", path)
+	}
+	footer := raw[len(raw)-footerSize:]
+	indexOffset := binary.LittleEndian.Uint64(footer[0:8])
+	indexLen := binary.LittleEndian.Uint64(footer[8:16])
+	entryCount := binary.LittleEndian.Uint64(footer[16:24])
+	wantCRC := binary.LittleEndian.Uint32(footer[24:28])
+	magic := binary.LittleEndian.Uint64(footer[28:36])
+	if magic != sstMagic {
+		return nil, fmt.Errorf("kvstore: sstable %s bad magic", path)
+	}
+	if indexOffset+indexLen > uint64(len(raw)-footerSize) {
+		return nil, fmt.Errorf("kvstore: sstable %s bad index bounds", path)
+	}
+	indexRaw := raw[indexOffset : indexOffset+indexLen]
+	if crc32.ChecksumIEEE(indexRaw) != wantCRC {
+		return nil, fmt.Errorf("kvstore: sstable %s index checksum mismatch", path)
+	}
+	t := &sstable{path: path, data: raw[:indexOffset], entries: entryCount}
+	n := entryCount
+	if n == 0 {
+		n = 1
+	}
+	t.filter = bloom.NewWithEstimate(n, 0.01)
+	for off := uint64(0); off < uint64(len(t.data)); {
+		key, _, _, next, err := t.decodeEntry(off)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: sstable %s corrupt while building filter: %w", path, err)
+		}
+		t.filter.Add(string(key))
+		off = next
+	}
+	for len(indexRaw) > 0 {
+		if len(indexRaw) < 8 {
+			return nil, fmt.Errorf("kvstore: sstable %s corrupt index", path)
+		}
+		off := binary.LittleEndian.Uint64(indexRaw[:8])
+		indexRaw = indexRaw[8:]
+		klen, n := binary.Uvarint(indexRaw)
+		if n <= 0 || uint64(len(indexRaw[n:])) < klen {
+			return nil, fmt.Errorf("kvstore: sstable %s corrupt index key", path)
+		}
+		t.index = append(t.index, indexEntry{offset: off, key: indexRaw[n : n+int(klen)]})
+		indexRaw = indexRaw[n+int(klen):]
+	}
+	return t, nil
+}
+
+// decodeEntry parses one entry at data[off:], returning the parsed fields
+// and the offset of the next entry.
+func (t *sstable) decodeEntry(off uint64) (key, value []byte, tombstone bool, next uint64, err error) {
+	data := t.data
+	if off >= uint64(len(data)) {
+		return nil, nil, false, 0, errors.New("kvstore: entry offset out of range")
+	}
+	op := data[off]
+	pos := off + 1
+	klen, n := binary.Uvarint(data[pos:])
+	if n <= 0 || pos+uint64(n)+klen > uint64(len(data)) {
+		return nil, nil, false, 0, errors.New("kvstore: corrupt entry key")
+	}
+	pos += uint64(n)
+	key = data[pos : pos+klen]
+	pos += klen
+	vlen, n := binary.Uvarint(data[pos:])
+	if n <= 0 || pos+uint64(n)+vlen > uint64(len(data)) {
+		return nil, nil, false, 0, errors.New("kvstore: corrupt entry value")
+	}
+	pos += uint64(n)
+	value = data[pos : pos+vlen]
+	pos += vlen
+	return key, value, op == walOpDelete, pos, nil
+}
+
+// seekOffset returns the entry-region offset at which a forward scan for
+// target should begin: the index entry with the greatest key <= target.
+func (t *sstable) seekOffset(target []byte) uint64 {
+	lo, hi := 0, len(t.index) // first index entry with key > target
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.index[mid].key, target) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return t.index[lo-1].offset
+}
+
+// get performs a point lookup. ok reports whether the key exists in this
+// table (possibly as a tombstone).
+func (t *sstable) get(target []byte) (value []byte, tombstone, ok bool) {
+	if t.filter != nil && !t.filter.MayContain(string(target)) {
+		return nil, false, false
+	}
+	off := t.seekOffset(target)
+	for off < uint64(len(t.data)) {
+		key, val, tomb, next, err := t.decodeEntry(off)
+		if err != nil {
+			return nil, false, false
+		}
+		switch bytes.Compare(key, target) {
+		case 0:
+			return val, tomb, true
+		case 1:
+			return nil, false, false
+		}
+		off = next
+	}
+	return nil, false, false
+}
+
+// sstableIterator scans a table in ascending key order.
+type sstableIterator struct {
+	t         *sstable
+	off       uint64
+	key, val  []byte
+	tombstone bool
+	done      bool
+}
+
+func (t *sstable) iteratorFrom(start []byte) *sstableIterator {
+	it := &sstableIterator{t: t}
+	if start != nil {
+		it.off = t.seekOffset(start)
+	}
+	it.advance()
+	if start != nil {
+		for !it.done && bytes.Compare(it.key, start) < 0 {
+			it.advance()
+		}
+	}
+	return it
+}
+
+func (it *sstableIterator) advance() {
+	if it.off >= uint64(len(it.t.data)) {
+		it.done = true
+		return
+	}
+	key, val, tomb, next, err := it.t.decodeEntry(it.off)
+	if err != nil {
+		it.done = true
+		return
+	}
+	it.key, it.val, it.tombstone, it.off = key, val, tomb, next
+}
+
+func (it *sstableIterator) valid() bool { return !it.done }
+func (it *sstableIterator) next()       { it.advance() }
+func (it *sstableIterator) entry() (key, value []byte, tombstone bool) {
+	return it.key, it.val, it.tombstone
+}

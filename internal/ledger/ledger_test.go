@@ -1,0 +1,238 @@
+package ledger
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"fabricsharp/internal/kvstore"
+	"fabricsharp/internal/protocol"
+)
+
+func tx(id string) *protocol.Transaction {
+	return &protocol.Transaction{ID: protocol.TxID(id), Contract: "kv", Function: "put", Args: []string{id}}
+}
+
+func txs(ids ...string) []*protocol.Transaction {
+	out := make([]*protocol.Transaction, len(ids))
+	for i, id := range ids {
+		out[i] = tx(id)
+	}
+	return out
+}
+
+func TestSealAndLinkage(t *testing.T) {
+	c, err := NewChain(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := c.Seal(txs("a", "b"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.Seal(txs("c"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Header.Number != 1 || b2.Header.Number != 2 {
+		t.Fatalf("numbers %d,%d", b1.Header.Number, b2.Header.Number)
+	}
+	if !bytes.Equal(b2.Header.PrevHash, b1.Hash()) {
+		t.Error("prev hash not linked")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := c.Height(); !ok || h != 2 {
+		t.Errorf("height %d,%v", h, ok)
+	}
+}
+
+func TestAppendRejectsSkipsAndForks(t *testing.T) {
+	c, _ := NewChain(nil)
+	b1, _ := c.Seal(txs("a"), nil)
+
+	skip := &Block{Header: Header{Number: 3, PrevHash: b1.Hash(), DataHash: DataHash(nil)}}
+	if err := c.Append(skip); err == nil {
+		t.Error("skipping block accepted")
+	}
+	fork := &Block{Header: Header{Number: 2, PrevHash: []byte("bogus"), DataHash: DataHash(nil)}}
+	if err := c.Append(fork); err == nil {
+		t.Error("forked block accepted")
+	}
+	tampered := &Block{
+		Header:       Header{Number: 2, PrevHash: b1.Hash(), DataHash: DataHash(txs("x"))},
+		Transactions: txs("y"), // content does not match data hash
+	}
+	if err := c.Append(tampered); err == nil {
+		t.Error("tampered block accepted")
+	}
+}
+
+func TestNoCreation(t *testing.T) {
+	// A block whose DataHash was computed over different transactions than
+	// it carries must be rejected — transactions cannot be invented or
+	// swapped after sealing.
+	c, _ := NewChain(nil)
+	b, _ := c.Seal(txs("real"), nil)
+	b.Transactions = txs("forged")
+	c2, _ := NewChain(nil)
+	blk := &Block{Header: b.Header, Transactions: b.Transactions}
+	if err := c2.Append(blk); err == nil {
+		t.Error("block with forged content accepted")
+	}
+}
+
+func TestDataHashDeterministicAndOrderSensitive(t *testing.T) {
+	a := DataHash(txs("t1", "t2", "t3"))
+	b := DataHash(txs("t1", "t2", "t3"))
+	if !bytes.Equal(a, b) {
+		t.Error("data hash not deterministic")
+	}
+	if bytes.Equal(a, DataHash(txs("t2", "t1", "t3"))) {
+		t.Error("data hash must be order sensitive (the reordering result is sealed)")
+	}
+	if bytes.Equal(DataHash(nil), DataHash(txs("t1"))) {
+		t.Error("empty and singleton hashes collide")
+	}
+}
+
+func TestMerkleOddCounts(t *testing.T) {
+	prop := func(n uint8) bool {
+		count := int(n%9) + 1
+		ids := make([]string, count)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("tx%d", i)
+		}
+		h1 := DataHash(txs(ids...))
+		h2 := DataHash(txs(ids...))
+		return bytes.Equal(h1, h2) && len(h1) == 32
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidationMetadata(t *testing.T) {
+	c, _ := NewChain(nil)
+	b, _ := c.Seal(txs("a", "b", "c"), nil)
+	codes := []protocol.ValidationCode{protocol.Valid, protocol.MVCCConflict, protocol.Valid}
+	if err := c.SetValidation(b.Header.Number, codes); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get(1)
+	if got.ValidCount() != 2 {
+		t.Errorf("ValidCount = %d want 2", got.ValidCount())
+	}
+	if err := c.SetValidation(1, codes[:1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := c.SetValidation(9, codes); err == nil {
+		t.Error("missing block accepted")
+	}
+}
+
+func TestSealWithValidationLengthMismatch(t *testing.T) {
+	c, _ := NewChain(nil)
+	if _, err := c.Seal(txs("a"), []protocol.ValidationCode{protocol.Valid, protocol.Valid}); err == nil {
+		t.Error("seal with mismatched validation metadata accepted")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := kvstore.Open(kvstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChain(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Seal(txs(fmt.Sprintf("tx%d", i)), []protocol.ValidationCode{protocol.Valid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tip := c.TipHash()
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kv2, err := kvstore.Open(kvstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	c2, err := NewChain(kv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 5 {
+		t.Fatalf("reloaded %d blocks want 5", c2.Len())
+	}
+	if !bytes.Equal(c2.TipHash(), tip) {
+		t.Error("tip hash changed across reload")
+	}
+	if err := c2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Chain continues from the reloaded tip.
+	if _, err := c2.Seal(txs("more"), []protocol.ValidationCode{protocol.Valid}); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := c2.Height(); h != 6 {
+		t.Errorf("height after reload+seal = %d", h)
+	}
+}
+
+func TestGetAndTip(t *testing.T) {
+	c, _ := NewChain(nil)
+	if _, ok := c.Tip(); ok {
+		t.Error("empty chain has a tip")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Error("empty chain returned a block")
+	}
+	c.Seal(txs("a"), nil)
+	c.Seal(txs("b"), nil)
+	if b, ok := c.Get(2); !ok || b.Transactions[0].ID != "b" {
+		t.Error("Get(2) wrong")
+	}
+	if _, ok := c.Get(3); ok {
+		t.Error("Get past tip succeeded")
+	}
+	if b, ok := c.Tip(); !ok || b.Header.Number != 2 {
+		t.Error("Tip wrong")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	c, _ := NewChain(nil)
+	for i := 0; i < 4; i++ {
+		c.Seal(txs(fmt.Sprintf("t%d", i)), nil)
+	}
+	var nums []uint64
+	c.ForEach(func(b *Block) bool {
+		nums = append(nums, b.Header.Number)
+		return b.Header.Number < 3 // early stop
+	})
+	if fmt.Sprint(nums) != "[1 2 3]" {
+		t.Errorf("ForEach order/stop wrong: %v", nums)
+	}
+}
+
+func TestAgreementTipHashEquality(t *testing.T) {
+	// Two replicas sealing the same transaction stream agree byte-for-byte.
+	a, _ := NewChain(nil)
+	b, _ := NewChain(nil)
+	for i := 0; i < 10; i++ {
+		batch := txs(fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i))
+		a.Seal(batch, nil)
+		b.Seal(batch, nil)
+	}
+	if !bytes.Equal(a.TipHash(), b.TipHash()) {
+		t.Error("replicas diverged on identical input")
+	}
+}

@@ -1,0 +1,113 @@
+// Package metrics provides the small measurement toolkit the experiment
+// harness reports with: latency histograms with percentiles, throughput
+// accounting, and abort-taxonomy tallies.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fabricsharp/internal/protocol"
+)
+
+// Histogram collects float64 samples (seconds, milliseconds — caller's
+// choice) and answers summary statistics. The zero value is ready to use.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean, 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100), 0 if empty.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	idx := int(p/100*float64(len(h.samples))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// P50 is the median.
+func (h *Histogram) P50() float64 { return h.Percentile(50) }
+
+// P95 is the 95th percentile.
+func (h *Histogram) P95() float64 { return h.Percentile(95) }
+
+// P99 is the 99th percentile.
+func (h *Histogram) P99() float64 { return h.Percentile(99) }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() float64 { return h.Percentile(100) }
+
+// AbortTally counts outcomes by validation code.
+type AbortTally map[protocol.ValidationCode]uint64
+
+// Inc bumps a code.
+func (t AbortTally) Inc(c protocol.ValidationCode) { t[c]++ }
+
+// Total sums every non-valid count.
+func (t AbortTally) Total() uint64 {
+	var sum uint64
+	for c, n := range t {
+		if c != protocol.Valid {
+			sum += n
+		}
+	}
+	return sum
+}
+
+// String renders the tally deterministically, busiest codes first.
+func (t AbortTally) String() string {
+	type kv struct {
+		c protocol.ValidationCode
+		n uint64
+	}
+	var items []kv
+	for c, n := range t {
+		if n > 0 {
+			items = append(items, kv{c, n})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].c < items[j].c
+	})
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = fmt.Sprintf("%s=%d", it.c, it.n)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,206 @@
+// Package protocol defines the transaction types flowing through the
+// execute-order-validate pipeline: proposals, read/write sets, endorsements,
+// envelopes, and the validation/abort taxonomy the evaluation reports on.
+package protocol
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"fabricsharp/internal/seqno"
+)
+
+// TxID uniquely identifies a transaction.
+type TxID string
+
+// Version identifies the (block, position) that last wrote a state entry.
+type Version = seqno.Seq
+
+// ReadItem records one key read during simulation together with the version
+// observed — the version dependency the validator (or the Sharp orderer)
+// checks.
+type ReadItem struct {
+	Key     string
+	Version Version
+}
+
+// WriteItem records one state update produced by simulation.
+type WriteItem struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// RWSet is the complete simulation effect of a transaction.
+type RWSet struct {
+	Reads  []ReadItem
+	Writes []WriteItem
+}
+
+// ReadKeys returns the distinct read keys in deterministic order.
+func (rw *RWSet) ReadKeys() []string {
+	return dedupKeys(rw.Reads, func(r ReadItem) string { return r.Key })
+}
+
+// WriteKeys returns the distinct written keys in deterministic order.
+func (rw *RWSet) WriteKeys() []string {
+	return dedupKeys(rw.Writes, func(w WriteItem) string { return w.Key })
+}
+
+func dedupKeys[T any](items []T, key func(T) string) []string {
+	seen := make(map[string]bool, len(items))
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		k := key(it)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Endorsement is one peer's signature over a proposal response.
+type Endorsement struct {
+	EndorserID string
+	Signature  []byte
+}
+
+// Transaction is an endorsed transaction submitted to the ordering service.
+type Transaction struct {
+	ID       TxID
+	ClientID string
+	Contract string
+	Function string
+	Args     []string
+	// SnapshotBlock is the block whose post-commit state the simulation read
+	// (Algorithm 1). StartTs = (SnapshotBlock+1, 0) per Definition 3.
+	SnapshotBlock uint64
+	RWSet         RWSet
+	Endorsements  []Endorsement
+}
+
+// StartTS returns the transaction's start timestamp (Definition 3).
+func (t *Transaction) StartTS() seqno.Seq { return seqno.Snapshot(t.SnapshotBlock) }
+
+// Digest computes a deterministic hash over the transaction's identity and
+// simulation effects. It is what endorsers sign and what the hash-commitment
+// scheme of Section 3.5 publishes before disclosure.
+func (t *Transaction) Digest() []byte {
+	h := sha256.New()
+	writeLenPrefixed := func(s string) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeLenPrefixed(string(t.ID))
+	writeLenPrefixed(t.ClientID)
+	writeLenPrefixed(t.Contract)
+	writeLenPrefixed(t.Function)
+	for _, a := range t.Args {
+		writeLenPrefixed(a)
+	}
+	var blk [8]byte
+	binary.BigEndian.PutUint64(blk[:], t.SnapshotBlock)
+	h.Write(blk[:])
+	for _, r := range t.RWSet.Reads {
+		writeLenPrefixed(r.Key)
+		h.Write(r.Version.Bytes())
+	}
+	for _, w := range t.RWSet.Writes {
+		writeLenPrefixed(w.Key)
+		writeLenPrefixed(string(w.Value))
+		if w.Delete {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum(nil)
+}
+
+// DigestHex is Digest rendered as a hex string, used as the pre-disclosure
+// commitment identifier.
+func (t *Transaction) DigestHex() string { return hex.EncodeToString(t.Digest()) }
+
+// ValidationCode classifies a transaction's final fate. The codes double as
+// the abort taxonomy of Figure 14.
+type ValidationCode uint8
+
+const (
+	// Valid marks a committed transaction.
+	Valid ValidationCode = iota
+	// MVCCConflict marks a transaction aborted by the validation-phase
+	// serializability (stale read) check.
+	MVCCConflict
+	// EndorsementFailure marks a transaction whose endorsements do not
+	// satisfy the chaincode's policy.
+	EndorsementFailure
+	// AbortCycle marks a transaction dropped before ordering because it
+	// would close a dependency cycle that no reordering can fix
+	// (Theorem 2) — including bloom-filter false positives, which abort
+	// preventively.
+	AbortCycle
+	// AbortStaleSnapshot marks a transaction dropped because its snapshot
+	// fell behind the max_span pruning horizon (Section 4.6).
+	AbortStaleSnapshot
+	// AbortConcurrentWW marks a transaction dropped by Focc-s's
+	// first-committer-wins rule on concurrent write-write conflicts.
+	AbortConcurrentWW
+	// AbortDangerousStructure marks a transaction dropped by Focc-s's
+	// two-consecutive-rw (Cahill et al.) rule.
+	AbortDangerousStructure
+	// AbortSimulation marks a transaction aborted during execution because
+	// it read across blocks (Fabric++'s early abort).
+	AbortSimulation
+	// AbortReorderCycle marks a transaction dropped at block formation by a
+	// batch reordering scheme (Fabric++ in-block cycle elimination).
+	AbortReorderCycle
+	// AbortDuplicate marks a replayed transaction identifier.
+	AbortDuplicate
+)
+
+// String renders the code using the evaluation's vocabulary.
+func (c ValidationCode) String() string {
+	switch c {
+	case Valid:
+		return "valid"
+	case MVCCConflict:
+		return "mvcc-conflict"
+	case EndorsementFailure:
+		return "endorsement-failure"
+	case AbortCycle:
+		return "cycle"
+	case AbortStaleSnapshot:
+		return "stale-snapshot"
+	case AbortConcurrentWW:
+		return "concurrent-ww"
+	case AbortDangerousStructure:
+		return "2-consecutive-rw"
+	case AbortSimulation:
+		return "simulation-abort"
+	case AbortReorderCycle:
+		return "reorder-cycle"
+	case AbortDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
+// IsEarlyAbort reports whether the code is decided before the transaction
+// reaches the ledger (so the transaction consumes no block space and no
+// validation work).
+func (c ValidationCode) IsEarlyAbort() bool {
+	switch c {
+	case AbortCycle, AbortStaleSnapshot, AbortConcurrentWW,
+		AbortDangerousStructure, AbortSimulation, AbortReorderCycle, AbortDuplicate:
+		return true
+	}
+	return false
+}

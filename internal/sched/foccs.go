@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"fmt"
+
+	"fabricsharp/internal/core"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+)
+
+// FoccS adapts the standard serializable-OCC certifier of Cahill et al. [10]
+// to the ordering phase, per Section 5.1: an incoming transaction is
+// immediately aborted when it
+//
+//   - write-write conflicts with a concurrent transaction (first-committer-
+//     wins under snapshot isolation), or
+//   - completes a dangerous structure — two consecutive concurrent
+//     read-write conflicts with at least one anti-rw.
+//
+// Dependency-edge bookkeeping exploits that Focc-s never reorders: commit
+// order is arrival (FIFO) order. An rw edge created when the *reader*
+// arrives points at a writer that is committed or arrived earlier — the
+// writer commits first, an anti-rw. An rw edge created when the *writer*
+// arrives points from a reader that commits first — a c-rw. Per Fekete et
+// al.'s theorem, every unserializable snapshot-isolation history contains a
+// pivot with an incoming rw and an outgoing *anti*-rw, so certification
+// aborts an arrival whenever it would give some transaction both flags.
+//
+// Nothing happens on block formation ("Focc-s does nothing on block
+// formation"), and since every admitted transaction is certified
+// serializable, the validation phase skips the MVCC check.
+type FoccS struct {
+	maxSpan   uint64
+	cw        *core.MemIndex // committed writes: key -> (commit seq, tx)
+	cr        *core.MemIndex // committed reads:  key -> (commit seq, tx)
+	flags     map[protocol.TxID]*rwFlags
+	endBlock  map[protocol.TxID]uint64           // commit block, for flag pruning
+	pw        map[string][]*protocol.Transaction // pending writers per key
+	pr        map[string][]*protocol.Transaction // pending readers per key
+	pending   []*protocol.Transaction
+	nextBlock uint64
+	timing    Timing
+}
+
+// rwFlags carries the certifier's conflict markers: in is an incoming rw
+// edge (someone read a key this transaction overwrites); outAnti is an
+// outgoing anti-rw edge (this transaction read a key whose overwriting
+// transaction commits first).
+type rwFlags struct {
+	in      bool
+	outAnti bool
+}
+
+// NewFoccS returns the Focc-s scheduler.
+func NewFoccS(opts Options) *FoccS {
+	if opts.MaxSpan == 0 {
+		opts.MaxSpan = 10
+	}
+	return &FoccS{
+		maxSpan:   opts.MaxSpan,
+		cw:        core.NewMemIndex(),
+		cr:        core.NewMemIndex(),
+		flags:     map[protocol.TxID]*rwFlags{},
+		endBlock:  map[protocol.TxID]uint64{},
+		pw:        map[string][]*protocol.Transaction{},
+		pr:        map[string][]*protocol.Transaction{},
+		nextBlock: 1,
+	}
+}
+
+// System implements Scheduler.
+func (f *FoccS) System() System { return SystemFoccS }
+
+// OnArrival implements Scheduler: the certification step.
+func (f *FoccS) OnArrival(tx *protocol.Transaction) (protocol.ValidationCode, error) {
+	w := startWatch()
+	code := f.certify(tx)
+	f.timing.Arrivals++
+	f.timing.ArrivalNS += w.elapsedNS()
+	return code, nil
+}
+
+func (f *FoccS) certify(tx *protocol.Transaction) protocol.ValidationCode {
+	if f.nextBlock > f.maxSpan && tx.SnapshotBlock <= f.nextBlock-f.maxSpan {
+		return protocol.AbortStaleSnapshot
+	}
+	startTS := tx.StartTS()
+	readKeys := tx.RWSet.ReadKeys()
+	writeKeys := tx.RWSet.WriteKeys()
+
+	// Rule 1: concurrent write-write conflict => abort (the prevention
+	// whose cost Figure 11 charts as the write-hot ratio grows).
+	for _, k := range writeKeys {
+		if len(f.pw[k]) > 0 {
+			return protocol.AbortConcurrentWW
+		}
+		if committed, _ := f.cw.After(k, startTS); len(committed) > 0 {
+			return protocol.AbortConcurrentWW
+		}
+	}
+
+	// Outgoing anti-rw edges: tx reads k, a concurrent transaction that
+	// commits first (already committed after tx's snapshot, or pending and
+	// ahead in FIFO order) overwrites k.
+	var outWriters []protocol.TxID
+	for _, k := range readKeys {
+		committed, _ := f.cw.After(k, startTS)
+		outWriters = append(outWriters, committed...)
+		for _, w := range f.pw[k] {
+			outWriters = append(outWriters, w.ID)
+		}
+	}
+	// Incoming rw edges: a concurrent earlier transaction read a key tx
+	// overwrites (it commits first: c-rw into tx).
+	var inReaders []protocol.TxID
+	for _, k := range writeKeys {
+		committedReaders, _ := f.cr.After(k, startTS)
+		inReaders = append(inReaders, committedReaders...)
+		for _, r := range f.pr[k] {
+			inReaders = append(inReaders, r.ID)
+		}
+	}
+
+	// Rule 2, the dangerous structure. tx itself as pivot: its outgoing
+	// edges are all anti-rw, so in+out suffices ...
+	if len(inReaders) > 0 && len(outWriters) > 0 {
+		return protocol.AbortDangerousStructure
+	}
+	// ... or a neighbouring writer becoming one: tx's anti-rw out edge is
+	// W's incoming rw; W is dangerous if W already has an anti-rw out.
+	for _, w := range outWriters {
+		if fl := f.flags[w]; fl != nil && fl.outAnti {
+			return protocol.AbortDangerousStructure
+		}
+	}
+	// Readers feeding into tx gain only a c-rw out edge (they commit
+	// first), which cannot complete a dangerous structure.
+
+	// Admit: install flags and pending indices.
+	fl := &rwFlags{}
+	for _, w := range outWriters {
+		fl.outAnti = true
+		if o := f.flags[w]; o != nil {
+			o.in = true
+		}
+	}
+	if len(inReaders) > 0 {
+		fl.in = true
+	}
+	f.flags[tx.ID] = fl
+	for _, k := range readKeys {
+		f.pr[k] = append(f.pr[k], tx)
+	}
+	for _, k := range writeKeys {
+		f.pw[k] = append(f.pw[k], tx)
+	}
+	f.pending = append(f.pending, tx)
+	return protocol.Valid
+}
+
+// OnBlockFormation implements Scheduler: FIFO emission, bookkeeping of the
+// committed indices, window pruning.
+func (f *FoccS) OnBlockFormation() (FormationResult, error) {
+	if len(f.pending) == 0 {
+		return FormationResult{Block: f.nextBlock}, nil
+	}
+	w := startWatch()
+	block := f.nextBlock
+	res := FormationResult{Block: block, Ordered: f.pending}
+	for i, tx := range f.pending {
+		seq := seqno.Commit(block, uint32(i+1))
+		for _, k := range tx.RWSet.WriteKeys() {
+			_ = f.cw.Put(k, seq, tx.ID)
+		}
+		for _, k := range tx.RWSet.ReadKeys() {
+			_ = f.cr.Put(k, seq, tx.ID)
+		}
+		f.endBlock[tx.ID] = block
+	}
+	f.pending = nil
+	f.pw = map[string][]*protocol.Transaction{}
+	f.pr = map[string][]*protocol.Transaction{}
+	f.nextBlock++
+	if f.nextBlock > f.maxSpan {
+		h := f.nextBlock - f.maxSpan
+		_ = f.cw.PruneBefore(h)
+		_ = f.cr.PruneBefore(h)
+		// A committed transaction can gain edges only while some arrival's
+		// snapshot predates its commit; beyond the max-span horizon none
+		// can, so its flags are garbage.
+		for id, end := range f.endBlock {
+			if end < h {
+				delete(f.endBlock, id)
+				delete(f.flags, id)
+			}
+		}
+	}
+	f.timing.Formations++
+	f.timing.FormationNS += w.elapsedNS()
+	return res, nil
+}
+
+// OnBlockCommitted implements Scheduler (certification already decided).
+func (f *FoccS) OnBlockCommitted(uint64, []*protocol.Transaction, []protocol.ValidationCode) {}
+
+// NeedsMVCCValidation implements Scheduler: admitted transactions are
+// certified serializable.
+func (f *FoccS) NeedsMVCCValidation() bool { return false }
+
+// PendingCount implements Scheduler.
+func (f *FoccS) PendingCount() int { return len(f.pending) }
+
+// FastForward implements Scheduler.
+func (f *FoccS) FastForward(height uint64) error {
+	if f.timing.Arrivals > 0 {
+		return fmt.Errorf("sched: cannot fast-forward a scheduler with history")
+	}
+	f.nextBlock = height + 1
+	return nil
+}
+
+// Timing implements Scheduler.
+func (f *FoccS) Timing() Timing { return f.timing }

@@ -1,0 +1,150 @@
+package seqno
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Seq
+		want int
+	}{
+		{Seq{1, 1}, Seq{1, 2}, -1},
+		{Seq{1, 2}, Seq{1, 1}, 1},
+		{Seq{2, 1}, Seq{2, 1}, 0},
+		{Seq{2, 2}, Seq{3, 0}, -1},
+		{Seq{3, 0}, Seq{2, 9}, 1},
+		{Seq{0, 0}, Seq{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPaperOrderingExample(t *testing.T) {
+	// Section 3.1: (2,1) < (2,2) = (2,2) < (3,0).
+	if !Commit(2, 1).Less(Commit(2, 2)) {
+		t.Error("(2,1) should be < (2,2)")
+	}
+	if Commit(2, 2).Compare(Commit(2, 2)) != 0 {
+		t.Error("(2,2) should equal (2,2)")
+	}
+	if !Commit(2, 2).Less(Snapshot(2)) {
+		t.Error("(2,2) should be < (3,0)")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := Snapshot(5)
+	if s != (Seq{6, 0}) {
+		t.Fatalf("Snapshot(5)=%v want (6,0)", s)
+	}
+	if !s.IsSnapshot() {
+		t.Error("snapshot must report IsSnapshot")
+	}
+	if got := s.SnapshotBlock(); got != 5 {
+		t.Errorf("SnapshotBlock=%d want 5", got)
+	}
+	if Commit(4, 2).IsSnapshot() {
+		t.Error("commit seq must not report IsSnapshot")
+	}
+}
+
+func TestSnapshotBlockGenesis(t *testing.T) {
+	if got := (Seq{0, 0}).SnapshotBlock(); got != 0 {
+		t.Errorf("genesis snapshot block = %d want 0", got)
+	}
+}
+
+func TestSnapshotBlockPanicsOnCommitSeq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-snapshot sequence")
+		}
+	}()
+	_ = Commit(3, 1).SnapshotBlock()
+}
+
+func TestString(t *testing.T) {
+	if got := Commit(3, 2).String(); got != "(3,2)" {
+		t.Errorf("String=%q", got)
+	}
+}
+
+func TestEncodingRoundTrip(t *testing.T) {
+	f := func(block uint64, pos uint32) bool {
+		s := Seq{Block: block, Pos: pos}
+		got, err := FromBytes(s.Bytes())
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodingOrderPreserving(t *testing.T) {
+	f := func(a0, b0 uint64, a1, b1 uint32) bool {
+		a := Seq{Block: a0, Pos: a1}
+		b := Seq{Block: b0, Pos: b1}
+		cmp := a.Compare(b)
+		bcmp := bytes.Compare(a.Bytes(), b.Bytes())
+		return sign(cmp) == sign(bcmp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestFromBytesShort(t *testing.T) {
+	if _, err := FromBytes([]byte{1, 2, 3}); err == nil {
+		t.Error("expected error for short encoding")
+	}
+}
+
+func TestSortConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seqs := make([]Seq, 200)
+	for i := range seqs {
+		seqs[i] = Seq{Block: uint64(rng.Intn(10)), Pos: uint32(rng.Intn(10))}
+	}
+	byCompare := append([]Seq(nil), seqs...)
+	sort.Slice(byCompare, func(i, j int) bool { return byCompare[i].Less(byCompare[j]) })
+	byBytes := append([]Seq(nil), seqs...)
+	sort.Slice(byBytes, func(i, j int) bool {
+		return bytes.Compare(byBytes[i].Bytes(), byBytes[j].Bytes()) < 0
+	})
+	for i := range byCompare {
+		if byCompare[i] != byBytes[i] {
+			t.Fatalf("sort mismatch at %d: %v vs %v", i, byCompare[i], byBytes[i])
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	a, b := Commit(1, 2), Commit(2, 1)
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Error("Max wrong")
+	}
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Error("Min wrong")
+	}
+	if Max(a, a) != a || Min(a, a) != a {
+		t.Error("Max/Min of equal values wrong")
+	}
+}

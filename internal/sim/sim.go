@@ -1,0 +1,325 @@
+// Package sim is a deterministic discrete-event simulation engine: a virtual
+// clock, an event heap, FIFO service stations, a virtual readers-writer
+// lock, and a coroutine bridge that lets ordinary imperative code (contract
+// simulations) block on virtual time.
+//
+// The experiments of Section 5 run the real EOV pipeline — real contracts,
+// real state, real schedulers — on this engine, with only service times
+// (validation cost, consensus latency, client delay, read intervals)
+// modelled. Determinism matters twice: experiments are reproducible, and the
+// replicated-orderer agreement tests rely on identical event interleavings.
+package sim
+
+import "container/heap"
+
+// Time is virtual time in microseconds.
+type Time int64
+
+// Convenient units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds renders t in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis renders t in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation core. Not safe for concurrent use: everything
+// runs on the caller's goroutine (processes spawned via StartProcess hand
+// control back and forth but never run concurrently).
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn at absolute virtual time t (>= now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the earliest pending event. It reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until the clock would pass `until` or no events
+// remain. Events scheduled exactly at `until` still run.
+func (e *Engine) Run(until Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll drains every pending event.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// ---------------------------------------------------------------------------
+// Station: a FIFO multi-server queue
+// ---------------------------------------------------------------------------
+
+// Station models a service center with a fixed number of parallel servers
+// and an unbounded FIFO queue — the validator pipeline, endorser CPU pool,
+// and orderer front-end are all stations with different capacities and
+// service times.
+type Station struct {
+	e    *Engine
+	cap  int
+	busy int
+	q    []stationJob
+
+	// Busy-time accounting for utilization metrics.
+	busySince map[int]Time
+	totalBusy Time
+	served    uint64
+}
+
+type stationJob struct {
+	d    Time
+	done func()
+}
+
+// NewStation creates a station with the given server count.
+func NewStation(e *Engine, servers int) *Station {
+	if servers <= 0 {
+		panic("sim: station needs at least one server")
+	}
+	return &Station{e: e, cap: servers}
+}
+
+// Submit enqueues a job with the given service time; done runs at
+// completion.
+func (s *Station) Submit(d Time, done func()) {
+	s.q = append(s.q, stationJob{d: d, done: done})
+	s.dispatch()
+}
+
+func (s *Station) dispatch() {
+	for s.busy < s.cap && len(s.q) > 0 {
+		job := s.q[0]
+		s.q = s.q[1:]
+		s.busy++
+		start := s.e.Now()
+		s.e.After(job.d, func() {
+			s.busy--
+			s.totalBusy += s.e.Now() - start
+			s.served++
+			if job.done != nil {
+				job.done()
+			}
+			s.dispatch()
+		})
+	}
+}
+
+// QueueLen returns the number of jobs waiting (not in service).
+func (s *Station) QueueLen() int { return len(s.q) }
+
+// Served returns the number of completed jobs.
+func (s *Station) Served() uint64 { return s.served }
+
+// BusyTime returns the cumulative busy server-time.
+func (s *Station) BusyTime() Time { return s.totalBusy }
+
+// ---------------------------------------------------------------------------
+// RWLock: a virtual readers-writer lock (writer-preferring)
+// ---------------------------------------------------------------------------
+
+// RWLock models vanilla Fabric's simulation/commit lock (Section 2.1): many
+// concurrent contract simulations hold read locks while the block commit
+// takes the write lock. Writer preference reproduces Fabric's behaviour of
+// stalling new simulations while a commit waits — and the throughput
+// collapse of Figure 14 once simulations grow long.
+type RWLock struct {
+	readers  int
+	writer   bool
+	waitingW []func()
+	waitingR []func()
+}
+
+// NewRWLock returns an unlocked lock.
+func NewRWLock() *RWLock { return &RWLock{} }
+
+// AcquireRead grants a read lock, immediately or once compatible. grant runs
+// in engine context.
+func (l *RWLock) AcquireRead(grant func()) {
+	if !l.writer && len(l.waitingW) == 0 {
+		l.readers++
+		grant()
+		return
+	}
+	l.waitingR = append(l.waitingR, grant)
+}
+
+// ReleaseRead releases one read lock.
+func (l *RWLock) ReleaseRead() {
+	l.readers--
+	l.grantNext()
+}
+
+// AcquireWrite grants the exclusive lock, immediately or once free.
+func (l *RWLock) AcquireWrite(grant func()) {
+	if !l.writer && l.readers == 0 {
+		l.writer = true
+		grant()
+		return
+	}
+	l.waitingW = append(l.waitingW, grant)
+}
+
+// ReleaseWrite releases the exclusive lock.
+func (l *RWLock) ReleaseWrite() {
+	l.writer = false
+	l.grantNext()
+}
+
+func (l *RWLock) grantNext() {
+	if l.writer {
+		return
+	}
+	if len(l.waitingW) > 0 {
+		if l.readers == 0 {
+			grant := l.waitingW[0]
+			l.waitingW = l.waitingW[1:]
+			l.writer = true
+			grant()
+		}
+		return // readers drain; writer goes next
+	}
+	for len(l.waitingR) > 0 {
+		grant := l.waitingR[0]
+		l.waitingR = l.waitingR[1:]
+		l.readers++
+		grant()
+	}
+}
+
+// Readers returns the current reader count (tests).
+func (l *RWLock) Readers() int { return l.readers }
+
+// ---------------------------------------------------------------------------
+// Proc: coroutine bridge for imperative code on virtual time
+// ---------------------------------------------------------------------------
+
+// Proc lets a goroutine running ordinary imperative code (a contract
+// simulation) block on virtual time. Exactly one goroutine — the engine's or
+// one proc's — runs at any instant, so simulations stay deterministic.
+type Proc struct {
+	e      *Engine
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+// StartProcess runs fn as a simulated process. It must be called from engine
+// context (inside an event); it returns when fn finishes or first blocks.
+func (e *Engine) StartProcess(fn func(p *Proc)) {
+	p := &Proc{e: e, resume: make(chan struct{}), yield: make(chan struct{})}
+	go func() {
+		<-p.resume
+		fn(p)
+		p.yield <- struct{}{}
+	}()
+	p.transfer()
+}
+
+// transfer hands control to the proc goroutine and returns when it parks or
+// finishes. Engine context only.
+func (p *Proc) transfer() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park gives control back to the engine and blocks until resumed.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	p.e.After(d, func() { p.transfer() })
+	p.park()
+}
+
+// Block suspends the process until the wake callback (handed to register)
+// is invoked — used for virtual lock acquisition: register the wake as the
+// lock's grant function. If the grant fires synchronously inside register
+// (lock free), the process continues without parking; otherwise the wake
+// later runs in engine context and transfers control back.
+func (p *Proc) Block(register func(wake func())) {
+	granted := false
+	parked := false
+	register(func() {
+		if !parked {
+			granted = true // synchronous grant: still on the proc goroutine
+			return
+		}
+		p.transfer()
+	})
+	if granted {
+		return
+	}
+	parked = true
+	p.park()
+}
+
+// Now returns the virtual time (valid while the process runs).
+func (p *Proc) Now() Time { return p.e.Now() }

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var log []string
+	e.At(30, func() { log = append(log, "c") })
+	e.At(10, func() { log = append(log, "a") })
+	e.At(20, func() { log = append(log, "b") })
+	// Same-time events keep submission order.
+	e.At(20, func() { log = append(log, "b2") })
+	e.RunAll()
+	if fmt.Sprint(log) != "[a b b2 c]" {
+		t.Errorf("log = %v", log)
+	}
+	if e.Now() != 30 {
+		t.Errorf("now = %d", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i*10), func() { ran++ })
+	}
+	e.Run(30)
+	if ran != 3 {
+		t.Errorf("ran %d events, want 3", ran)
+	}
+	if e.Now() != 30 {
+		t.Errorf("now = %d", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.RunAll()
+	if fmt.Sprint(hits) != "[10 15]" {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.At(100, func() {
+		e.At(50, func() { at = e.Now() }) // in the past: runs "now"
+	})
+	e.RunAll()
+	if at != 100 {
+		t.Errorf("past event ran at %d", at)
+	}
+}
+
+func TestStationCapacityAndFIFO(t *testing.T) {
+	e := NewEngine()
+	s := NewStation(e, 2)
+	var done []string
+	finish := func(name string) func() { return func() { done = append(done, fmt.Sprintf("%s@%d", name, e.Now())) } }
+	e.At(0, func() {
+		s.Submit(10, finish("j1"))
+		s.Submit(10, finish("j2"))
+		s.Submit(10, finish("j3")) // queues behind the two servers
+	})
+	e.RunAll()
+	if fmt.Sprint(done) != "[j1@10 j2@10 j3@20]" {
+		t.Errorf("done = %v", done)
+	}
+	if s.Served() != 3 {
+		t.Errorf("served = %d", s.Served())
+	}
+	if s.BusyTime() != 30 {
+		t.Errorf("busy = %d", s.BusyTime())
+	}
+}
+
+func TestStationQueueLen(t *testing.T) {
+	e := NewEngine()
+	s := NewStation(e, 1)
+	e.At(0, func() {
+		for i := 0; i < 5; i++ {
+			s.Submit(100, nil)
+		}
+	})
+	e.Run(0)
+	if got := s.QueueLen(); got != 4 {
+		t.Errorf("queue = %d want 4", got)
+	}
+	e.RunAll()
+	if got := s.QueueLen(); got != 0 {
+		t.Errorf("queue after drain = %d", got)
+	}
+}
+
+func TestRWLockWriterPreference(t *testing.T) {
+	l := NewRWLock()
+	var log []string
+	l.AcquireRead(func() { log = append(log, "r1") })
+	l.AcquireRead(func() { log = append(log, "r2") })
+	l.AcquireWrite(func() { log = append(log, "w") })
+	// New readers queue behind the waiting writer.
+	l.AcquireRead(func() { log = append(log, "r3") })
+	if fmt.Sprint(log) != "[r1 r2]" {
+		t.Fatalf("log = %v", log)
+	}
+	l.ReleaseRead()
+	l.ReleaseRead() // writer granted now
+	if fmt.Sprint(log) != "[r1 r2 w]" {
+		t.Fatalf("log = %v", log)
+	}
+	l.ReleaseWrite() // queued reader granted
+	if fmt.Sprint(log) != "[r1 r2 w r3]" {
+		t.Fatalf("log = %v", log)
+	}
+	if l.Readers() != 1 {
+		t.Errorf("readers = %d", l.Readers())
+	}
+}
+
+func TestRWLockWritersSerialize(t *testing.T) {
+	l := NewRWLock()
+	var log []string
+	l.AcquireWrite(func() { log = append(log, "w1") })
+	l.AcquireWrite(func() { log = append(log, "w2") })
+	if fmt.Sprint(log) != "[w1]" {
+		t.Fatalf("log = %v", log)
+	}
+	l.ReleaseWrite()
+	if fmt.Sprint(log) != "[w1 w2]" {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestProcessSleep(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.At(5, func() {
+		e.StartProcess(func(p *Proc) {
+			trace = append(trace, fmt.Sprintf("start@%d", p.Now()))
+			p.Sleep(10)
+			trace = append(trace, fmt.Sprintf("mid@%d", p.Now()))
+			p.Sleep(20)
+			trace = append(trace, fmt.Sprintf("end@%d", p.Now()))
+		})
+	})
+	// An interleaved plain event.
+	e.At(12, func() { trace = append(trace, "tick@12") })
+	e.RunAll()
+	want := "[start@5 tick@12 mid@15 end@35]"
+	if fmt.Sprint(trace) != want {
+		t.Errorf("trace = %v want %v", trace, want)
+	}
+}
+
+func TestProcessBlockOnLock(t *testing.T) {
+	e := NewEngine()
+	l := NewRWLock()
+	var trace []string
+	e.At(0, func() {
+		e.StartProcess(func(p *Proc) {
+			p.Block(l.AcquireWrite)
+			trace = append(trace, fmt.Sprintf("locked@%d", p.Now()))
+			p.Sleep(10)
+			l.ReleaseWrite()
+			trace = append(trace, fmt.Sprintf("released@%d", p.Now()))
+		})
+	})
+	e.At(1, func() {
+		e.StartProcess(func(p *Proc) {
+			p.Block(l.AcquireWrite) // waits for the first process
+			trace = append(trace, fmt.Sprintf("locked2@%d", p.Now()))
+			l.ReleaseWrite()
+		})
+	})
+	e.RunAll()
+	want := "[locked@0 locked2@10 released@10]"
+	if fmt.Sprint(trace) != want {
+		t.Errorf("trace = %v want %v", trace, want)
+	}
+}
+
+func TestManyProcessesDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for i := 0; i < 20; i++ {
+			i := i
+			e.At(Time(i%3), func() {
+				e.StartProcess(func(p *Proc) {
+					p.Sleep(Time(10 + i%5))
+					log = append(log, fmt.Sprintf("p%d@%d", i, p.Now()))
+				})
+			})
+		}
+		e.RunAll()
+		return log
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("nondeterministic process interleaving:\n%v\n%v", a, b)
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1_000_000*Microsecond || Millisecond != 1000*Microsecond {
+		t.Error("unit arithmetic wrong")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds wrong")
+	}
+	if (1500 * Microsecond).Millis() != 1.5 {
+		t.Error("Millis wrong")
+	}
+}
+
+func TestStationPanicsOnZeroServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewStation(NewEngine(), 0)
+}

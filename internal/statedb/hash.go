@@ -1,0 +1,32 @@
+package statedb
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"hash/fnv"
+	"sort"
+)
+
+// fingerprintHasher accumulates length-prefixed byte strings into an
+// FNV-128a digest. A tiny wrapper keeps StateFingerprint readable.
+type fingerprintHasher struct {
+	h interface {
+		Sum([]byte) []byte
+		Write([]byte) (int, error)
+	}
+}
+
+func newFNV() *fingerprintHasher { return &fingerprintHasher{h: fnv.New128a()} }
+
+func (f *fingerprintHasher) write(b []byte) {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	_, _ = f.h.Write(n[:])
+	_, _ = f.h.Write(b)
+}
+
+func (f *fingerprintHasher) writeString(s string) { f.write([]byte(s)) }
+
+func (f *fingerprintHasher) sum() string { return hex.EncodeToString(f.h.Sum(nil)) }
+
+func sortStrings(s []string) { sort.Strings(s) }

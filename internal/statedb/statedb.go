@@ -1,0 +1,350 @@
+// Package statedb implements the versioned key-value state of an
+// execute-order-validate blockchain (paper Section 2.1) extended with the
+// multi-version history and block-snapshot reads that FabricSharp's
+// Algorithm 1 requires (Section 4.2).
+//
+// Every entry is a (key, version, value) tuple whose version is the
+// (block, position) sequence number of the transaction that last wrote it.
+// Unlike vanilla Fabric — which keeps only the latest version and therefore
+// needs a read-write lock between simulation and commit — this store retains
+// a bounded history per key, so contract simulations read a consistent
+// snapshot "as of block M" while later blocks commit concurrently. Stale
+// snapshots beyond the max_span horizon are pruned.
+package statedb
+
+import (
+	"fmt"
+	"sync"
+
+	"fabricsharp/internal/kvstore"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+)
+
+// VersionedValue is one version of a key's value.
+type VersionedValue struct {
+	Value   []byte
+	Version seqno.Seq
+	Deleted bool
+}
+
+// BlockWrites carries one transaction's writes into ApplyBlock, tagged with
+// the transaction's position (1-based) inside the block.
+type BlockWrites struct {
+	Pos    uint32
+	Writes []protocol.WriteItem
+}
+
+// Options configures a state database.
+type Options struct {
+	// Backing, when non-nil, persists the latest version of every key (plus
+	// the chain height) write-through, and is loaded on construction.
+	Backing *kvstore.DB
+}
+
+// DB is a multi-versioned state database. It is safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	hist    map[string][]VersionedValue // ascending by version
+	height  uint64                      // last committed block number
+	hasAny  bool                        // whether any block has been applied
+	backing *kvstore.DB
+}
+
+const (
+	backingStatePrefix = "s/"
+	backingHeightKey   = "meta/height"
+)
+
+// New creates a state database, loading the latest state from
+// opts.Backing when present.
+func New(opts Options) (*DB, error) {
+	db := &DB{hist: make(map[string][]VersionedValue), backing: opts.Backing}
+	if opts.Backing == nil {
+		return db, nil
+	}
+	if raw, ok, err := opts.Backing.Get([]byte(backingHeightKey)); err != nil {
+		return nil, err
+	} else if ok {
+		seq, err := seqno.FromBytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("statedb: corrupt height: %w", err)
+		}
+		db.height = seq.Block
+		db.hasAny = true
+	}
+	it := opts.Backing.NewPrefixIterator([]byte(backingStatePrefix))
+	for ; it.Valid(); it.Next() {
+		key := string(it.Key()[len(backingStatePrefix):])
+		raw := it.Value()
+		if len(raw) < seqno.EncodedLen() {
+			return nil, fmt.Errorf("statedb: corrupt record for %q", key)
+		}
+		ver, err := seqno.FromBytes(raw)
+		if err != nil {
+			return nil, err
+		}
+		val := append([]byte(nil), raw[seqno.EncodedLen():]...)
+		db.hist[key] = []VersionedValue{{Value: val, Version: ver}}
+	}
+	return db, nil
+}
+
+// Height returns the number of the last committed block.
+func (db *DB) Height() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.height
+}
+
+// Get returns the latest version of key.
+func (db *DB) Get(key string) (VersionedValue, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	versions := db.hist[key]
+	if len(versions) == 0 {
+		return VersionedValue{}, false
+	}
+	last := versions[len(versions)-1]
+	if last.Deleted {
+		return VersionedValue{}, false
+	}
+	return last, true
+}
+
+// GetAt returns the value of key as observed by the blockchain snapshot
+// taken after block asOfBlock (Definition 1): the latest version whose
+// block number is <= asOfBlock. It reports an error if that part of the
+// history has been pruned away.
+func (db *DB) GetAt(key string, asOfBlock uint64) (VersionedValue, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	versions := db.hist[key]
+	// Binary search for the last version with Version.Block <= asOfBlock.
+	lo, hi := 0, len(versions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if versions[mid].Version.Block <= asOfBlock {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		// Either the key did not exist at that snapshot, or history was
+		// pruned past it. Distinguish: if an even-older version would have
+		// been pruned, the oldest retained version tells us.
+		if len(versions) > 0 && versions[0].Version.Block <= asOfBlock {
+			// unreachable given the search, defensive
+			return VersionedValue{}, false, nil
+		}
+		return VersionedValue{}, false, nil
+	}
+	vv := versions[lo-1]
+	if vv.Deleted {
+		return VersionedValue{}, false, nil
+	}
+	return vv, true, nil
+}
+
+// Snapshot returns a read-only view of the state as of the given block.
+type Snapshot struct {
+	db    *DB
+	block uint64
+}
+
+// SnapshotAt captures the snapshot identifier for block `block`. Reads
+// through it resolve against the version history, so later commits do not
+// disturb it (until pruning outruns it, which the caller bounds by
+// max_span).
+func (db *DB) SnapshotAt(block uint64) *Snapshot { return &Snapshot{db: db, block: block} }
+
+// LatestSnapshot captures the snapshot after the last committed block.
+func (db *DB) LatestSnapshot() *Snapshot { return db.SnapshotAt(db.Height()) }
+
+// Block returns the snapshot's block number.
+func (s *Snapshot) Block() uint64 { return s.block }
+
+// Get reads key as of the snapshot.
+func (s *Snapshot) Get(key string) (VersionedValue, bool, error) {
+	return s.db.GetAt(key, s.block)
+}
+
+// ApplyBlock commits the writes of block `block`'s valid transactions, in
+// order. Versions are assigned as (block, pos) per the EOV model. Blocks
+// must be applied in strictly increasing order; an empty writes slice is
+// fine (a block of aborted or read-only transactions).
+func (db *DB) ApplyBlock(block uint64, txWrites []BlockWrites) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.hasAny && block <= db.height {
+		return fmt.Errorf("statedb: block %d applied out of order (height %d)", block, db.height)
+	}
+	for _, tw := range txWrites {
+		ver := seqno.Commit(block, tw.Pos)
+		for _, w := range tw.Writes {
+			vv := VersionedValue{Version: ver, Deleted: w.Delete}
+			if !w.Delete {
+				vv.Value = append([]byte(nil), w.Value...)
+			}
+			db.hist[w.Key] = append(db.hist[w.Key], vv)
+			if db.backing != nil {
+				if err := db.persist(w.Key, vv); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	db.height = block
+	db.hasAny = true
+	if db.backing != nil {
+		return db.backing.Put([]byte(backingHeightKey), seqno.Seq{Block: block}.Bytes())
+	}
+	return nil
+}
+
+func (db *DB) persist(key string, vv VersionedValue) error {
+	k := []byte(backingStatePrefix + key)
+	if vv.Deleted {
+		return db.backing.Delete(k)
+	}
+	rec := vv.Version.AppendTo(nil)
+	rec = append(rec, vv.Value...)
+	return db.backing.Put(k, rec)
+}
+
+// PruneSnapshots discards history no longer needed to serve snapshots at or
+// after minSnapshotBlock: for each key it keeps the latest version at or
+// before the horizon plus everything after it (Section 4.2's periodic
+// pruning of staled snapshots).
+func (db *DB) PruneSnapshots(minSnapshotBlock uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for key, versions := range db.hist {
+		// Find the last version with Block <= minSnapshotBlock.
+		idx := -1
+		for i, vv := range versions {
+			if vv.Version.Block <= minSnapshotBlock {
+				idx = i
+			} else {
+				break
+			}
+		}
+		if idx <= 0 {
+			continue
+		}
+		kept := versions[idx:]
+		if len(kept) == 1 && kept[0].Deleted {
+			// Latest is a tombstone and nothing newer: the key is gone.
+			delete(db.hist, key)
+			continue
+		}
+		db.hist[key] = append([]VersionedValue(nil), kept...)
+	}
+}
+
+// VersionCount reports how many versions of key are retained (tests and
+// metrics).
+func (db *DB) VersionCount(key string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.hist[key])
+}
+
+// Keys returns the number of live keys at the latest snapshot.
+func (db *DB) Keys() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, versions := range db.hist {
+		if len(versions) > 0 && !versions[len(versions)-1].Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachLatest visits every live key with its latest version, in
+// unspecified order. The callback must not mutate the database.
+func (db *DB) ForEachLatest(fn func(key string, vv VersionedValue) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for key, versions := range db.hist {
+		last := versions[len(versions)-1]
+		if last.Deleted {
+			continue
+		}
+		if !fn(key, last) {
+			return
+		}
+	}
+}
+
+// KeysInRange returns, sorted, every key in [start, end) that is live at
+// the snapshot after block asOfBlock. The scan is linear in the key count —
+// acceptable for the contract-visible state sizes this repository targets
+// (the kvstore layer provides indexed range scans where volume matters).
+func (db *DB) KeysInRange(start, end string, asOfBlock uint64) []string {
+	db.mu.RLock()
+	var out []string
+	for key, versions := range db.hist {
+		if key < start || (end != "" && key >= end) {
+			continue
+		}
+		// Last version at or before the snapshot.
+		idx := -1
+		for i, vv := range versions {
+			if vv.Version.Block <= asOfBlock {
+				idx = i
+			} else {
+				break
+			}
+		}
+		if idx >= 0 && !versions[idx].Deleted {
+			out = append(out, key)
+		}
+	}
+	db.mu.RUnlock()
+	sortStrings(out)
+	return out
+}
+
+// Clone deep-copies the database (history and height). It backs the
+// serializability verifier, which re-executes committed schedules against a
+// fresh copy of the genesis state.
+func (db *DB) Clone() *DB {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := &DB{hist: make(map[string][]VersionedValue, len(db.hist)), height: db.height, hasAny: db.hasAny}
+	for k, versions := range db.hist {
+		cp := make([]VersionedValue, len(versions))
+		for i, vv := range versions {
+			cp[i] = VersionedValue{Version: vv.Version, Deleted: vv.Deleted, Value: append([]byte(nil), vv.Value...)}
+		}
+		out.hist[k] = cp
+	}
+	return out
+}
+
+// StateFingerprint folds every live (key, value) pair into a deterministic
+// digest, ignoring versions. Two databases with identical live contents
+// produce identical fingerprints; the serializability property tests compare
+// end states with it.
+func (db *DB) StateFingerprint() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.hist))
+	for k, versions := range db.hist {
+		if len(versions) > 0 && !versions[len(versions)-1].Deleted {
+			keys = append(keys, k)
+		}
+	}
+	sortStrings(keys)
+	h := newFNV()
+	for _, k := range keys {
+		vv := db.hist[k][len(db.hist[k])-1]
+		h.writeString(k)
+		h.write(vv.Value)
+	}
+	return h.sum()
+}

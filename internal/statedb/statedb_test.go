@@ -1,0 +1,296 @@
+package statedb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fabricsharp/internal/kvstore"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+)
+
+func mustNew(t *testing.T) *DB {
+	t.Helper()
+	db, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func apply(t *testing.T, db *DB, block uint64, writes ...BlockWrites) {
+	t.Helper()
+	if err := db.ApplyBlock(block, writes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func put(key, value string) protocol.WriteItem {
+	return protocol.WriteItem{Key: key, Value: []byte(value)}
+}
+
+func TestPaperFigure2Example(t *testing.T) {
+	// Reconstructs the states after blocks 1-3 of Figure 2a.
+	db := mustNew(t)
+	apply(t, db, 1,
+		BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("A", "100")}},
+		BlockWrites{Pos: 2, Writes: []protocol.WriteItem{put("B", "101")}},
+		BlockWrites{Pos: 3, Writes: []protocol.WriteItem{put("C", "102")}},
+	)
+	apply(t, db, 2, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("B", "201"), put("C", "201")}})
+	apply(t, db, 3, BlockWrites{Pos: 3, Writes: []protocol.WriteItem{put("C", "303")}})
+
+	// State after block 3 per the figure: A=(1,1)/100, B=(2,1)/201, C=(3,3)/303.
+	checks := []struct {
+		key string
+		ver seqno.Seq
+		val string
+	}{
+		{"A", seqno.Commit(1, 1), "100"},
+		{"B", seqno.Commit(2, 1), "201"},
+		{"C", seqno.Commit(3, 3), "303"},
+	}
+	for _, c := range checks {
+		vv, ok := db.Get(c.key)
+		if !ok || vv.Version != c.ver || string(vv.Value) != c.val {
+			t.Errorf("Get(%s) = %v/%q ok=%v, want %v/%q", c.key, vv.Version, vv.Value, ok, c.ver, c.val)
+		}
+	}
+	// Snapshot after block 2 per the figure: C=(2,1)/201.
+	vv, ok, err := db.GetAt("C", 2)
+	if err != nil || !ok || vv.Version != seqno.Commit(2, 1) || string(vv.Value) != "201" {
+		t.Errorf("GetAt(C, 2) = %v/%q, want (2,1)/201", vv.Version, vv.Value)
+	}
+	// Snapshot after block 1: C=(1,3)/102.
+	vv, _, _ = db.GetAt("C", 1)
+	if vv.Version != seqno.Commit(1, 3) || string(vv.Value) != "102" {
+		t.Errorf("GetAt(C, 1) = %v/%q, want (1,3)/102", vv.Version, vv.Value)
+	}
+}
+
+func TestGetAtBeforeCreation(t *testing.T) {
+	db := mustNew(t)
+	apply(t, db, 1, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("K", "v")}})
+	if _, ok, _ := db.GetAt("K", 0); ok {
+		t.Error("key visible before it was written")
+	}
+	if _, ok, _ := db.GetAt("missing", 1); ok {
+		t.Error("absent key visible")
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	db := mustNew(t)
+	apply(t, db, 1, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("K", "v")}})
+	apply(t, db, 2, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{{Key: "K", Delete: true}}})
+	if _, ok := db.Get("K"); ok {
+		t.Error("deleted key still visible at latest")
+	}
+	if vv, ok, _ := db.GetAt("K", 1); !ok || string(vv.Value) != "v" {
+		t.Error("historical read of deleted key failed")
+	}
+	if _, ok, _ := db.GetAt("K", 2); ok {
+		t.Error("deleted key visible at deletion snapshot")
+	}
+}
+
+func TestOutOfOrderBlocksRejected(t *testing.T) {
+	db := mustNew(t)
+	apply(t, db, 1)
+	if err := db.ApplyBlock(1, nil); err == nil {
+		t.Error("duplicate block accepted")
+	}
+	if err := db.ApplyBlock(0, nil); err == nil {
+		t.Error("older block accepted")
+	}
+	// Gaps are fine (blocks with no writes still advance height elsewhere).
+	if err := db.ApplyBlock(5, nil); err != nil {
+		t.Errorf("gap block rejected: %v", err)
+	}
+	if db.Height() != 5 {
+		t.Errorf("height = %d want 5", db.Height())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	db := mustNew(t)
+	apply(t, db, 1, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("X", "old")}})
+	snap := db.LatestSnapshot()
+	apply(t, db, 2, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("X", "new")}})
+	vv, ok, err := snap.Get("X")
+	if err != nil || !ok || string(vv.Value) != "old" {
+		t.Errorf("snapshot read = %q, want old", vv.Value)
+	}
+	if snap.Block() != 1 {
+		t.Errorf("snapshot block = %d", snap.Block())
+	}
+	if vv, _ := db.Get("X"); string(vv.Value) != "new" {
+		t.Error("latest read should see the new value")
+	}
+}
+
+func TestPruneSnapshots(t *testing.T) {
+	db := mustNew(t)
+	for b := uint64(1); b <= 20; b++ {
+		apply(t, db, b, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("hot", fmt.Sprintf("v%d", b))}})
+	}
+	if n := db.VersionCount("hot"); n != 20 {
+		t.Fatalf("expected 20 versions, got %d", n)
+	}
+	db.PruneSnapshots(15)
+	// Versions 15..20 remain (the version at block 15 serves snapshot 15).
+	if n := db.VersionCount("hot"); n != 6 {
+		t.Fatalf("after prune: %d versions, want 6", n)
+	}
+	for b := uint64(15); b <= 20; b++ {
+		vv, ok, err := db.GetAt("hot", b)
+		if err != nil || !ok || string(vv.Value) != fmt.Sprintf("v%d", b) {
+			t.Errorf("GetAt(hot,%d) = %q ok=%v err=%v", b, vv.Value, ok, err)
+		}
+	}
+}
+
+func TestPruneDropsDeletedKeys(t *testing.T) {
+	db := mustNew(t)
+	apply(t, db, 1, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("gone", "v")}})
+	apply(t, db, 2, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{{Key: "gone", Delete: true}}})
+	db.PruneSnapshots(3)
+	if db.VersionCount("gone") != 0 {
+		t.Error("fully deleted key should be garbage collected")
+	}
+}
+
+func TestBackingPersistence(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := New(Options{Backing: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(t, db, 1, BlockWrites{Pos: 2, Writes: []protocol.WriteItem{put("persist", "me")}})
+	apply(t, db, 2, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("persist", "me2"), put("other", "x")}})
+
+	// Reload from the same backing store.
+	db2, err := New(Options{Backing: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Height() != 2 {
+		t.Errorf("reloaded height = %d want 2", db2.Height())
+	}
+	vv, ok := db2.Get("persist")
+	if !ok || string(vv.Value) != "me2" || vv.Version != seqno.Commit(2, 1) {
+		t.Errorf("reloaded value = %q/%v", vv.Value, vv.Version)
+	}
+	if _, ok := db2.Get("other"); !ok {
+		t.Error("second key lost")
+	}
+}
+
+func TestBackingDeletePersisted(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := New(Options{Backing: kv})
+	apply(t, db, 1, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("k", "v")}})
+	apply(t, db, 2, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{{Key: "k", Delete: true}}})
+	db2, _ := New(Options{Backing: kv})
+	if _, ok := db2.Get("k"); ok {
+		t.Error("deleted key resurrected from backing store")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	db := mustNew(t)
+	apply(t, db, 1, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("a", "1")}})
+	clone := db.Clone()
+	apply(t, db, 2, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("a", "2")}})
+	if vv, _ := clone.Get("a"); string(vv.Value) != "1" {
+		t.Error("clone observed mutation of original")
+	}
+	if err := clone.ApplyBlock(2, []BlockWrites{{Pos: 1, Writes: []protocol.WriteItem{put("b", "9")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Get("b"); ok {
+		t.Error("original observed mutation of clone")
+	}
+}
+
+func TestStateFingerprint(t *testing.T) {
+	a := mustNew(t)
+	b := mustNew(t)
+	apply(t, a, 1, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("x", "1"), put("y", "2")}})
+	// Same contents via a different block/version history.
+	apply(t, b, 3, BlockWrites{Pos: 7, Writes: []protocol.WriteItem{put("y", "2")}})
+	apply(t, b, 4, BlockWrites{Pos: 2, Writes: []protocol.WriteItem{put("x", "1")}})
+	if a.StateFingerprint() != b.StateFingerprint() {
+		t.Error("fingerprint should ignore versions and depend on content only")
+	}
+	apply(t, a, 2, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("x", "other")}})
+	if a.StateFingerprint() == b.StateFingerprint() {
+		t.Error("fingerprint should change with content")
+	}
+}
+
+func TestKeysAndForEach(t *testing.T) {
+	db := mustNew(t)
+	apply(t, db, 1, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{put("a", "1"), put("b", "2"), put("c", "3")}})
+	apply(t, db, 2, BlockWrites{Pos: 1, Writes: []protocol.WriteItem{{Key: "b", Delete: true}}})
+	if db.Keys() != 2 {
+		t.Errorf("Keys = %d want 2", db.Keys())
+	}
+	seen := map[string]bool{}
+	db.ForEachLatest(func(k string, vv VersionedValue) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 2 || !seen["a"] || !seen["c"] {
+		t.Errorf("ForEachLatest visited %v", seen)
+	}
+}
+
+func TestHistoryRandomizedAgainstModel(t *testing.T) {
+	// Property: GetAt(key, b) always equals a model rebuilt from the write
+	// log truncated at block b.
+	db := mustNew(t)
+	rng := rand.New(rand.NewSource(99))
+	type write struct {
+		block uint64
+		key   string
+		val   string
+	}
+	var log []write
+	for b := uint64(1); b <= 30; b++ {
+		var ws []protocol.WriteItem
+		for i := 0; i < 5; i++ {
+			k := fmt.Sprintf("k%d", rng.Intn(8))
+			v := fmt.Sprintf("v%d-%d", b, i)
+			ws = append(ws, put(k, v))
+			log = append(log, write{b, k, v})
+		}
+		apply(t, db, b, BlockWrites{Pos: 1, Writes: ws})
+	}
+	for trial := 0; trial < 200; trial++ {
+		b := uint64(rng.Intn(31))
+		k := fmt.Sprintf("k%d", rng.Intn(8))
+		want := ""
+		found := false
+		for _, w := range log {
+			if w.block <= b && w.key == k {
+				want = w.val
+				found = true
+			}
+		}
+		vv, ok, err := db.GetAt(k, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != found || (ok && string(vv.Value) != want) {
+			t.Fatalf("GetAt(%s,%d) = %q,%v want %q,%v", k, b, vv.Value, ok, want, found)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package validation implements the third phase of the EOV pipeline: each
+// peer checks a delivered block's transactions against the endorsement
+// policy and (for systems that need it) the MVCC serializability rule, then
+// commits the valid writes to the state database.
+//
+// The MVCC rule is vanilla Fabric's: a transaction is valid iff every key it
+// read still carries the version it observed — considering both committed
+// state and the writes of earlier valid transactions in the same block. For
+// FabricSharp and Focc-s the ordering phase already guarantees
+// serializability, so peers skip the concurrency check entirely (Figure 8).
+package validation
+
+import (
+	"fmt"
+
+	"fabricsharp/internal/identity"
+	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+	"fabricsharp/internal/statedb"
+)
+
+// Options configures block validation.
+type Options struct {
+	// MVCC enables the stale-read serializability check.
+	MVCC bool
+	// MSP and Policy, when both set, enable endorsement verification.
+	MSP    *identity.Service
+	Policy identity.Policy
+}
+
+// ValidateAndCommit validates every transaction of blk in order and commits
+// the valid ones' writes to db with versions (block, position). It returns
+// the per-transaction validation codes, in block order.
+func ValidateAndCommit(db *statedb.DB, blk *ledger.Block, opts Options) ([]protocol.ValidationCode, error) {
+	codes := make([]protocol.ValidationCode, len(blk.Transactions))
+	// overlay tracks versions written by earlier valid transactions of this
+	// block; deleted keys map to an explicit tombstone marker.
+	type overlayEntry struct {
+		version seqno.Seq
+		deleted bool
+	}
+	overlay := map[string]overlayEntry{}
+	var writes []statedb.BlockWrites
+
+	currentVersion := func(key string) (seqno.Seq, bool) {
+		if e, ok := overlay[key]; ok {
+			if e.deleted {
+				return seqno.Seq{}, false
+			}
+			return e.version, true
+		}
+		vv, ok := db.Get(key)
+		if !ok {
+			return seqno.Seq{}, false
+		}
+		return vv.Version, true
+	}
+
+	for i, tx := range blk.Transactions {
+		pos := uint32(i + 1)
+		if opts.MSP != nil && opts.Policy != nil {
+			if err := opts.MSP.CheckEndorsements(tx, opts.Policy); err != nil {
+				codes[i] = protocol.EndorsementFailure
+				continue
+			}
+		}
+		if opts.MVCC && !readsFresh(tx, currentVersion) {
+			codes[i] = protocol.MVCCConflict
+			continue
+		}
+		codes[i] = protocol.Valid
+		ver := seqno.Commit(blk.Header.Number, pos)
+		for _, w := range tx.RWSet.Writes {
+			overlay[w.Key] = overlayEntry{version: ver, deleted: w.Delete}
+		}
+		writes = append(writes, statedb.BlockWrites{Pos: pos, Writes: tx.RWSet.Writes})
+	}
+	if err := db.ApplyBlock(blk.Header.Number, writes); err != nil {
+		return nil, fmt.Errorf("validation: commit block %d: %w", blk.Header.Number, err)
+	}
+	return codes, nil
+}
+
+// readsFresh reports whether every read version matches the current version
+// of its key (zero version matching "absent").
+func readsFresh(tx *protocol.Transaction, current func(string) (seqno.Seq, bool)) bool {
+	for _, r := range tx.RWSet.Reads {
+		ver, exists := current(r.Key)
+		observedExisting := r.Version != seqno.Seq{}
+		if exists != observedExisting {
+			return false
+		}
+		if exists && ver != r.Version {
+			return false
+		}
+	}
+	return true
+}
+
+// Stale is a convenience wrapper reporting whether tx would fail the MVCC
+// check against the database's latest state (no block overlay). The
+// endorser-side early aborts of Fabric++ and the doomed-transaction
+// detection of Focc-l use it.
+func Stale(db *statedb.DB, tx *protocol.Transaction) bool {
+	return !readsFresh(tx, func(key string) (seqno.Seq, bool) {
+		vv, ok := db.Get(key)
+		if !ok {
+			return seqno.Seq{}, false
+		}
+		return vv.Version, true
+	})
+}

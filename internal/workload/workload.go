@@ -1,0 +1,285 @@
+// Package workload implements the benchmark drivers of Section 5.2: the
+// modified Smallbank workload of the Fabric++ evaluation (4 reads + 4 writes
+// over 10k accounts with hot-access ratios), the original Smallbank mix and
+// Create Account workloads of the FastFabric experiments (Figure 15), and
+// the no-op / single-modification micro-workloads of Figure 1 — plus the
+// zipfian generator that skews account selection.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fabricsharp/internal/chaincode"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/statedb"
+)
+
+// Op is one contract invocation a client submits.
+type Op struct {
+	Contract string
+	Function string
+	Args     []string
+}
+
+// Generator produces a stream of operations. Implementations are
+// deterministic given their seed.
+type Generator interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Next returns the next operation.
+	Next() Op
+	// Seed populates the genesis state the workload expects.
+	Seed(db *statedb.DB) error
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian generator
+// ---------------------------------------------------------------------------
+
+// Zipf samples [0, n) with P(i) ∝ 1/(i+1)^theta via an exact inverse-CDF
+// table. theta = 0 degenerates to uniform; unlike the YCSB closed form it
+// stays exact for theta >= 1 (Figure 1 sweeps theta up to 1.2).
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+// NewZipf builds the sampler.
+func NewZipf(rng *rand.Rand, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("workload: zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Next samples one value.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(z.cdf) {
+		lo = len(z.cdf) - 1
+	}
+	return lo
+}
+
+// seedAccounts writes initial modified-Smallbank balances as genesis
+// (block 0) state.
+func seedAccounts(db *statedb.DB, n int, key func(int) string, balance int64) error {
+	writes := make([]protocol.WriteItem, 0, n)
+	for i := 0; i < n; i++ {
+		writes = append(writes, protocol.WriteItem{
+			Key:   key(i),
+			Value: []byte(fmt.Sprintf("%d", balance)),
+		})
+	}
+	return db.ApplyBlock(0, []statedb.BlockWrites{{Pos: 1, Writes: writes}})
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 micro-workloads
+// ---------------------------------------------------------------------------
+
+// NoOp issues transactions with no data access.
+type NoOp struct{}
+
+// Name implements Generator.
+func (NoOp) Name() string { return "no-op" }
+
+// Next implements Generator.
+func (NoOp) Next() Op { return Op{Contract: "kv", Function: "noop"} }
+
+// Seed implements Generator.
+func (NoOp) Seed(*statedb.DB) error { return nil }
+
+// SingleMod issues single read-modify-write transactions over Accounts keys
+// with zipfian skew — Figure 1's "single modification transactions with
+// varying skewness".
+type SingleMod struct {
+	Accounts int
+	Theta    float64
+	zipf     *Zipf
+}
+
+// NewSingleMod builds the workload.
+func NewSingleMod(rng *rand.Rand, accounts int, theta float64) *SingleMod {
+	return &SingleMod{Accounts: accounts, Theta: theta, zipf: NewZipf(rng, accounts, theta)}
+}
+
+// Name implements Generator.
+func (s *SingleMod) Name() string { return fmt.Sprintf("single-mod(θ=%.1f)", s.Theta) }
+
+// Next implements Generator.
+func (s *SingleMod) Next() Op {
+	acct := s.zipf.Next()
+	return Op{Contract: "kv", Function: "rmw", Args: []string{chaincode.AccountKey(fmt.Sprint(acct)), "1"}}
+}
+
+// Seed implements Generator.
+func (s *SingleMod) Seed(db *statedb.DB) error {
+	return seedAccounts(db, s.Accounts, func(i int) string { return chaincode.AccountKey(fmt.Sprint(i)) }, 1000)
+}
+
+// ---------------------------------------------------------------------------
+// Modified Smallbank (Fabric++ evaluation; Figures 10-14)
+// ---------------------------------------------------------------------------
+
+// ModifiedSmallbank issues the Fabric++ evaluation's transactions: each
+// reads 4 accounts and writes 4 accounts out of Accounts (default 10k), of
+// which HotFrac (default 1%) are hot. Each read targets a hot account with
+// probability ReadHotRatio; each write with probability WriteHotRatio.
+type ModifiedSmallbank struct {
+	Accounts      int
+	HotFrac       float64
+	ReadHotRatio  float64
+	WriteHotRatio float64
+	rng           *rand.Rand
+}
+
+// NewModifiedSmallbank builds the workload with the paper's defaults for
+// unset fields (10k accounts, 1% hot).
+func NewModifiedSmallbank(rng *rand.Rand, readHot, writeHot float64) *ModifiedSmallbank {
+	return &ModifiedSmallbank{
+		Accounts:      10000,
+		HotFrac:       0.01,
+		ReadHotRatio:  readHot,
+		WriteHotRatio: writeHot,
+		rng:           rng,
+	}
+}
+
+// Name implements Generator.
+func (m *ModifiedSmallbank) Name() string {
+	return fmt.Sprintf("msmallbank(rh=%.0f%%,wh=%.0f%%)", 100*m.ReadHotRatio, 100*m.WriteHotRatio)
+}
+
+// pick returns 4 distinct accounts, each hot with probability hotRatio.
+func (m *ModifiedSmallbank) pick(hotRatio float64) []string {
+	hot := int(float64(m.Accounts) * m.HotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	seen := map[int]bool{}
+	out := make([]string, 0, 4)
+	for len(out) < 4 {
+		var acct int
+		if m.rng.Float64() < hotRatio {
+			acct = m.rng.Intn(hot)
+		} else {
+			acct = hot + m.rng.Intn(m.Accounts-hot)
+		}
+		if !seen[acct] {
+			seen[acct] = true
+			out = append(out, fmt.Sprint(acct))
+		}
+	}
+	return out
+}
+
+// Next implements Generator.
+func (m *ModifiedSmallbank) Next() Op {
+	args := append(m.pick(m.ReadHotRatio), m.pick(m.WriteHotRatio)...)
+	return Op{Contract: "msmallbank", Function: "op", Args: args}
+}
+
+// Seed implements Generator.
+func (m *ModifiedSmallbank) Seed(db *statedb.DB) error {
+	return seedAccounts(db, m.Accounts, func(i int) string { return chaincode.AccountKey(fmt.Sprint(i)) }, 1000)
+}
+
+// ---------------------------------------------------------------------------
+// Original Smallbank (FastFabric experiments; Figure 15)
+// ---------------------------------------------------------------------------
+
+// CreateAccount issues uniform, contention-free account creations (blind
+// writes) — Figure 15's first workload.
+type CreateAccount struct {
+	next int
+}
+
+// Name implements Generator.
+func (c *CreateAccount) Name() string { return "create-account" }
+
+// Next implements Generator.
+func (c *CreateAccount) Next() Op {
+	c.next++
+	return Op{
+		Contract: "smallbank",
+		Function: "create_account",
+		Args:     []string{fmt.Sprintf("new%d", c.next), "1000", "1000"},
+	}
+}
+
+// Seed implements Generator.
+func (c *CreateAccount) Seed(*statedb.DB) error { return nil }
+
+// MixedSmallbank issues Figure 15's mixed workload: 50% read-only queries,
+// 30% single-account updates (deposit_checking, write_check,
+// transact_savings), 20% two-account updates (send_payment, amalgamate),
+// with zipfian account skew theta.
+type MixedSmallbank struct {
+	Accounts int
+	Theta    float64
+	rng      *rand.Rand
+	zipf     *Zipf
+}
+
+// NewMixedSmallbank builds the workload.
+func NewMixedSmallbank(rng *rand.Rand, accounts int, theta float64) *MixedSmallbank {
+	return &MixedSmallbank{Accounts: accounts, Theta: theta, rng: rng, zipf: NewZipf(rng, accounts, theta)}
+}
+
+// Name implements Generator.
+func (m *MixedSmallbank) Name() string { return fmt.Sprintf("mixed-smallbank(θ=%.2f)", m.Theta) }
+
+// Next implements Generator.
+func (m *MixedSmallbank) Next() Op {
+	a := fmt.Sprint(m.zipf.Next())
+	switch r := m.rng.Float64(); {
+	case r < 0.50:
+		return Op{Contract: "smallbank", Function: "query", Args: []string{a}}
+	case r < 0.80:
+		fn := []string{"deposit_checking", "write_check", "transact_savings"}[m.rng.Intn(3)]
+		return Op{Contract: "smallbank", Function: fn, Args: []string{a, "5"}}
+	default:
+		b := fmt.Sprint(m.zipf.Next())
+		for b == a {
+			b = fmt.Sprint(m.zipf.Next())
+		}
+		if m.rng.Intn(2) == 0 {
+			return Op{Contract: "smallbank", Function: "send_payment", Args: []string{a, b, "5"}}
+		}
+		return Op{Contract: "smallbank", Function: "amalgamate", Args: []string{a, b}}
+	}
+}
+
+// Seed implements Generator.
+func (m *MixedSmallbank) Seed(db *statedb.DB) error {
+	writes := make([]protocol.WriteItem, 0, 2*m.Accounts)
+	for i := 0; i < m.Accounts; i++ {
+		id := fmt.Sprint(i)
+		writes = append(writes,
+			protocol.WriteItem{Key: chaincode.CheckingKey(id), Value: []byte("10000")},
+			protocol.WriteItem{Key: chaincode.SavingsKey(id), Value: []byte("10000")},
+		)
+	}
+	return db.ApplyBlock(0, []statedb.BlockWrites{{Pos: 1, Writes: writes}})
+}

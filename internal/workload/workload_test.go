@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fabricsharp/internal/statedb"
+)
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/50 {
+			t.Errorf("bucket %d = %d, want ~%d", i, c, n/10)
+		}
+	}
+}
+
+func TestZipfSkewIncreasesWithTheta(t *testing.T) {
+	top := func(theta float64) float64 {
+		z := NewZipf(rand.New(rand.NewSource(2)), 1000, theta)
+		hits := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if z.Next() == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / n
+	}
+	p05, p10, p12 := top(0.5), top(1.0), top(1.2)
+	if !(p05 < p10 && p10 < p12) {
+		t.Errorf("head mass not increasing: %.3f %.3f %.3f", p05, p10, p12)
+	}
+	// At theta=1.2 over 1000 items the head should be clearly hot.
+	if p12 < 0.1 {
+		t.Errorf("theta=1.2 head mass %.3f too small", p12)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(3)), 7, 1.2)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 7 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfPanicsOnZeroN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewZipf(rand.New(rand.NewSource(1)), 0, 1)
+}
+
+func newDB(t *testing.T) *statedb.DB {
+	t.Helper()
+	db, err := statedb.New(statedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestModifiedSmallbankShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := NewModifiedSmallbank(rng, 0.3, 0.2)
+	db := newDB(t)
+	if err := w.Seed(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Keys() != 10000 {
+		t.Errorf("seeded %d accounts", db.Keys())
+	}
+	hotReads, totalReads := 0, 0
+	for i := 0; i < 2000; i++ {
+		op := w.Next()
+		if op.Contract != "msmallbank" || op.Function != "op" || len(op.Args) != 8 {
+			t.Fatalf("op = %+v", op)
+		}
+		// Reads are args 0-3; hot accounts are ids < 100 (1% of 10k).
+		seen := map[string]bool{}
+		for _, a := range op.Args[:4] {
+			if seen[a] {
+				t.Fatalf("duplicate read account in %v", op.Args[:4])
+			}
+			seen[a] = true
+			var id int
+			fmt.Sscan(a, &id)
+			totalReads++
+			if id < 100 {
+				hotReads++
+			}
+		}
+	}
+	ratio := float64(hotReads) / float64(totalReads)
+	if math.Abs(ratio-0.3) > 0.03 {
+		t.Errorf("read hot ratio = %.3f want ~0.30", ratio)
+	}
+}
+
+func TestMixedSmallbankMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := NewMixedSmallbank(rng, 100, 0.5)
+	db := newDB(t)
+	if err := w.Seed(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Keys() != 200 { // checking + savings per account
+		t.Errorf("seeded %d keys", db.Keys())
+	}
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		op := w.Next()
+		switch op.Function {
+		case "query":
+			counts["ro"]++
+		case "deposit_checking", "write_check", "transact_savings":
+			counts["single"]++
+			if len(op.Args) != 2 {
+				t.Fatalf("args = %v", op.Args)
+			}
+		case "send_payment", "amalgamate":
+			counts["double"]++
+			if op.Args[0] == op.Args[1] {
+				t.Fatal("two-account op with identical accounts")
+			}
+		default:
+			t.Fatalf("unexpected function %q", op.Function)
+		}
+	}
+	if math.Abs(float64(counts["ro"])/n-0.5) > 0.03 {
+		t.Errorf("read-only share %.3f want ~0.50", float64(counts["ro"])/n)
+	}
+	if math.Abs(float64(counts["single"])/n-0.3) > 0.03 {
+		t.Errorf("single-account share %.3f want ~0.30", float64(counts["single"])/n)
+	}
+	if math.Abs(float64(counts["double"])/n-0.2) > 0.03 {
+		t.Errorf("two-account share %.3f want ~0.20", float64(counts["double"])/n)
+	}
+}
+
+func TestCreateAccountUnique(t *testing.T) {
+	w := &CreateAccount{}
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		op := w.Next()
+		if op.Function != "create_account" {
+			t.Fatalf("fn = %s", op.Function)
+		}
+		if seen[op.Args[0]] {
+			t.Fatalf("duplicate account %s", op.Args[0])
+		}
+		seen[op.Args[0]] = true
+	}
+	if err := w.Seed(newDB(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoOpAndSingleMod(t *testing.T) {
+	if op := (NoOp{}).Next(); op.Function != "noop" {
+		t.Errorf("noop op = %+v", op)
+	}
+	rng := rand.New(rand.NewSource(6))
+	s := NewSingleMod(rng, 100, 0.8)
+	db := newDB(t)
+	if err := s.Seed(db); err != nil {
+		t.Fatal(err)
+	}
+	op := s.Next()
+	if op.Function != "rmw" || len(op.Args) != 2 {
+		t.Errorf("singlemod op = %+v", op)
+	}
+	if s.Name() == "" || (NoOp{}).Name() == "" {
+		t.Error("names empty")
+	}
+}
+
+func TestGeneratorsDeterministicGivenSeed(t *testing.T) {
+	mk := func() []string {
+		rng := rand.New(rand.NewSource(77))
+		w := NewModifiedSmallbank(rng, 0.2, 0.2)
+		var ops []string
+		for i := 0; i < 50; i++ {
+			ops = append(ops, fmt.Sprint(w.Next()))
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package fabricsharp is a from-scratch Go reproduction of "A Transactional
+// Perspective on Execute-order-validate Blockchains" (Ruan et al., SIGMOD
+// 2020): FabricSharp's fine-grained, reordering-based concurrency control
+// for EOV blockchains, together with every substrate it runs on — a
+// permissioned blockchain (peers, orderers, Kafka-model consensus, ed25519
+// membership, chaincode runtime, MVCC state, hash-chained ledger), four
+// baseline concurrency controls (Fabric, Fabric++, Focc-s, Focc-l), the
+// Smallbank workloads, and a deterministic network simulator that
+// regenerates every figure of the paper's evaluation.
+//
+// Two entry points:
+//
+//   - Library mode: NewNetwork boots a real, in-process blockchain network;
+//     clients submit transactions through the full
+//     execute-order-validate pipeline.
+//
+//     net, _ := fabricsharp.NewNetwork(fabricsharp.NetworkOptions{
+//     System: fabricsharp.SystemSharp,
+//     })
+//     defer net.Close()
+//     client, _ := net.NewClient("alice")
+//     res, _ := client.Submit("kv", "put", "greeting", "hello")
+//
+//   - Experiment mode: RunExperiment executes a configuration on the
+//     discrete-event simulator and returns throughput/latency/abort
+//     measurements; the Figure*/Table* functions regenerate the paper's
+//     exhibits.
+package fabricsharp
+
+import (
+	"fabricsharp/internal/bench"
+	"fabricsharp/internal/chaincode"
+	"fabricsharp/internal/core"
+	"fabricsharp/internal/fabric"
+	"fabricsharp/internal/network"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/sched"
+	"fabricsharp/internal/sim"
+	"fabricsharp/internal/workload"
+)
+
+// The five systems of the evaluation (Section 5.1).
+const (
+	// SystemFabric is vanilla Hyperledger Fabric: FIFO ordering and
+	// validation-phase MVCC aborts.
+	SystemFabric = sched.SystemFabric
+	// SystemFabricPP is Fabric++: simulation-phase cross-block aborts plus
+	// in-block reordering.
+	SystemFabricPP = sched.SystemFabricPP
+	// SystemFoccS is the serializable-OCC certifier of Cahill et al.
+	// adapted to the ordering phase.
+	SystemFoccS = sched.SystemFoccS
+	// SystemFoccL is Ding et al.'s batch reordering.
+	SystemFoccL = sched.SystemFoccL
+	// SystemSharp is the paper's contribution: fine-grained reordering with
+	// pre-ordering aborts of unreorderable transactions (Theorem 2).
+	SystemSharp = sched.SystemSharp
+)
+
+// System identifies a concurrency-control scheme.
+type System = sched.System
+
+// Systems lists every scheme.
+func Systems() []System { return sched.Systems() }
+
+// ---------------------------------------------------------------------------
+// Library mode
+// ---------------------------------------------------------------------------
+
+// NetworkOptions configures an in-process blockchain network.
+type NetworkOptions = fabric.Options
+
+// Network is a running in-process blockchain network.
+type Network = fabric.Network
+
+// Client submits transactions to a Network.
+type Client = fabric.Client
+
+// TxResult is a transaction's final fate.
+type TxResult = fabric.TxResult
+
+// NewNetwork boots an in-process blockchain network.
+func NewNetwork(opts NetworkOptions) (*Network, error) { return fabric.NewNetwork(opts) }
+
+// Contract is a deployable smart contract; Stub is the API it programs
+// against. Custom contracts implement Contract and are deployed via
+// NetworkOptions.Contracts.
+type (
+	Contract = chaincode.Contract
+	Stub     = chaincode.Stub
+)
+
+// ValidationCode classifies a transaction's fate (commit or abort reason).
+type ValidationCode = protocol.ValidationCode
+
+// Valid marks a committed transaction.
+const Valid = protocol.Valid
+
+// ---------------------------------------------------------------------------
+// Experiment mode
+// ---------------------------------------------------------------------------
+
+// ExperimentConfig describes one simulated run (system, workload, rates,
+// block size, delays).
+type ExperimentConfig = network.Config
+
+// ExperimentResult carries a run's measurements.
+type ExperimentResult = network.Result
+
+// Time is virtual time; Second / Millisecond are its units.
+type Time = sim.Time
+
+// Virtual-time units for ExperimentConfig fields.
+const (
+	Second      = sim.Second
+	Millisecond = sim.Millisecond
+)
+
+// RunExperiment executes one configuration on the simulator.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return network.Run(cfg) }
+
+// VerifySerializability checks a run end to end: the committed schedule's
+// exact precedence graph must be acyclic and serial re-execution must
+// reproduce the final state (Theorems 1 and 2, observably).
+func VerifySerializability(res *ExperimentResult) error { return network.VerifySerializability(res) }
+
+// WorkloadGenerator produces the operations clients submit.
+type WorkloadGenerator = workload.Generator
+
+// NoOpWorkload returns Figure 1's no-data-access workload.
+func NoOpWorkload() WorkloadGenerator { return workload.NoOp{} }
+
+// Workload constructors for the paper's benchmark drivers (Section 5.2).
+var (
+	// NewSingleModWorkload: single read-modify-writes over n accounts with
+	// zipfian skew theta (Figure 1).
+	NewSingleModWorkload = workload.NewSingleMod
+	// NewModifiedSmallbankWorkload: the Fabric++ evaluation workload —
+	// 4 reads + 4 writes over 10k accounts with read/write hot ratios
+	// (Figures 10-14).
+	NewModifiedSmallbankWorkload = workload.NewModifiedSmallbank
+	// NewMixedSmallbankWorkload: 50% queries / 30% single-account /
+	// 20% two-account with zipfian skew (Figure 15).
+	NewMixedSmallbankWorkload = workload.NewMixedSmallbank
+)
+
+// ExperimentTable is a rendered paper exhibit.
+type ExperimentTable = bench.Table
+
+// BenchOptions tunes the exhibit regeneration (Quick shortens windows).
+type BenchOptions = bench.Options
+
+// The paper's exhibits, regenerated. See EXPERIMENTS.md for paper-vs-
+// measured numbers.
+var (
+	Figure1  = bench.Figure1
+	Table1   = bench.Table1
+	Figure10 = bench.Figure10
+	Figure11 = bench.Figure11
+	Figure12 = bench.Figure12
+	Figure13 = bench.Figure13
+	Figure14 = bench.Figure14
+	Figure15 = bench.Figure15
+	// ReorderCost measures the real reordering implementations
+	// (Section 5.3's cost-scaling numbers).
+	ReorderCost = bench.ReorderCost
+	// AllExperiments runs everything in paper order.
+	AllExperiments = bench.All
+)
+
+// SharpManagerStats exposes the core concurrency-control statistics type
+// (hops, spans, phase timings) reported by ExperimentResult.SharpStats.
+type SharpManagerStats = core.Stats
