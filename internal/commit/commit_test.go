@@ -1,0 +1,448 @@
+package commit
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fabricsharp/internal/identity"
+	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+	"fabricsharp/internal/statedb"
+	"fabricsharp/internal/validation"
+)
+
+// testEnv bundles an MSP with one endorsing peer identity.
+type testEnv struct {
+	msp    *identity.Service
+	peer   *identity.Identity
+	policy identity.Policy
+}
+
+func newTestEnv(t *testing.T) *testEnv {
+	t.Helper()
+	msp := identity.NewService()
+	peer, err := msp.Enroll("peer0", identity.RolePeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{msp: msp, peer: peer, policy: identity.SignedBy("peer0")}
+}
+
+func (e *testEnv) sign(tx *protocol.Transaction) {
+	tx.Endorsements = []protocol.Endorsement{{
+		EndorserID: e.peer.ID,
+		Signature:  e.peer.Sign(tx.Digest()),
+	}}
+}
+
+// seedState commits block 1 writing keys k0..k{n-1} and returns the db.
+func seedState(t *testing.T, n int) *statedb.DB {
+	t.Helper()
+	db, err := statedb.New(statedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes []statedb.BlockWrites
+	for i := 0; i < n; i++ {
+		writes = append(writes, statedb.BlockWrites{
+			Pos:    uint32(i + 1),
+			Writes: []protocol.WriteItem{{Key: fmt.Sprintf("k%d", i), Value: []byte("seed")}},
+		})
+	}
+	if err := db.ApplyBlock(1, writes); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// randomBlock builds block 2 over the seeded keys: a mix of fresh reads,
+// stale reads, unsigned transactions, and overlapping writes.
+func randomBlock(t *testing.T, env *testEnv, db *statedb.DB, rng *rand.Rand, txCount, keyPool int) *ledger.Block {
+	t.Helper()
+	var txs []*protocol.Transaction
+	for i := 0; i < txCount; i++ {
+		tx := &protocol.Transaction{ID: protocol.TxID(fmt.Sprintf("t%d", i)), SnapshotBlock: 1}
+		for r := 0; r < 1+rng.Intn(3); r++ {
+			key := fmt.Sprintf("k%d", rng.Intn(keyPool))
+			var ver seqno.Seq
+			if vv, ok := db.Get(key); ok {
+				ver = vv.Version
+			}
+			if rng.Intn(5) == 0 { // stale read
+				ver = seqno.Commit(1, uint32(keyPool+1+rng.Intn(5)))
+			}
+			tx.RWSet.Reads = append(tx.RWSet.Reads, protocol.ReadItem{Key: key, Version: ver})
+		}
+		for w := 0; w < rng.Intn(3); w++ {
+			tx.RWSet.Writes = append(tx.RWSet.Writes, protocol.WriteItem{
+				Key: fmt.Sprintf("k%d", rng.Intn(keyPool)), Value: []byte(fmt.Sprintf("v%d", i)),
+			})
+		}
+		if rng.Intn(6) != 0 { // 1 in 6 stays unsigned → endorsement failure
+			env.sign(tx)
+		}
+		txs = append(txs, tx)
+	}
+	chain, err := ledger.NewChain(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Seal(nil, nil); err != nil { // block 1 placeholder
+		t.Fatal(err)
+	}
+	blk, err := chain.Seal(txs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blk
+}
+
+// TestParallelMatchesSequential is the core refactor-safety property: for
+// randomized contended blocks, the parallel validator produces exactly the
+// sequential reference's codes and final state.
+func TestParallelMatchesSequential(t *testing.T) {
+	env := newTestEnv(t)
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		db := seedState(t, 8)
+		blk := randomBlock(t, env, db, rng, 2+rng.Intn(30), 8)
+
+		seqDB, parDB := db.Clone(), db.Clone()
+		wantCodes, err := validation.ValidateAndCommit(seqDB, blk, validation.Options{
+			MVCC: true, MSP: env.msp, Policy: env.policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := ValidateBlock(parDB, blk, Options{Options: validation.Options{MVCC: true, MSP: env.msp, Policy: env.policy}})
+		if err := parDB.ApplyBlock(blk.Header.Number, res.Writes); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantCodes {
+			if res.Codes[i] != wantCodes[i] {
+				t.Fatalf("trial %d: tx %d code = %v want %v", trial, i, res.Codes[i], wantCodes[i])
+			}
+		}
+		if seqDB.StateFingerprint() != parDB.StateFingerprint() {
+			t.Fatalf("trial %d: state diverged", trial)
+		}
+		if seqDB.Height() != parDB.Height() {
+			t.Fatalf("trial %d: heights diverged", trial)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialNoMVCC covers the Sharp/Focc-s fast path:
+// endorsement checks only, no conflict partition.
+func TestParallelMatchesSequentialNoMVCC(t *testing.T) {
+	env := newTestEnv(t)
+	rng := rand.New(rand.NewSource(7))
+	db := seedState(t, 8)
+	blk := randomBlock(t, env, db, rng, 20, 8)
+
+	seqDB, parDB := db.Clone(), db.Clone()
+	wantCodes, err := validation.ValidateAndCommit(seqDB, blk, validation.Options{
+		MSP: env.msp, Policy: env.policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ValidateBlock(parDB, blk, Options{Options: validation.Options{MSP: env.msp, Policy: env.policy}})
+	if res.Groups != 0 {
+		t.Errorf("no-MVCC path partitioned into %d groups", res.Groups)
+	}
+	if err := parDB.ApplyBlock(blk.Header.Number, res.Writes); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantCodes {
+		if res.Codes[i] != wantCodes[i] {
+			t.Fatalf("tx %d code = %v want %v", i, res.Codes[i], wantCodes[i])
+		}
+	}
+	if seqDB.StateFingerprint() != parDB.StateFingerprint() {
+		t.Fatal("state diverged")
+	}
+}
+
+func TestPartitionByConflict(t *testing.T) {
+	tx := func(id string, reads ...string) *protocol.Transaction {
+		out := &protocol.Transaction{ID: protocol.TxID(id)}
+		for _, k := range reads {
+			out.RWSet.Reads = append(out.RWSet.Reads, protocol.ReadItem{Key: k})
+		}
+		return out
+	}
+	withWrites := func(t0 *protocol.Transaction, keys ...string) *protocol.Transaction {
+		for _, k := range keys {
+			t0.RWSet.Writes = append(t0.RWSet.Writes, protocol.WriteItem{Key: k, Value: []byte("v")})
+		}
+		return t0
+	}
+	txs := []*protocol.Transaction{
+		withWrites(tx("a", "x"), "x"), // group {a, c} via x
+		withWrites(tx("b", "y"), "z"), // group {b, d} via z
+		withWrites(tx("c"), "x"),      // joins a
+		withWrites(tx("d", "z"), "w"), // joins b
+		withWrites(tx("e", "q"), "q"), // alone
+		tx("f", "x", "z"),             // bridges both → one merged group
+	}
+	// f reads x and z, merging {a,c} and {b,d} into one group of 5, plus {e}.
+	codes := make([]protocol.ValidationCode, len(txs))
+	groups := partitionByConflict(txs, codes)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d (%v)", len(groups), groups)
+	}
+	sizes := map[int]bool{len(groups[0]): true, len(groups[1]): true}
+	if !sizes[5] || !sizes[1] {
+		t.Fatalf("group sizes = %v", groups)
+	}
+	for _, g := range groups {
+		for i := 1; i < len(g); i++ {
+			if g[i] <= g[i-1] {
+				t.Fatalf("group not in block order: %v", g)
+			}
+		}
+	}
+	// An endorsement-failed transaction leaves the partition entirely.
+	codes[5] = protocol.EndorsementFailure
+	groups = partitionByConflict(txs, codes)
+	if len(groups) != 3 {
+		t.Fatalf("groups after exclusion = %d (%v)", len(groups), groups)
+	}
+}
+
+// TestPartitionHotReadOnlyKey: a key every transaction reads but none
+// writes keeps its committed version for the whole block, so it must not
+// serialize the partition.
+func TestPartitionHotReadOnlyKey(t *testing.T) {
+	const n = 16
+	txs := make([]*protocol.Transaction, n)
+	for i := range txs {
+		txs[i] = &protocol.Transaction{
+			ID: protocol.TxID(fmt.Sprintf("t%d", i)),
+			RWSet: protocol.RWSet{
+				Reads:  []protocol.ReadItem{{Key: "config"}}, // hot, never written
+				Writes: []protocol.WriteItem{{Key: fmt.Sprintf("own%d", i), Value: []byte("v")}},
+			},
+		}
+	}
+	groups := partitionByConflict(txs, make([]protocol.ValidationCode, n))
+	if len(groups) != n {
+		t.Fatalf("hot read-only key collapsed partition to %d groups, want %d", len(groups), n)
+	}
+	// But one writer of the hot key couples every reader.
+	txs[0].RWSet.Writes = append(txs[0].RWSet.Writes, protocol.WriteItem{Key: "config", Value: []byte("v2")})
+	groups = partitionByConflict(txs, make([]protocol.ValidationCode, n))
+	if len(groups) != 1 {
+		t.Fatalf("written hot key split into %d groups, want 1", len(groups))
+	}
+}
+
+func TestCommitterPipeline(t *testing.T) {
+	env := newTestEnv(t)
+	source, err := ledger.NewChain(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := statedb.New(statedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerChain, err := ledger.NewChain(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var committed []uint64
+	c := New(Config{
+		Name:       "peer-test",
+		State:      state,
+		Chain:      peerChain,
+		Validation: Options{Options: validation.Options{MVCC: true, MSP: env.msp, Policy: env.policy}},
+		OnCommit: func(blk *ledger.Block, codes []protocol.ValidationCode) {
+			mu.Lock()
+			committed = append(committed, blk.Header.Number)
+			mu.Unlock()
+		},
+		OnError: func(err error) { t.Errorf("committer error: %v", err) },
+	})
+	c.Start()
+	const blocks = 10
+	for b := 0; b < blocks; b++ {
+		var txs []*protocol.Transaction
+		for i := 0; i < 4; i++ {
+			tx := &protocol.Transaction{
+				ID: protocol.TxID(fmt.Sprintf("b%d-t%d", b, i)),
+				RWSet: protocol.RWSet{Writes: []protocol.WriteItem{
+					{Key: fmt.Sprintf("key-%d-%d", b, i), Value: []byte("v")},
+				}},
+			}
+			env.sign(tx)
+			txs = append(txs, tx)
+		}
+		blk, err := source.Seal(txs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Deliver(blk)
+	}
+	c.Close()
+	if !c.Idle() {
+		t.Error("closed committer not idle")
+	}
+	if len(committed) != blocks {
+		t.Fatalf("committed %d blocks, want %d", len(committed), blocks)
+	}
+	for i, n := range committed {
+		if n != uint64(i+1) {
+			t.Fatalf("commit order %v", committed)
+		}
+	}
+	if state.Height() != blocks {
+		t.Errorf("height = %d", state.Height())
+	}
+	if err := peerChain.Verify(); err != nil {
+		t.Error(err)
+	}
+	st := c.Stats()
+	if st.BlocksCommitted.Value() != blocks {
+		t.Errorf("BlocksCommitted = %d", st.BlocksCommitted.Value())
+	}
+	if st.TxsValidated.Value() != blocks*4 {
+		t.Errorf("TxsValidated = %d", st.TxsValidated.Value())
+	}
+	if st.CommitLatencyMS.N() != blocks {
+		t.Errorf("latency samples = %d", st.CommitLatencyMS.N())
+	}
+	if st.QueueDepth.Value() != 0 {
+		t.Errorf("queue depth = %d", st.QueueDepth.Value())
+	}
+}
+
+// TestReplayStoredMatchesLiveCommit drives the same chain through the live
+// path and the replay path and checks they land on identical state.
+func TestReplayStoredMatchesLiveCommit(t *testing.T) {
+	env := newTestEnv(t)
+	source, _ := ledger.NewChain(nil)
+	liveState, _ := statedb.New(statedb.Options{})
+	liveChain, _ := ledger.NewChain(nil)
+	live := New(Config{
+		Name: "live", State: liveState, Chain: liveChain,
+		Validation: Options{Options: validation.Options{MVCC: true, MSP: env.msp, Policy: env.policy}},
+		OnError:    func(err error) { t.Errorf("live: %v", err) },
+	})
+	live.Start()
+	for b := 0; b < 5; b++ {
+		var txs []*protocol.Transaction
+		for i := 0; i < 3; i++ {
+			tx := &protocol.Transaction{
+				ID: protocol.TxID(fmt.Sprintf("b%d-t%d", b, i)),
+				RWSet: protocol.RWSet{Writes: []protocol.WriteItem{
+					{Key: fmt.Sprintf("hot%d", i), Value: []byte(fmt.Sprintf("b%d", b))},
+				}},
+			}
+			env.sign(tx)
+			txs = append(txs, tx)
+		}
+		blk, err := source.Seal(txs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live.Deliver(blk)
+	}
+	live.Close()
+
+	// Replay the live peer's chain (blocks now carry validation codes) into
+	// a fresh committer, as a restart would.
+	replayState, _ := statedb.New(statedb.Options{})
+	replayChain, _ := ledger.NewChain(nil)
+	replay := New(Config{Name: "replay", State: replayState, Chain: replayChain})
+	var replayErr error
+	liveChain.ForEach(func(b *ledger.Block) bool {
+		replayErr = replay.ReplayStored(b)
+		return replayErr == nil
+	})
+	if replayErr != nil {
+		t.Fatal(replayErr)
+	}
+	if replayState.StateFingerprint() != liveState.StateFingerprint() {
+		t.Error("replayed state differs from live state")
+	}
+	if replayState.Height() != liveState.Height() {
+		t.Errorf("heights: replay %d live %d", replayState.Height(), liveState.Height())
+	}
+	if replayChain.TipHash() == nil {
+		t.Fatal("replay chain empty")
+	}
+
+	// A stored block stripped of its codes is rejected, not guessed at.
+	bad := &ledger.Block{Header: ledger.Header{Number: 99}}
+	bad.Transactions = []*protocol.Transaction{{ID: "x"}}
+	if err := replay.ReplayStored(bad); err == nil {
+		t.Error("replay accepted a block without validation metadata")
+	}
+}
+
+func TestCommitterReportsPoisonedBlock(t *testing.T) {
+	state, _ := statedb.New(statedb.Options{})
+	chain, _ := ledger.NewChain(nil)
+	errs := make(chan error, 1)
+	c := New(Config{
+		Name: "peerX", State: state, Chain: chain,
+		OnError: func(err error) { errs <- err },
+	})
+	c.Start()
+	// A block whose data hash does not cover its transactions cannot append.
+	poisoned := &ledger.Block{
+		Header:       ledger.Header{Number: 1, DataHash: ledger.DataHash(nil)},
+		Transactions: []*protocol.Transaction{{ID: "x"}},
+	}
+	c.Deliver(poisoned)
+	c.Close()
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("nil error")
+		}
+	default:
+		t.Fatal("poisoned block did not surface an error")
+	}
+	if !c.Failed() {
+		t.Error("committer not marked failed")
+	}
+}
+
+func TestQueue(t *testing.T) {
+	q := NewQueue[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				q.Push(w*100 + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-q.Ready()
+	got := q.Drain()
+	if len(got) != 400 {
+		t.Fatalf("drained %d", len(got))
+	}
+	if len(q.Drain()) != 0 {
+		t.Error("second drain non-empty")
+	}
+	// Push order is preserved per producer.
+	last := map[int]int{}
+	for _, v := range got {
+		w, i := v/100, v%100
+		if prev, ok := last[w]; ok && i <= prev {
+			t.Fatalf("producer %d out of order", w)
+		}
+		last[w] = i
+	}
+}

@@ -1,0 +1,201 @@
+package commit
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/metrics"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/statedb"
+)
+
+// DefaultQueueDepth is the delivery-channel buffer when Config leaves it
+// unset: deep enough that ordering rarely blocks on a slow peer, bounded so
+// a stalled peer exerts backpressure instead of hoarding unbounded memory.
+const DefaultQueueDepth = 64
+
+// Config wires a Committer to one peer's state and ledger. The Committer
+// deliberately knows nothing about the network that feeds it — completion
+// and failure flow out through callbacks, so the package has no dependency
+// on the fabric layer.
+type Config struct {
+	// Name identifies the peer in errors and metrics ("peer0").
+	Name string
+	// State is the peer's versioned state database.
+	State *statedb.DB
+	// Chain is the peer's ledger.
+	Chain *ledger.Chain
+	// Validation configures the parallel validator.
+	Validation Options
+	// QueueDepth buffers the delivery channel (default DefaultQueueDepth).
+	QueueDepth int
+	// OnCommit, when set, fires after each block commits, from the committer
+	// goroutine, with the peer's appended block and its validation codes.
+	OnCommit func(blk *ledger.Block, codes []protocol.ValidationCode)
+	// OnError, when set, fires once on the first commit failure. The
+	// committer then drains further deliveries without applying them, so an
+	// upstream orderer never blocks on a poisoned pipeline.
+	OnError func(err error)
+}
+
+// Stats instruments one committer: delivery-queue depth (with high-water
+// mark), blocks/transactions committed, validation parallelism, and commit
+// latency.
+type Stats struct {
+	// QueueDepth is the instantaneous delivery-channel backlog.
+	QueueDepth metrics.Gauge
+	// BlocksCommitted counts blocks fully applied.
+	BlocksCommitted metrics.Counter
+	// TxsValidated counts transactions validated (any verdict).
+	TxsValidated metrics.Counter
+	// ValidationGroups counts MVCC conflict groups validated in parallel.
+	ValidationGroups metrics.Counter
+	// GroupsPerBlock samples the per-block conflict-group count — the
+	// available intra-block parallelism.
+	GroupsPerBlock metrics.SyncHistogram
+	// CommitLatencyMS samples per-block commit latency (validate + apply),
+	// in milliseconds.
+	CommitLatencyMS metrics.SyncHistogram
+}
+
+// Committer is one peer's pipelined validation/commit stage: a goroutine
+// consuming sealed blocks from a buffered delivery channel, validating them
+// with the parallel validator, and applying the valid writes. It replaces
+// the orderer-driven inline commit: ordering proceeds while peers commit.
+type Committer struct {
+	cfg       Config
+	deliver   chan *ledger.Block
+	pending   atomic.Int64 // delivered but not yet fully committed
+	failed    atomic.Bool
+	errOnce   sync.Once
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	started   atomic.Bool
+	stats     Stats
+}
+
+// New builds a Committer. Call Start to launch its goroutine.
+func New(cfg Config) *Committer {
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	return &Committer{cfg: cfg, deliver: make(chan *ledger.Block, depth)}
+}
+
+// Start launches the committer goroutine. It is idempotent.
+func (c *Committer) Start() {
+	if c.started.Swap(true) {
+		return
+	}
+	c.wg.Add(1)
+	go c.run()
+}
+
+// Deliver hands a sealed block to the committer. It blocks only when the
+// delivery buffer is full — backpressure on the ordering stage, never a
+// deadlock, because the committer depends on nothing the deliverer holds.
+// The block is not mutated; the committer appends its own copy.
+func (c *Committer) Deliver(blk *ledger.Block) {
+	c.pending.Add(1)
+	c.stats.QueueDepth.Add(1)
+	c.deliver <- blk
+}
+
+// Close stops the committer after it drains every delivered block, and
+// waits for the goroutine to exit. It is idempotent; no Deliver may follow
+// the first call.
+func (c *Committer) Close() {
+	c.closeOnce.Do(func() { close(c.deliver) })
+	if c.started.Load() {
+		c.wg.Wait()
+	}
+}
+
+// Idle reports whether every delivered block has been fully processed.
+func (c *Committer) Idle() bool { return c.pending.Load() == 0 }
+
+// Failed reports whether the committer hit a fatal commit error.
+func (c *Committer) Failed() bool { return c.failed.Load() }
+
+// Stats exposes the committer's instrumentation.
+func (c *Committer) Stats() *Stats { return &c.stats }
+
+func (c *Committer) run() {
+	defer c.wg.Done()
+	for blk := range c.deliver {
+		c.stats.QueueDepth.Add(-1)
+		if !c.failed.Load() {
+			start := time.Now()
+			if err := c.commit(blk); err != nil {
+				c.fail(err)
+			} else {
+				c.stats.CommitLatencyMS.Add(float64(time.Since(start).Nanoseconds()) / 1e6)
+			}
+		}
+		c.pending.Add(-1)
+	}
+}
+
+func (c *Committer) fail(err error) {
+	c.failed.Store(true)
+	c.errOnce.Do(func() {
+		if c.cfg.OnError != nil {
+			c.cfg.OnError(fmt.Errorf("commit: %s: %w", c.cfg.Name, err))
+		}
+	})
+}
+
+// commit is the live path: append the peer's own copy of the block, run the
+// parallel validator, record the codes as block metadata, and batch-apply
+// the valid writes.
+func (c *Committer) commit(blk *ledger.Block) error {
+	peerBlk := &ledger.Block{Header: blk.Header, Transactions: blk.Transactions}
+	if err := c.cfg.Chain.Append(peerBlk); err != nil {
+		return fmt.Errorf("append block %d: %w", blk.Header.Number, err)
+	}
+	res := ValidateBlock(c.cfg.State, peerBlk, c.cfg.Validation)
+	if err := c.cfg.Chain.SetValidation(peerBlk.Header.Number, res.Codes); err != nil {
+		return fmt.Errorf("record validation for block %d: %w", peerBlk.Header.Number, err)
+	}
+	if err := c.apply(peerBlk, res.Writes); err != nil {
+		return err
+	}
+	c.stats.TxsValidated.Add(uint64(len(peerBlk.Transactions)))
+	if res.Groups > 0 {
+		c.stats.ValidationGroups.Add(uint64(res.Groups))
+		c.stats.GroupsPerBlock.Add(float64(res.Groups))
+	}
+	if c.cfg.OnCommit != nil {
+		c.cfg.OnCommit(peerBlk, res.Codes)
+	}
+	return nil
+}
+
+// ReplayStored is the restart path: re-adopt a block persisted with its
+// validation codes, applying exactly the writes the original commit did. It
+// shares WritesFor/apply with the live path, so replay and live commit
+// cannot drift.
+func (c *Committer) ReplayStored(b *ledger.Block) error {
+	if len(b.Validation) != len(b.Transactions) {
+		return fmt.Errorf("commit: stored block %d missing validation metadata", b.Header.Number)
+	}
+	blk := &ledger.Block{Header: b.Header, Transactions: b.Transactions, Validation: b.Validation}
+	if err := c.cfg.Chain.Append(blk); err != nil {
+		return fmt.Errorf("commit: replay block %d: %w", blk.Header.Number, err)
+	}
+	return c.apply(blk, WritesFor(blk, blk.Validation))
+}
+
+// apply batch-commits a block's valid writes — the single state-mutation
+// point for both the live and replay paths.
+func (c *Committer) apply(blk *ledger.Block, writes []statedb.BlockWrites) error {
+	if err := c.cfg.State.ApplyBlock(blk.Header.Number, writes); err != nil {
+		return fmt.Errorf("apply block %d: %w", blk.Header.Number, err)
+	}
+	c.stats.BlocksCommitted.Inc()
+	return nil
+}

@@ -1,0 +1,237 @@
+// Package commit implements the validation/commit stage of the EOV pipeline
+// as an independent, pipelined subsystem: each validating peer owns a
+// Committer goroutine fed by a buffered delivery channel, so the ordering
+// phase seals and fans out blocks without ever touching peer state
+// (Section 2.1's phase independence), and peers commit concurrently with
+// ordering and with each other.
+//
+// Inside a block, validation itself is parallel: transactions are
+// partitioned into key-disjoint conflict groups (union-find over read/write
+// keys), each group validates sequentially in block order against its own
+// overlay, and independent groups run on a worker pool sized by GOMAXPROCS.
+// Systems whose ordering phase already guarantees serializability (Sharp,
+// Focc-s) skip the MVCC partition entirely and go straight from parallel
+// endorsement-signature checks to one batched statedb.ApplyBlock.
+package commit
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+	"fabricsharp/internal/statedb"
+	"fabricsharp/internal/validation"
+)
+
+// Options configures parallel block validation: the shared validation
+// switches (MVCC, MSP, Policy — one struct with the sequential reference,
+// so the two paths cannot drift apart) plus the parallelism cap.
+type Options struct {
+	validation.Options
+	// Workers caps validation parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BlockResult is the outcome of validating one block.
+type BlockResult struct {
+	// Codes are the per-transaction validation codes, in block order.
+	Codes []protocol.ValidationCode
+	// Writes are the valid transactions' write sets, in block order, ready
+	// for one batched statedb.ApplyBlock.
+	Writes []statedb.BlockWrites
+	// Groups is the number of key-disjoint conflict groups the MVCC phase
+	// validated concurrently (0 when MVCC was skipped).
+	Groups int
+}
+
+// ValidateBlock validates every transaction of blk against db and returns
+// the codes and the batched writes — it does not apply them. The result is
+// byte-identical to the sequential validation.ValidateAndCommit: endorsement
+// checks are embarrassingly parallel, and the MVCC overlay rule only couples
+// transactions that share a key, so key-disjoint groups validate
+// independently without changing any verdict.
+func ValidateBlock(db *statedb.DB, blk *ledger.Block, opts Options) BlockResult {
+	n := len(blk.Transactions)
+	codes := make([]protocol.ValidationCode, n)
+	workers := opts.workers()
+
+	// Phase 1: endorsement-signature checks — per-transaction, stateless,
+	// and the dominant CPU cost (ed25519 verification) — across all workers.
+	if opts.MSP != nil && opts.Policy != nil {
+		parallelFor(n, workers, func(i int) {
+			if err := opts.MSP.CheckEndorsements(blk.Transactions[i], opts.Policy); err != nil {
+				codes[i] = protocol.EndorsementFailure
+			}
+		})
+	}
+
+	// Phase 2: MVCC, partitioned by read/write-key overlap. Transactions
+	// already failed by endorsement write nothing and constrain nothing, so
+	// they stay out of the partition.
+	groups := 0
+	if opts.MVCC {
+		groupList := partitionByConflict(blk.Transactions, codes)
+		groups = len(groupList)
+		runGroups(groupList, workers, func(group []int) {
+			overlay := validation.NewOverlay()
+			current := func(key string) (seqno.Seq, bool) {
+				return overlay.Version(db, key)
+			}
+			for _, i := range group {
+				tx := blk.Transactions[i]
+				if !validation.ReadsFresh(tx, current) {
+					codes[i] = protocol.MVCCConflict
+					continue
+				}
+				overlay.Record(seqno.Commit(blk.Header.Number, uint32(i+1)), tx.RWSet.Writes)
+			}
+		})
+	}
+
+	return BlockResult{Codes: codes, Writes: WritesFor(blk, codes), Groups: groups}
+}
+
+// WritesFor assembles the batched ApplyBlock input from a block and its
+// final validation codes — the one code path live commit and stored-chain
+// replay share.
+func WritesFor(blk *ledger.Block, codes []protocol.ValidationCode) []statedb.BlockWrites {
+	var writes []statedb.BlockWrites
+	for i, tx := range blk.Transactions {
+		if codes[i] == protocol.Valid && len(tx.RWSet.Writes) > 0 {
+			writes = append(writes, statedb.BlockWrites{Pos: uint32(i + 1), Writes: tx.RWSet.Writes})
+		}
+	}
+	return writes
+}
+
+// partitionByConflict groups transaction indices by transitive read/write
+// key overlap (union-find). Within a group, indices stay in block order, so
+// group-sequential validation observes exactly the overlay the sequential
+// whole-block pass would. Transactions with a non-Valid code are excluded.
+//
+// Reads only couple through keys some in-block transaction writes: a key
+// nobody writes keeps its committed version for the whole block, so a hot
+// read-only key (a config record every transaction consults) does not
+// collapse the block into one serial group.
+func partitionByConflict(txs []*protocol.Transaction, codes []protocol.ValidationCode) [][]int {
+	written := map[string]bool{}
+	for i, tx := range txs {
+		if codes[i] != protocol.Valid {
+			continue
+		}
+		for _, w := range tx.RWSet.Writes {
+			written[w.Key] = true
+		}
+	}
+	parent := make([]int, len(txs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]] // path halving
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Root at the smaller index so group identity is deterministic.
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	keyOwner := map[string]int{}
+	claim := func(i int, key string) {
+		if o, ok := keyOwner[key]; ok {
+			union(o, i)
+		} else {
+			keyOwner[key] = i
+		}
+	}
+	for i, tx := range txs {
+		if codes[i] != protocol.Valid {
+			continue
+		}
+		for _, r := range tx.RWSet.Reads {
+			if written[r.Key] {
+				claim(i, r.Key)
+			}
+		}
+		for _, w := range tx.RWSet.Writes {
+			claim(i, w.Key)
+		}
+	}
+
+	byRoot := map[int][]int{}
+	var roots []int
+	for i := range txs {
+		if codes[i] != protocol.Valid {
+			continue
+		}
+		r := find(i)
+		if _, seen := byRoot[r]; !seen {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], i) // ascending i: block order
+	}
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to `workers` goroutines.
+func parallelFor(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runGroups dispatches conflict groups to up to `workers` goroutines. Groups
+// touch disjoint key sets, so their overlays never interact and the shared
+// statedb is only read (its RWMutex covers that).
+func runGroups(groups [][]int, workers int, fn func(group []int)) {
+	parallelFor(len(groups), workers, func(i int) { fn(groups[i]) })
+}

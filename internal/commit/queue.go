@@ -1,0 +1,44 @@
+package commit
+
+import "sync"
+
+// Queue is an unbounded, concurrency-safe FIFO with a channel-based ready
+// signal. It carries commit events from peer committers back into the lead
+// orderer's select loop: a bounded channel there could deadlock the pipeline
+// (orderer blocked fanning out a block while the committer blocks feeding
+// results back), so pushes never block and the consumer drains in batches.
+type Queue[T any] struct {
+	mu    sync.Mutex
+	items []T
+	ready chan struct{}
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	return &Queue[T]{ready: make(chan struct{}, 1)}
+}
+
+// Push appends v. It never blocks.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
+}
+
+// Ready returns a channel that receives after a Push. A receive means "the
+// queue may be non-empty"; consumers follow it with Drain (a spurious wake
+// drains nothing, which is harmless).
+func (q *Queue[T]) Ready() <-chan struct{} { return q.ready }
+
+// Drain removes and returns everything queued, in push order.
+func (q *Queue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.items
+	q.items = nil
+	return out
+}

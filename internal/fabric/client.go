@@ -3,7 +3,6 @@ package fabric
 import (
 	"fmt"
 	"sync/atomic"
-	"time"
 
 	"fabricsharp/internal/consensus"
 	"fabricsharp/internal/identity"
@@ -72,12 +71,7 @@ func (c *Client) Submit(contract, function string, args ...string) (TxResult, er
 	if err != nil {
 		return TxResult{}, err
 	}
-	select {
-	case res := <-ch:
-		return res, nil
-	case <-time.After(c.net.opts.SubmitTimeout):
-		return TxResult{}, fmt.Errorf("fabric: transaction %s timed out", id)
-	}
+	return c.net.awaitResult(id, ch)
 }
 
 // MustSubmit is Submit that fails on abort — convenient in examples.

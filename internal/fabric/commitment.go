@@ -3,7 +3,6 @@ package fabric
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"fabricsharp/internal/consensus"
 	"fabricsharp/internal/protocol"
@@ -116,11 +115,17 @@ func (c *Client) SubmitCommitted(contract, function string, args ...string) (TxR
 	c.net.waitersMu.Lock()
 	c.net.waiters[tx.ID] = ch
 	c.net.waitersMu.Unlock()
+	dropWaiter := func() {
+		c.net.waitersMu.Lock()
+		delete(c.net.waiters, tx.ID)
+		c.net.waitersMu.Unlock()
+	}
 	// Phase 1: publish only the digest.
 	if err := c.net.kafka.Submit(consensus.Envelope{
 		SubmittedBy: c.id.ID,
 		Commitment:  tx.DigestHex(),
 	}); err != nil {
+		dropWaiter()
 		return TxResult{}, err
 	}
 	// Phase 2: disclose the payload (a separate consensus message).
@@ -129,12 +134,8 @@ func (c *Client) SubmitCommitted(contract, function string, args ...string) (TxR
 		Tx:          tx,
 		Disclosure:  true,
 	}); err != nil {
+		dropWaiter()
 		return TxResult{}, err
 	}
-	select {
-	case res := <-ch:
-		return res, nil
-	case <-time.After(c.net.opts.SubmitTimeout):
-		return TxResult{}, fmt.Errorf("fabric: transaction %s timed out", tx.ID)
-	}
+	return c.net.awaitResult(tx.ID, ch)
 }

@@ -18,10 +18,12 @@ package fabric
 import (
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"time"
 
 	"fabricsharp/internal/chaincode"
+	"fabricsharp/internal/commit"
 	"fabricsharp/internal/consensus"
 	"fabricsharp/internal/identity"
 	"fabricsharp/internal/kvstore"
@@ -30,6 +32,7 @@ import (
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/statedb"
+	"fabricsharp/internal/validation"
 )
 
 // Options configures a network.
@@ -75,6 +78,14 @@ type Options struct {
 	Consensus string
 	// RaftNodes sizes the raft cluster (default 3; kafka ignores it).
 	RaftNodes int
+	// CommitQueueDepth buffers each peer's block-delivery channel (default
+	// commit.DefaultQueueDepth). Ordering only blocks when a peer falls this
+	// many blocks behind.
+	CommitQueueDepth int
+	// ValidationWorkers caps each peer's intra-block validation parallelism
+	// (default: GOMAXPROCS divided among the peers, since they all validate
+	// a delivered block concurrently).
+	ValidationWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -141,13 +152,48 @@ type Network struct {
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closers   []interface{ Close() error }
+
+	// commitFeed carries (block, txs, codes) from the commit pipeline back
+	// to the lead orderer's scheduler. Unbounded so a committer can never
+	// deadlock against an orderer blocked on delivery backpressure.
+	commitFeed *commit.Queue[commitEvent]
+	// ackMu/pendingAcks implement the per-block commit barrier: a result
+	// resolves once every peer has committed its block, with the lead
+	// peer's validation codes as the authoritative verdicts.
+	ackMu       sync.Mutex
+	pendingAcks map[uint64]*blockAck
+
+	// Fatal-error plumbing (a poisoned block must not crash the process):
+	// the first failure is recorded and fatalCh closed, atomically under
+	// errMu; submitters and orderers observe it and stop.
+	errMu    sync.Mutex
+	fatalErr error
+	fatalCh  chan struct{}
 }
 
-// Peer is an endorsing + validating peer with its own state and ledger.
+// commitEvent is one fully committed block's verdicts, fed back to the lead
+// orderer's scheduler.
+type commitEvent struct {
+	block uint64
+	txs   []*protocol.Transaction
+	codes []protocol.ValidationCode
+}
+
+// blockAck tracks how many peers have committed a block and the lead peer's
+// codes for it.
+type blockAck struct {
+	txs   []*protocol.Transaction
+	codes []protocol.ValidationCode
+	acks  int
+}
+
+// Peer is an endorsing + validating peer with its own state, ledger, and
+// pipelined committer.
 type Peer struct {
-	id    *identity.Identity
-	state *statedb.DB
-	chain *ledger.Chain
+	id        *identity.Identity
+	state     *statedb.DB
+	chain     *ledger.Chain
+	committer *commit.Committer
 }
 
 // State exposes the peer's state database (read-only use).
@@ -155,6 +201,9 @@ func (p *Peer) State() *statedb.DB { return p.state }
 
 // Chain exposes the peer's ledger.
 func (p *Peer) Chain() *ledger.Chain { return p.chain }
+
+// Committer exposes the peer's commit-pipeline stage (stats, idleness).
+func (p *Peer) Committer() *commit.Committer { return p.committer }
 
 // NewNetwork boots a network.
 func NewNetwork(opts Options) (*Network, error) {
@@ -169,12 +218,15 @@ func NewNetwork(opts Options) (*Network, error) {
 		return nil, fmt.Errorf("fabric: unknown consensus backend %q", opts.Consensus)
 	}
 	n := &Network{
-		opts:     opts,
-		msp:      identity.NewService(),
-		registry: chaincode.NewRegistry(opts.Contracts...),
-		kafka:    ordering,
-		waiters:  map[protocol.TxID]chan TxResult{},
-		done:     make(chan struct{}),
+		opts:        opts,
+		msp:         identity.NewService(),
+		registry:    chaincode.NewRegistry(opts.Contracts...),
+		kafka:       ordering,
+		waiters:     map[protocol.TxID]chan TxResult{},
+		done:        make(chan struct{}),
+		fatalCh:     make(chan struct{}),
+		commitFeed:  commit.NewQueue[commitEvent](),
+		pendingAcks: map[uint64]*blockAck{},
 	}
 	var peerIDs []string
 	for i := 0; i < opts.Peers; i++ {
@@ -242,12 +294,45 @@ func NewNetwork(opts Options) (*Network, error) {
 		}
 		n.orderers = append(n.orderers, o)
 	}
+	// Every peer gets a pipelined committer: the validation/commit stage of
+	// the EOV pipeline, decoupled from ordering by a buffered delivery
+	// channel. MVCC runs only for the systems whose ordering phase does not
+	// already guarantee serializability (Figure 8).
+	mvcc := n.orderers[0].scheduler.NeedsMVCCValidation()
+	workers := opts.ValidationWorkers
+	if workers == 0 {
+		// All peers validate the same block concurrently; divide the cores
+		// among them rather than oversubscribing by the peer count.
+		if workers = runtime.GOMAXPROCS(0) / opts.Peers; workers < 1 {
+			workers = 1
+		}
+	}
+	for i, p := range n.peers {
+		i, p := i, p
+		p.committer = commit.New(commit.Config{
+			Name:  fmt.Sprintf("peer%d", i),
+			State: p.state,
+			Chain: p.chain,
+			Validation: commit.Options{
+				Options: validation.Options{MVCC: mvcc, MSP: n.msp, Policy: n.policy},
+				Workers: workers,
+			},
+			QueueDepth: opts.CommitQueueDepth,
+			OnCommit: func(blk *ledger.Block, codes []protocol.ValidationCode) {
+				n.peerCommitted(i, blk, codes)
+			},
+			OnError: n.fail,
+		})
+	}
 	// When resuming from disk, adopt the stored chain everywhere before the
 	// orderers start consuming the stream.
 	if opts.DataDir != "" && n.peers[0].chain.Len() > 0 {
 		if err := n.replayStoredChain(); err != nil {
 			return nil, err
 		}
+	}
+	for _, p := range n.peers {
+		p.committer.Start()
 	}
 	for _, o := range n.orderers {
 		n.wg.Add(1)
@@ -256,34 +341,78 @@ func NewNetwork(opts Options) (*Network, error) {
 	return n, nil
 }
 
+// peerCommitted is each committer's completion callback. Results resolve on
+// the designated lead peer's (peer 0) verdicts, once every peer has
+// committed the block — so a Submit that returns implies read-your-writes on
+// any peer, and the lead orderer's scheduler receives commit feedback
+// exactly once per block.
+func (n *Network) peerCommitted(peerIdx int, blk *ledger.Block, codes []protocol.ValidationCode) {
+	num := blk.Header.Number
+	n.ackMu.Lock()
+	ack := n.pendingAcks[num]
+	if ack == nil {
+		ack = &blockAck{}
+		n.pendingAcks[num] = ack
+	}
+	ack.acks++
+	if peerIdx == 0 {
+		ack.txs = blk.Transactions
+		ack.codes = codes
+	}
+	complete := ack.acks == len(n.peers)
+	if complete {
+		delete(n.pendingAcks, num)
+		// Push under ackMu: barriers complete in block order (each peer
+		// commits sequentially), and keeping the push inside the critical
+		// section means the lead orderer also *observes* them in block
+		// order — Focc-l's committed-version tracking relies on that.
+		// Push never blocks, so holding the mutex is safe.
+		n.commitFeed.Push(commitEvent{block: num, txs: ack.txs, codes: ack.codes})
+	}
+	n.ackMu.Unlock()
+	if !complete {
+		return
+	}
+	for i, tx := range ack.txs {
+		n.resolve(tx.ID, TxResult{TxID: tx.ID, Code: ack.codes[i], Block: num})
+	}
+}
+
+// fail records the network's first fatal error and unblocks everyone waiting
+// on it. The process stays alive: submitters get the error, orderers and
+// committers quiesce.
+func (n *Network) fail(err error) {
+	n.errMu.Lock()
+	if n.fatalErr == nil {
+		n.fatalErr = err
+		close(n.fatalCh)
+	}
+	n.errMu.Unlock()
+}
+
+// Err returns the first fatal pipeline error, nil while healthy.
+func (n *Network) Err() error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	return n.fatalErr
+}
+
+// Fatal returns a channel closed on the first fatal pipeline error.
+func (n *Network) Fatal() <-chan struct{} { return n.fatalCh }
+
 // replayStoredChain distributes peer 0's persisted blocks to the in-memory
-// peers and the orderers, and fast-forwards every scheduler past the stored
-// height. Restart semantics are clean-shutdown: nothing was pending across
-// the restart, so new transactions (whose snapshots are at or above the
-// stored height) cannot conflict with pre-restart history and the schedulers
-// may start from an empty dependency graph.
+// peers — through the same committer apply path live commits use — and to
+// the orderers, then fast-forwards every scheduler past the stored height.
+// Restart semantics are clean-shutdown: nothing was pending across the
+// restart, so new transactions (whose snapshots are at or above the stored
+// height) cannot conflict with pre-restart history and the schedulers may
+// start from an empty dependency graph.
 func (n *Network) replayStoredChain() error {
 	ref := n.peers[0]
 	var walkErr error
-	apply := func(p *Peer, b *ledger.Block) error {
-		blk := *b
-		if err := p.chain.Append(&blk); err != nil {
-			return err
-		}
-		if len(blk.Validation) != len(blk.Transactions) {
-			return fmt.Errorf("fabric: stored block %d missing validation metadata", blk.Header.Number)
-		}
-		var writes []statedb.BlockWrites
-		for i, tx := range blk.Transactions {
-			if blk.Validation[i] == protocol.Valid {
-				writes = append(writes, statedb.BlockWrites{Pos: uint32(i + 1), Writes: tx.RWSet.Writes})
-			}
-		}
-		return p.state.ApplyBlock(blk.Header.Number, writes)
-	}
 	ref.chain.ForEach(func(b *ledger.Block) bool {
 		for _, p := range n.peers[1:] {
-			if walkErr = apply(p, b); walkErr != nil {
+			if walkErr = p.committer.ReplayStored(b); walkErr != nil {
 				return false
 			}
 		}
@@ -307,13 +436,18 @@ func (n *Network) replayStoredChain() error {
 	return nil
 }
 
-// Close shuts the network down and waits for the orderers to stop.
+// Close shuts the network down: the orderers stop consuming consensus, the
+// commit pipeline drains every delivered block, and only then do the
+// durable stores close.
 func (n *Network) Close() {
 	n.closeOnce.Do(func() {
 		close(n.done)
 		n.kafka.Close()
 	})
 	n.wg.Wait()
+	for _, p := range n.peers {
+		p.committer.Close()
+	}
 	for _, c := range n.closers {
 		_ = c.Close()
 	}
@@ -331,20 +465,101 @@ func (n *Network) OrdererChain(i int) *ledger.Chain { return n.orderers[i].chain
 // Height returns the lead peer's committed block height.
 func (n *Network) Height() uint64 { return n.peers[0].state.Height() }
 
-// WaitIdle blocks until every submitted transaction has been resolved or the
-// timeout elapses; it reports whether the network went idle.
+// WaitIdle blocks until every submitted transaction has been resolved and
+// the commit pipeline has drained (every peer's delivery queue empty), or
+// the timeout elapses; it reports whether the network went idle. A fatal
+// pipeline error returns false immediately — the network has quiesced but
+// outstanding transactions will never resolve (see Err).
 func (n *Network) WaitIdle(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
+		if n.Err() != nil {
+			return false
+		}
 		n.waitersMu.Lock()
 		idle := len(n.waiters) == 0
 		n.waitersMu.Unlock()
-		if idle {
+		if idle && n.committersIdle() {
 			return true
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	return false
+}
+
+// committersIdle reports whether every peer's committer has fully
+// processed everything delivered to it.
+func (n *Network) committersIdle() bool {
+	for _, p := range n.peers {
+		if !p.committer.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// awaitResult waits for a submitted transaction's outcome: the commit
+// barrier's result, the network's fatal error, or the submit timeout. Both
+// submit paths (Submit, SubmitCommitted) share it so the subtle
+// committed-result-wins-over-fatal race handling has exactly one copy.
+func (n *Network) awaitResult(id protocol.TxID, ch <-chan TxResult) (TxResult, error) {
+	deadline := time.Now().Add(n.opts.SubmitTimeout)
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-n.fatalCh:
+		// The transaction may have resolved around the instant the fatal
+		// signal fired; a durably committed result must win over the error.
+		if res, ok := n.fatalResult(id, ch, deadline); ok {
+			return res, nil
+		}
+		return TxResult{}, fmt.Errorf("fabric: transaction %s: network failed: %w", id, n.Err())
+	case <-time.After(time.Until(deadline)):
+		// Same handshake as the fatal path: a result already in flight
+		// wins, and otherwise the waiter is removed so it cannot leak.
+		if res, ok := n.claimWaiter(id, ch); ok {
+			return res, nil
+		}
+		return TxResult{}, fmt.Errorf("fabric: transaction %s timed out", id)
+	}
+}
+
+// fatalResult is the fatal-path tail of a submit. The pipeline keeps
+// draining after a fatal error — blocks already delivered still commit on
+// healthy peers — so first wait (up to SubmitTimeout, preserving Submit's
+// latency contract) for the committers to go idle: a transaction in flight
+// resolves normally rather than being reported failed after it durably
+// commits. Then, resolve deletes the waiter under waitersMu before
+// sending, so: absent from the map means a result send is in flight — wait
+// for it and report success. Still present after the drain means no result
+// is ever coming — remove the waiter so it cannot leak, and report
+// failure.
+func (n *Network) fatalResult(id protocol.TxID, ch <-chan TxResult, deadline time.Time) (TxResult, bool) {
+	// Normally bounded by queue depth × commit latency: committers always
+	// make progress (a failed one keeps consuming, applying nothing). The
+	// deadline — the submit's original one, so the overall SubmitTimeout
+	// contract holds — covers a wedged committer; there the timeout wins.
+	for !n.committersIdle() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	return n.claimWaiter(id, ch)
+}
+
+// claimWaiter settles a submit that is giving up: if resolve already
+// claimed the waiter (absent from the map), a result send is guaranteed in
+// flight — wait for it and report success. Otherwise remove the waiter so
+// it cannot leak, and report that no result is coming.
+func (n *Network) claimWaiter(id protocol.TxID, ch <-chan TxResult) (TxResult, bool) {
+	n.waitersMu.Lock()
+	_, pending := n.waiters[id]
+	if pending {
+		delete(n.waiters, id)
+	}
+	n.waitersMu.Unlock()
+	if pending {
+		return TxResult{}, false
+	}
+	return <-ch, true
 }
 
 // resolve delivers a transaction result to its waiter.

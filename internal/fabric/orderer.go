@@ -8,15 +8,19 @@ import (
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
-	"fabricsharp/internal/validation"
 )
 
 // orderer is one replicated orderer: it consumes the consensus stream, runs
 // its scheduler (Algorithm 2 on arrival, Algorithm 3 at formation for
 // Sharp), seals blocks on its own hash chain, and — when it is the lead
-// replica — delivers them to the peers. Because every replica runs the same
-// deterministic scheduler over the same stream, all orderer chains are
-// identical (the agreement property of Section 3.5, asserted in tests).
+// replica — fans them out to the peers' committers. Because every replica
+// runs the same deterministic scheduler over the same stream, all orderer
+// chains are identical (the agreement property of Section 3.5, asserted in
+// tests).
+//
+// The orderer never touches peer state: delivery is a channel send, and the
+// validation verdicts flow back asynchronously through the network's commit
+// feed, so consensus-stream consumption is pipelined with peer commits.
 type orderer struct {
 	net       *Network
 	name      string
@@ -48,11 +52,33 @@ func (o *orderer) run() {
 		timer.Reset(o.net.opts.BlockTimeout)
 		timerArmed = true
 	}
+	// Only the lead orderer receives commit feedback (it is the only one
+	// that delivers, hence the only one whose scheduler sees verdicts — as
+	// before the pipeline split). A nil queue leaves the select case dormant.
+	var feedbackReady <-chan struct{}
+	if o.deliver {
+		feedbackReady = o.net.commitFeed.Ready()
+	}
 
 	for {
+		// Fatal check first, non-blocking: select picks ready cases at
+		// random, so without this a busy consensus stream could keep
+		// winning over the closed fatalCh and the orderer would go on
+		// driving a faulted scheduler.
+		select {
+		case <-o.net.fatalCh:
+			return
+		default:
+		}
 		select {
 		case <-o.net.done:
 			return
+		case <-o.net.fatalCh:
+			// A poisoned block or scheduler fault elsewhere: stop consuming
+			// rather than extending a chain nobody will commit.
+			return
+		case <-feedbackReady:
+			o.drainFeedback()
 		case <-timer.C:
 			timerArmed = false
 			if o.scheduler.PendingCount() > 0 {
@@ -121,7 +147,8 @@ func (o *orderer) processArrival(tx *protocol.Transaction, arm, disarm func()) {
 	o.seen[tx.ID] = true
 	code, err := o.scheduler.OnArrival(tx)
 	if err != nil {
-		panic(fmt.Sprintf("fabric: orderer %s arrival: %v", o.name, err))
+		o.net.fail(fmt.Errorf("fabric: orderer %s arrival: %w", o.name, err))
+		return
 	}
 	if code != protocol.Valid {
 		if o.deliver {
@@ -149,12 +176,38 @@ func consensusCutMarker(from string, block uint64) (env consensus.Envelope) {
 	return env
 }
 
-// cut forms a block, seals it on the orderer's chain, and (lead only)
-// validates and commits it on every peer.
+// drainFeedback applies any commit verdicts that have already arrived to
+// the scheduler (lead only). Feedback is best-effort by design: a block
+// still in flight when the next one forms simply isn't reflected yet —
+// schedulers use it as an optimization (Focc-l's doomed-transaction
+// detection), never for correctness, which the validation phase enforces.
+//
+// Caveat (pre-dating the pipeline split, when feedback was synchronous but
+// equally lead-only): follower orderers never receive verdicts, so for the
+// one scheduler whose block contents depend on them (Focc-l) the agreement
+// property above is best-effort rather than exact. Making feedback a
+// deterministic function of the consensus stream is an open roadmap item.
+func (o *orderer) drainFeedback() {
+	if !o.deliver {
+		return
+	}
+	for _, ev := range o.net.commitFeed.Drain() {
+		o.scheduler.OnBlockCommitted(ev.block, ev.txs, ev.codes)
+	}
+}
+
+// cut forms a block, seals it on the orderer's chain, and (lead only) fans
+// it out to every peer's committer. Ordering never waits for validation:
+// the only way this blocks is backpressure from a full delivery queue.
 func (o *orderer) cut() {
+	// Fold in every verdict that has already landed before deciding the
+	// block's contents — minimizes the scheduler's committed-state lag
+	// without ever blocking on in-flight commits.
+	o.drainFeedback()
 	res, err := o.scheduler.OnBlockFormation()
 	if err != nil {
-		panic(fmt.Sprintf("fabric: orderer %s formation: %v", o.name, err))
+		o.net.fail(fmt.Errorf("fabric: orderer %s formation: %w", o.name, err))
+		return
 	}
 	for _, d := range res.DroppedTxs {
 		if o.deliver {
@@ -166,37 +219,13 @@ func (o *orderer) cut() {
 	}
 	blk, err := o.chain.Seal(res.Ordered, nil)
 	if err != nil {
-		panic(fmt.Sprintf("fabric: orderer %s seal: %v", o.name, err))
+		o.net.fail(fmt.Errorf("fabric: orderer %s seal: %w", o.name, err))
+		return
 	}
 	if !o.deliver {
 		return
 	}
-	// Deliver to every peer; all validate identically. MVCC runs only for
-	// the systems whose ordering phase does not already guarantee
-	// serializability (Figure 8).
-	var codes []protocol.ValidationCode
 	for _, p := range o.net.peers {
-		peerBlk := *blk
-		if err := p.chain.Append(&peerBlk); err != nil {
-			panic(fmt.Sprintf("fabric: peer append: %v", err))
-		}
-		cs, err := validation.ValidateAndCommit(p.state, &peerBlk, validation.Options{
-			MVCC:   o.scheduler.NeedsMVCCValidation(),
-			MSP:    o.net.msp,
-			Policy: o.net.policy,
-		})
-		if err != nil {
-			panic(fmt.Sprintf("fabric: peer commit: %v", err))
-		}
-		if err := p.chain.SetValidation(peerBlk.Header.Number, cs); err != nil {
-			panic(err)
-		}
-		if codes == nil {
-			codes = cs
-		}
-	}
-	o.scheduler.OnBlockCommitted(blk.Header.Number, blk.Transactions, codes)
-	for i, tx := range blk.Transactions {
-		o.net.resolve(tx.ID, TxResult{TxID: tx.ID, Code: codes[i], Block: blk.Header.Number})
+		p.committer.Deliver(blk)
 	}
 }

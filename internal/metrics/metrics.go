@@ -1,15 +1,120 @@
 // Package metrics provides the small measurement toolkit the experiment
 // harness reports with: latency histograms with percentiles, throughput
-// accounting, and abort-taxonomy tallies.
+// accounting, abort-taxonomy tallies, and the concurrency-safe counters and
+// gauges the commit pipeline instruments its stages with.
 package metrics
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"fabricsharp/internal/protocol"
 )
+
+// Counter is a monotonically increasing, concurrency-safe event counter.
+// The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc bumps the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add bumps the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a concurrency-safe instantaneous level (queue depths, in-flight
+// work) that also tracks its high-water mark. The zero value is ready to use.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the gauge by delta and returns the new level.
+func (g *Gauge) Add(delta int64) int64 {
+	nv := g.v.Add(delta)
+	for {
+		m := g.max.Load()
+		if nv <= m || g.max.CompareAndSwap(m, nv) {
+			return nv
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the highest level ever observed.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// maxRetainedSamples bounds a SyncHistogram's memory: beyond it, new
+// samples reservoir-replace retained ones, keeping a uniform subsample.
+const maxRetainedSamples = 4096
+
+// SyncHistogram is a histogram safe for concurrent recording and for
+// always-on collectors (the commit pipeline's per-peer latency stats): the
+// total count and mean stay exact forever, while retained samples — and
+// thus percentiles — are a bounded uniform reservoir, so a long-running
+// network cannot grow it without bound. The zero value is ready to use.
+type SyncHistogram struct {
+	mu  sync.Mutex
+	h   Histogram
+	n   int     // total samples recorded
+	sum float64 // exact running sum
+	rng uint64  // xorshift state for reservoir replacement
+}
+
+// Add records one sample.
+func (h *SyncHistogram) Add(v float64) {
+	h.mu.Lock()
+	h.n++
+	h.sum += v
+	if len(h.h.samples) < maxRetainedSamples {
+		h.h.Add(v)
+	} else {
+		// Reservoir sampling: replace a random retained slot with
+		// probability maxRetainedSamples/n.
+		h.rng = h.rng*6364136223846793005 + 1442695040888963407
+		if j := int(h.rng % uint64(h.n)); j < maxRetainedSamples {
+			h.h.samples[j] = v
+			h.h.sorted = false
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Snapshot copies the retained samples into a plain Histogram for
+// percentile reporting (exact below maxRetainedSamples, a uniform
+// subsample beyond).
+func (h *SyncHistogram) Snapshot() Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Histogram{samples: append([]float64(nil), h.h.samples...)}
+}
+
+// N returns the total number of samples recorded (exact).
+func (h *SyncHistogram) N() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the arithmetic mean over all recorded samples (exact),
+// 0 if empty.
+func (h *SyncHistogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
 
 // Histogram collects float64 samples (seconds, milliseconds — caller's
 // choice) and answers summary statistics. The zero value is ready to use.

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -86,5 +87,102 @@ func TestAbortTally(t *testing.T) {
 func TestAbortTallyEmptyString(t *testing.T) {
 	if s := (AbortTally{}).String(); s != "" {
 		t.Errorf("empty tally renders %q", s)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(2)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1000+8*2 {
+		t.Errorf("Counter = %d", got)
+	}
+}
+
+func TestGaugeTracksHighWater(t *testing.T) {
+	var g Gauge
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Value() != 2 {
+		t.Errorf("Value = %d", g.Value())
+	}
+	if g.Max() != 7 {
+		t.Errorf("Max = %d", g.Max())
+	}
+}
+
+func TestGaugeConcurrentMax(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Errorf("Value = %d", g.Value())
+	}
+	if g.Max() < 1 || g.Max() > 8 {
+		t.Errorf("Max = %d", g.Max())
+	}
+}
+
+func TestSyncHistogram(t *testing.T) {
+	var h SyncHistogram
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= 100; i++ {
+				h.Add(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.N() != 400 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	snap := h.Snapshot()
+	if snap.P50() != 50 || snap.Max() != 100 {
+		t.Errorf("snapshot P50 = %v Max = %v", snap.P50(), snap.Max())
+	}
+}
+
+func TestSyncHistogramBoundedRetention(t *testing.T) {
+	var h SyncHistogram
+	const total = 3 * maxRetainedSamples
+	for i := 0; i < total; i++ {
+		h.Add(7)
+	}
+	if h.N() != total {
+		t.Errorf("N = %d want %d", h.N(), total)
+	}
+	if h.Mean() != 7 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	snap := h.Snapshot()
+	if got := snap.N(); got != maxRetainedSamples {
+		t.Errorf("retained %d samples, want cap %d", got, maxRetainedSamples)
 	}
 }

@@ -8,6 +8,11 @@
 // state and the writes of earlier valid transactions in the same block. For
 // FabricSharp and Focc-s the ordering phase already guarantees
 // serializability, so peers skip the concurrency check entirely (Figure 8).
+//
+// ValidateAndCommit is the sequential reference implementation. The
+// internal/commit package builds the parallel production path on the same
+// Overlay and ReadsFresh primitives, partitioning a block into key-disjoint
+// conflict groups that validate concurrently.
 package validation
 
 import (
@@ -29,33 +34,56 @@ type Options struct {
 	Policy identity.Policy
 }
 
+// Overlay tracks the versions written by earlier valid transactions of the
+// block being validated, shadowing committed state. Deleted keys are
+// recorded as explicit tombstones so a read of a freshly deleted key
+// observes "absent" rather than the committed version underneath. An Overlay
+// is confined to one validation goroutine; it is not safe for concurrent
+// use.
+type Overlay struct {
+	entries map[string]overlayEntry
+}
+
+type overlayEntry struct {
+	version seqno.Seq
+	deleted bool
+}
+
+// NewOverlay returns an empty overlay.
+func NewOverlay() *Overlay {
+	return &Overlay{entries: map[string]overlayEntry{}}
+}
+
+// Record shadows the keys of writes with version ver (tombstoning deletes).
+func (o *Overlay) Record(ver seqno.Seq, writes []protocol.WriteItem) {
+	for _, w := range writes {
+		o.entries[w.Key] = overlayEntry{version: ver, deleted: w.Delete}
+	}
+}
+
+// Version resolves key's current version: the overlay first, then the
+// committed state in db.
+func (o *Overlay) Version(db *statedb.DB, key string) (seqno.Seq, bool) {
+	if e, ok := o.entries[key]; ok {
+		if e.deleted {
+			return seqno.Seq{}, false
+		}
+		return e.version, true
+	}
+	vv, ok := db.Get(key)
+	if !ok {
+		return seqno.Seq{}, false
+	}
+	return vv.Version, true
+}
+
 // ValidateAndCommit validates every transaction of blk in order and commits
 // the valid ones' writes to db with versions (block, position). It returns
 // the per-transaction validation codes, in block order.
 func ValidateAndCommit(db *statedb.DB, blk *ledger.Block, opts Options) ([]protocol.ValidationCode, error) {
 	codes := make([]protocol.ValidationCode, len(blk.Transactions))
-	// overlay tracks versions written by earlier valid transactions of this
-	// block; deleted keys map to an explicit tombstone marker.
-	type overlayEntry struct {
-		version seqno.Seq
-		deleted bool
-	}
-	overlay := map[string]overlayEntry{}
+	overlay := NewOverlay()
 	var writes []statedb.BlockWrites
-
-	currentVersion := func(key string) (seqno.Seq, bool) {
-		if e, ok := overlay[key]; ok {
-			if e.deleted {
-				return seqno.Seq{}, false
-			}
-			return e.version, true
-		}
-		vv, ok := db.Get(key)
-		if !ok {
-			return seqno.Seq{}, false
-		}
-		return vv.Version, true
-	}
 
 	for i, tx := range blk.Transactions {
 		pos := uint32(i + 1)
@@ -65,15 +93,14 @@ func ValidateAndCommit(db *statedb.DB, blk *ledger.Block, opts Options) ([]proto
 				continue
 			}
 		}
-		if opts.MVCC && !readsFresh(tx, currentVersion) {
+		if opts.MVCC && !ReadsFresh(tx, func(key string) (seqno.Seq, bool) {
+			return overlay.Version(db, key)
+		}) {
 			codes[i] = protocol.MVCCConflict
 			continue
 		}
 		codes[i] = protocol.Valid
-		ver := seqno.Commit(blk.Header.Number, pos)
-		for _, w := range tx.RWSet.Writes {
-			overlay[w.Key] = overlayEntry{version: ver, deleted: w.Delete}
-		}
+		overlay.Record(seqno.Commit(blk.Header.Number, pos), tx.RWSet.Writes)
 		writes = append(writes, statedb.BlockWrites{Pos: pos, Writes: tx.RWSet.Writes})
 	}
 	if err := db.ApplyBlock(blk.Header.Number, writes); err != nil {
@@ -82,9 +109,9 @@ func ValidateAndCommit(db *statedb.DB, blk *ledger.Block, opts Options) ([]proto
 	return codes, nil
 }
 
-// readsFresh reports whether every read version matches the current version
+// ReadsFresh reports whether every read version matches the current version
 // of its key (zero version matching "absent").
-func readsFresh(tx *protocol.Transaction, current func(string) (seqno.Seq, bool)) bool {
+func ReadsFresh(tx *protocol.Transaction, current func(string) (seqno.Seq, bool)) bool {
 	for _, r := range tx.RWSet.Reads {
 		ver, exists := current(r.Key)
 		observedExisting := r.Version != seqno.Seq{}
@@ -103,7 +130,7 @@ func readsFresh(tx *protocol.Transaction, current func(string) (seqno.Seq, bool)
 // endorser-side early aborts of Fabric++ and the doomed-transaction
 // detection of Focc-l use it.
 func Stale(db *statedb.DB, tx *protocol.Transaction) bool {
-	return !readsFresh(tx, func(key string) (seqno.Seq, bool) {
+	return !ReadsFresh(tx, func(key string) (seqno.Seq, bool) {
 		vv, ok := db.Get(key)
 		if !ok {
 			return seqno.Seq{}, false
