@@ -118,6 +118,44 @@ func BenchmarkSingleRunPerSystem(b *testing.B) {
 	}
 }
 
+// BenchmarkOrdering drives each scheduler's bare OnArrival/OnBlockFormation
+// hot path over the two canonical SmallBank stream shapes (contended and
+// conflict-free), reporting allocations — the perf-trajectory benchmark whose
+// results BENCH_PR2.json records (see docs/perf.md).
+func BenchmarkOrdering(b *testing.B) {
+	const blockSize = 100
+	for _, system := range sched.Systems() {
+		for _, shape := range bench.OrderingShapes() {
+			system, shape := system, shape
+			b.Run(fmt.Sprintf("%s/%s", system, shape.Name), func(b *testing.B) {
+				txs := shape.Stream(b.N, 42)
+				sc, err := sched.New(system, sched.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				height := uint64(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for _, tx := range txs {
+					tx.SnapshotBlock = height
+					if _, err := sc.OnArrival(tx); err != nil {
+						b.Fatal(err)
+					}
+					if sc.PendingCount() >= blockSize {
+						fr, err := sc.OnBlockFormation()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(fr.Ordered) > 0 {
+							height = fr.Block
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSharpArrival micro-benchmarks the core manager's arrival path
 // (Algorithm 2 + Algorithm 4) under a contended stream.
 func BenchmarkSharpArrival(b *testing.B) {

@@ -1,17 +1,24 @@
 // Command benchall regenerates the paper's evaluation: every table and
-// figure of Section 5, printed as ASCII tables.
+// figure of Section 5, printed as ASCII tables, plus the repository's own
+// ordering-phase hot-path benchmark.
 //
 // Usage:
 //
-//	benchall [-quick] [-seed N] [-fig id]
+//	benchall [-quick] [-seed N] [-fig id] [-json path] [-label s]
+//	         [-cpuprofile path] [-memprofile path]
 //
-// where id is one of: 1, t1, 10, 11, 12, 13, 14, 15, reorder, all.
+// where id is one of: 1, t1, 10, 11, 12, 13, 14, 15, reorder, ablation,
+// ordering, all. With -fig ordering, -json appends a labelled record to the
+// benchmark trajectory file (BENCH_PR2.json at the repo root is the
+// committed history).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fabricsharp/internal/bench"
@@ -20,8 +27,26 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "short measurement windows (5s virtual instead of 20s)")
 	seed := flag.Int64("seed", 42, "random seed for every run")
-	fig := flag.String("fig", "all", "which exhibit: 1, t1, 10, 11, 12, 13, 14, 15, reorder, ablation, all")
+	fig := flag.String("fig", "all", "which exhibit: 1, t1, 10, 11, 12, 13, 14, 15, reorder, ablation, ordering, all")
+	jsonPath := flag.String("json", "", "append the ordering results to this trajectory file (with -fig ordering)")
+	label := flag.String("label", "", "record label for -json (e.g. pr2)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the runs to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := bench.Options{Quick: *quick, Seed: *seed}
 	start := time.Now()
@@ -47,6 +72,25 @@ func main() {
 		tables = []*bench.Table{bench.ReorderCost()}
 	case "ablation":
 		tables = bench.Ablations(opts)
+	case "ordering":
+		tbl, results, err := bench.Ordering(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ordering benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		tables = []*bench.Table{tbl}
+		if *jsonPath != "" {
+			lbl := *label
+			if lbl == "" {
+				lbl = "unlabelled"
+			}
+			rec := bench.NewBenchRecord(lbl, opts, results)
+			if err := bench.AppendBenchRecord(*jsonPath, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "trajectory file: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("(appended record %q to %s)\n", lbl, *jsonPath)
+		}
 	case "all":
 		tables = bench.All(opts)
 	default:
@@ -58,4 +102,18 @@ func main() {
 		fmt.Println(t)
 	}
 	fmt.Printf("(regenerated in %.1fs, quick=%v, seed=%d)\n", time.Since(start).Seconds(), *quick, *seed)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/sched"
+)
+
+// OrderingShape describes a synthetic consensus stream fed straight into a
+// scheduler — the ordering-phase hot path (Algorithm 2 + Algorithm 3) with no
+// simulation, consensus transport, or commit pipeline around it. Shapes model
+// SmallBank's SendPayment: each transaction reads two checking accounts and
+// overwrites both.
+type OrderingShape struct {
+	// Name labels the shape in tables and JSON records.
+	Name string
+	// Hot is the size of the contended account pool; 0 means conflict-free
+	// (every transaction touches its own disjoint accounts).
+	Hot int
+	// HotProb is the probability that an account is drawn from the hot pool.
+	HotProb float64
+	// Accounts is the cold key-space size.
+	Accounts int
+}
+
+// OrderingShapes are the two canonical shapes of the perf trajectory: a
+// conflict-free stream (pure data-structure cost, no dependency edges) and a
+// contended stream (the graph, reachability, and reordering machinery under
+// load).
+func OrderingShapes() []OrderingShape {
+	return []OrderingShape{
+		{Name: "conflict-free", Accounts: 1 << 20},
+		{Name: "contended", Hot: 64, HotProb: 0.5, Accounts: 1 << 20},
+	}
+}
+
+// Stream pre-generates n transactions of this shape. SnapshotBlock is filled
+// in by the driver at submission time (it must track the scheduler's height).
+func (s OrderingShape) Stream(n int, seed int64) []*protocol.Transaction {
+	rng := rand.New(rand.NewSource(seed))
+	account := func(i int, slot int) string {
+		if s.Hot > 0 && rng.Float64() < s.HotProb {
+			return fmt.Sprintf("checking:h%d", rng.Intn(s.Hot))
+		}
+		if s.Hot == 0 {
+			// Conflict-free: accounts derived from the transaction index.
+			return fmt.Sprintf("checking:c%d", 2*i+slot)
+		}
+		return fmt.Sprintf("checking:c%d", rng.Intn(s.Accounts))
+	}
+	txs := make([]*protocol.Transaction, n)
+	for i := range txs {
+		src, dst := account(i, 0), account(i, 1)
+		tx := &protocol.Transaction{
+			ID:       protocol.TxID(fmt.Sprintf("ord%d", i)),
+			Contract: "smallbank",
+			Function: "send_payment",
+			RWSet: protocol.RWSet{
+				Reads: []protocol.ReadItem{{Key: src}, {Key: dst}},
+				Writes: []protocol.WriteItem{
+					{Key: src, Value: []byte("balance")},
+					{Key: dst, Value: []byte("balance")},
+				},
+			},
+		}
+		tx.RWSet.Precompute()
+		txs[i] = tx
+	}
+	return txs
+}
+
+// OrderingResult is one (system, shape) measurement of the ordering hot path.
+type OrderingResult struct {
+	System string `json:"system"`
+	Shape  string `json:"shape"`
+	Txs    int    `json:"txs"`
+	Blocks int    `json:"blocks"`
+	// Admitted counts transactions surviving OnArrival; Committed counts
+	// transactions emitted in formed blocks.
+	Admitted  int `json:"admitted"`
+	Committed int `json:"committed"`
+	// ArrivalUSPerTx is the scheduler-reported mean arrival latency (µs).
+	ArrivalUSPerTx float64 `json:"arrival_us_per_tx"`
+	// FormationMSPerBlock is the scheduler-reported mean formation latency.
+	FormationMSPerBlock float64 `json:"formation_ms_per_block"`
+	// AllocsPerTx and BytesPerTx cover the whole drive loop (arrivals plus
+	// amortized formations), mallocs and bytes per submitted transaction.
+	AllocsPerTx float64 `json:"allocs_per_tx"`
+	BytesPerTx  float64 `json:"bytes_per_tx"`
+	// TPS is submitted transactions per wall-clock second through the
+	// scheduler (ordering-phase ceiling, not end-to-end throughput).
+	TPS float64 `json:"tps"`
+}
+
+// RunOrdering drives one scheduler over a pre-generated stream, cutting a
+// block every blockSize arrivals, and reports wall-clock and allocation
+// costs. Commit feedback is fed back synchronously with all-valid verdicts so
+// schedulers that track committed state (focc-l) run their real code path.
+func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize int, seed int64) (OrderingResult, error) {
+	txs := shape.Stream(txCount, seed)
+	sc, err := sched.New(system, sched.Options{})
+	if err != nil {
+		return OrderingResult{}, err
+	}
+	res := OrderingResult{System: string(system), Shape: shape.Name, Txs: txCount}
+	height := uint64(0)
+	codes := make([]protocol.ValidationCode, 0, blockSize*2)
+
+	cut := func() error {
+		fr, err := sc.OnBlockFormation()
+		if err != nil {
+			return err
+		}
+		if len(fr.Ordered) == 0 {
+			return nil
+		}
+		height = fr.Block
+		res.Blocks++
+		res.Committed += len(fr.Ordered)
+		codes = codes[:0]
+		for range fr.Ordered {
+			codes = append(codes, protocol.Valid)
+		}
+		sc.OnBlockCommitted(fr.Block, fr.Ordered, codes)
+		return nil
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for _, tx := range txs {
+		tx.SnapshotBlock = height
+		code, err := sc.OnArrival(tx)
+		if err != nil {
+			return OrderingResult{}, err
+		}
+		if code == protocol.Valid {
+			res.Admitted++
+		}
+		if sc.PendingCount() >= blockSize {
+			if err := cut(); err != nil {
+				return OrderingResult{}, err
+			}
+		}
+	}
+	if err := cut(); err != nil {
+		return OrderingResult{}, err
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	timing := sc.Timing()
+	res.ArrivalUSPerTx = timing.MeanArrivalUS()
+	res.FormationMSPerBlock = timing.MeanFormationMS()
+	res.AllocsPerTx = float64(after.Mallocs-before.Mallocs) / float64(txCount)
+	res.BytesPerTx = float64(after.TotalAlloc-before.TotalAlloc) / float64(txCount)
+	if s := wall.Seconds(); s > 0 {
+		res.TPS = float64(txCount) / s
+	}
+	return res, nil
+}
+
+// orderingTxCount sizes the drive loop: long enough to amortize warm-up and
+// cross several pruning horizons.
+func orderingTxCount(o Options) int {
+	if o.Quick {
+		return 20000
+	}
+	return 100000
+}
+
+// Ordering runs the ordering-phase hot-path benchmark for every system and
+// shape and renders the table of the perf trajectory (PR 2 onwards).
+func Ordering(o Options) (*Table, []OrderingResult, error) {
+	t := &Table{
+		Title: "Ordering-phase hot path: scheduler cost per submitted transaction",
+		Columns: []string{"system", "shape", "arrival µs/tx", "formation ms/blk",
+			"allocs/tx", "bytes/tx", "admitted", "tps"},
+		Comment: "schedulers driven directly (no consensus/commit around them); allocs amortize formations",
+	}
+	var all []OrderingResult
+	for _, system := range sched.Systems() {
+		for _, shape := range OrderingShapes() {
+			r, err := RunOrdering(system, shape, orderingTxCount(o), Params.Defaults.BlockSize, o.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			all = append(all, r)
+			t.AddRow(systemLabel(system), r.Shape,
+				fmt.Sprintf("%.2f", r.ArrivalUSPerTx),
+				fmt.Sprintf("%.3f", r.FormationMSPerBlock),
+				fmt.Sprintf("%.1f", r.AllocsPerTx),
+				fmt.Sprintf("%.0f", r.BytesPerTx),
+				fmt.Sprintf("%d/%d", r.Admitted, r.Txs),
+				fmt.Sprintf("%.0f", r.TPS))
+		}
+	}
+	return t, all, nil
+}
+
+// BenchRecord is one entry of the repository's benchmark trajectory file
+// (BENCH_PR2.json): a labelled snapshot of the ordering-phase results on one
+// machine. Future PRs append records rather than overwrite them.
+type BenchRecord struct {
+	Label      string           `json:"label"`
+	Captured   string           `json:"captured"`
+	GoVersion  string           `json:"go"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	TxCount    int              `json:"tx_count"`
+	BlockSize  int              `json:"block_size"`
+	Seed       int64            `json:"seed"`
+	Results    []OrderingResult `json:"results"`
+}
+
+// BenchFile is the trajectory file layout.
+type BenchFile struct {
+	Comment string        `json:"comment"`
+	Records []BenchRecord `json:"records"`
+}
+
+// AppendBenchRecord loads path (if it exists), appends rec, and writes the
+// file back, preserving earlier records — the append-only perf history.
+func AppendBenchRecord(path string, rec BenchRecord) error {
+	file := BenchFile{
+		Comment: "Ordering-phase hot-path benchmark trajectory; append one record per PR (cmd/benchall -fig ordering -json <path> -label <pr>).",
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("bench: corrupt trajectory file %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	file.Records = append(file.Records, rec)
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// NewBenchRecord assembles a record for the current machine and options.
+func NewBenchRecord(label string, o Options, results []OrderingResult) BenchRecord {
+	return BenchRecord{
+		Label:      label,
+		Captured:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		TxCount:    orderingTxCount(o),
+		BlockSize:  Params.Defaults.BlockSize,
+		Seed:       o.Seed,
+		Results:    results,
+	}
+}

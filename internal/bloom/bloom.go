@@ -60,14 +60,13 @@ func NewWithEstimate(n uint64, p float64) *Filter {
 }
 
 // indexes derives the k bit positions for a key with double hashing
-// (Kirsch-Mitzenmauer): h_i = h1 + i*h2.
+// (Kirsch-Mitzenmauer): h_i = h1 + i*h2. Positions are appended to out.
 func (f *Filter) indexes(key string, out []uint64) []uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(key))
 	h1 := h.Sum64()
 	h2 := h1>>33 | h1<<31 // a second, decorrelated 64-bit stream
 	h2 |= 1               // keep h2 odd so probes cycle through all bits
-	out = out[:0]
 	x := h1
 	for i := 0; i < f.hashes; i++ {
 		out = append(out, x%f.nbits)
@@ -90,6 +89,41 @@ func (f *Filter) Add(key string) {
 func (f *Filter) MayContain(key string) bool {
 	var buf [16]uint64
 	for _, idx := range f.indexes(key, buf[:0]) {
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Positions appends key's k bit positions to out. Positions depend only on
+// the filter's geometry (bit count, hash count), so positions computed
+// against one filter are valid for every filter with identical geometry —
+// the dependency graph computes each node's positions once and reuses them
+// for every Add and MayContain probe instead of re-hashing the key.
+func (f *Filter) Positions(out []uint64, key string) []uint64 {
+	return f.indexes(key, out)
+}
+
+// AddPositions inserts the key whose positions were precomputed by Positions
+// on a filter with identical geometry.
+func (f *Filter) AddPositions(pos []uint64) {
+	if len(pos) != f.hashes {
+		panic(fmt.Sprintf("bloom: AddPositions with %d positions on a %d-hash filter", len(pos), f.hashes))
+	}
+	for _, idx := range pos {
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// MayContainPositions is MayContain for a key whose positions were
+// precomputed by Positions on a filter with identical geometry.
+func (f *Filter) MayContainPositions(pos []uint64) bool {
+	if len(pos) != f.hashes {
+		panic(fmt.Sprintf("bloom: MayContainPositions with %d positions on a %d-hash filter", len(pos), f.hashes))
+	}
+	for _, idx := range pos {
 		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
 			return false
 		}

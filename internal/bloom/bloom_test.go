@@ -21,6 +21,49 @@ func TestNoFalseNegatives(t *testing.T) {
 	}
 }
 
+func TestPositionsMatchDirectHashing(t *testing.T) {
+	// Precomputed positions must behave identically to the string paths, and
+	// positions computed on one filter must be valid on any same-geometry
+	// filter.
+	proto := New(1<<12, 4)
+	other := New(1<<12, 4)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("txn-%d", i)
+		pos := proto.Positions(nil, key)
+		if len(pos) != 4 {
+			t.Fatalf("positions len = %d", len(pos))
+		}
+		other.AddPositions(pos)
+		if !other.MayContain(key) {
+			t.Fatalf("AddPositions lost %q for string probe", key)
+		}
+		if !other.MayContainPositions(pos) {
+			t.Fatalf("AddPositions lost %q for position probe", key)
+		}
+	}
+	// A filter that never saw the keys reports them absent via positions too.
+	empty := New(1<<12, 4)
+	misses := 0
+	for i := 0; i < 300; i++ {
+		if !empty.MayContainPositions(proto.Positions(nil, fmt.Sprintf("txn-%d", i))) {
+			misses++
+		}
+	}
+	if misses != 300 {
+		t.Fatalf("empty filter reported %d/300 keys present", 300-misses)
+	}
+}
+
+func TestPositionsGeometryMismatchPanics(t *testing.T) {
+	f := New(1<<10, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched position count")
+		}
+	}()
+	f.AddPositions(make([]uint64, 5))
+}
+
 func TestNoFalseNegativesProperty(t *testing.T) {
 	prop := func(keys []string) bool {
 		f := New(1<<10, 3)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/kvstore"
 	"fabricsharp/internal/seqno"
 )
@@ -13,10 +14,15 @@ import (
 func benchArrivals(b *testing.B, opts Options, keySpace, blockSize int) {
 	m := NewManager(opts)
 	height := uint64(0)
+	keys := make([]string, keySpace)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := fmt.Sprintf("k%d", (i*7)%keySpace)
-		w := fmt.Sprintf("k%d", (i*3)%keySpace)
+		r := keys[(i*7)%keySpace]
+		w := keys[(i*3)%keySpace]
 		if _, err := m.OnArrival(TxID(fmt.Sprintf("t%d", i)), height, []string{r}, []string{w}); err != nil {
 			b.Fatal(err)
 		}
@@ -45,15 +51,23 @@ func BenchmarkManagerLargeBlocks(b *testing.B) {
 }
 
 func BenchmarkMemIndexPutAfter(b *testing.B) {
+	keys := intern.NewTable()
 	idx := NewMemIndex()
+	ks := make([]intern.Key, 64)
+	for i := range ks {
+		ks[i] = keys.Intern(fmt.Sprintf("k%d", i))
+	}
+	var buf []TxID
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		key := fmt.Sprintf("k%d", i%64)
+		key := ks[i%64]
 		seq := seqno.Commit(uint64(i/100+1), uint32(i%100+1))
 		if err := idx.Put(key, seq, TxID(fmt.Sprintf("t%d", i))); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := idx.After(key, seqno.Snapshot(uint64(i/100))); err != nil {
+		var err error
+		if buf, err = idx.After(buf[:0], key, seqno.Snapshot(uint64(i/100))); err != nil {
 			b.Fatal(err)
 		}
 		if i%1000 == 999 {
@@ -69,15 +83,22 @@ func BenchmarkKVIndexPutAfter(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	idx := NewKVIndex(db)
+	keys := intern.NewTable()
+	idx := NewKVIndex(db, keys)
+	ks := make([]intern.Key, 64)
+	for i := range ks {
+		ks[i] = keys.Intern(fmt.Sprintf("k%d", i))
+	}
+	var buf []TxID
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		key := fmt.Sprintf("k%d", i%64)
+		key := ks[i%64]
 		seq := seqno.Commit(uint64(i/100+1), uint32(i%100+1))
 		if err := idx.Put(key, seq, TxID(fmt.Sprintf("t%d", i))); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := idx.After(key, seqno.Snapshot(uint64(i/100))); err != nil {
+		var err error
+		if buf, err = idx.After(buf[:0], key, seqno.Snapshot(uint64(i/100))); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"fabricsharp/internal/bloom"
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/seqno"
 )
 
@@ -19,11 +21,25 @@ type txNode struct {
 	endTS     seqno.Seq // zero until committed
 	committed bool
 	pruned    bool
-	readKeys  []string
-	writeKeys []string
+	readKeys  []intern.Key
+	writeKeys []intern.Key
 	succ      map[*txNode]struct{}
 	anti      *bloom.Filter
 	age       uint64 // block recency of the node's newest committed ancestor (incl. itself)
+
+	// idPos caches the node id's bloom bit positions (computed once at
+	// admission, reused by every reachability probe instead of re-hashing
+	// string(id)). idPosBuf is its inline backing array for the default
+	// filter geometries, so admission allocates nothing extra.
+	idPos    []uint64
+	idPosBuf [8]uint64
+
+	// Single-goroutine traversal scratch (the Manager serializes all graph
+	// access): stamp marks visited nodes per graph epoch, indeg and pos are
+	// the topological sort's working state.
+	stamp uint64
+	indeg int
+	pos   int
 }
 
 // graph is the dependency graph with its reachability machinery.
@@ -32,29 +48,70 @@ type graph struct {
 	bloomBits   uint64
 	bloomHashes int
 	arrivals    uint64
+
+	// filterPool and succPool recycle the per-node ancestor filters (2 KiB
+	// of bits at the default geometry) and successor maps across the prune
+	// horizon — the dominant allocation of the arrival path before pooling.
+	filterPool sync.Pool
+	succPool   sync.Pool
+
+	// epoch-stamp visited marking plus reusable traversal scratch.
+	epoch    uint64
+	stack    []*txNode
+	topoAll  []*txNode
+	topoOut  []*txNode
+	topoHeap nodeHeap
 }
 
 func newGraph(bloomBits uint64, bloomHashes int) *graph {
-	return &graph{
+	g := &graph{
 		nodes:       make(map[TxID]*txNode),
 		bloomBits:   bloomBits,
 		bloomHashes: bloomHashes,
 	}
+	g.filterPool.New = func() interface{} { return bloom.New(bloomBits, bloomHashes) }
+	g.succPool.New = func() interface{} { return make(map[*txNode]struct{}) }
+	return g
 }
 
-func (g *graph) newNode(id TxID, startTS seqno.Seq, readKeys, writeKeys []string) *txNode {
+// visit returns false if n was already visited in the current epoch, marking
+// it otherwise. Callers bump the epoch (nextEpoch) once per traversal.
+func (g *graph) visit(n *txNode) bool {
+	if n.stamp == g.epoch {
+		return false
+	}
+	n.stamp = g.epoch
+	return true
+}
+
+func (g *graph) nextEpoch() { g.epoch++ }
+
+func (g *graph) newNode(id TxID, startTS seqno.Seq, readKeys, writeKeys []intern.Key) *txNode {
 	g.arrivals++
 	n := &txNode{
 		id:        id,
 		arrival:   g.arrivals,
 		startTS:   startTS,
-		readKeys:  readKeys,
-		writeKeys: writeKeys,
-		succ:      make(map[*txNode]struct{}),
-		anti:      bloom.New(g.bloomBits, g.bloomHashes),
+		readKeys:  append([]intern.Key(nil), readKeys...),
+		writeKeys: append([]intern.Key(nil), writeKeys...),
+		succ:      g.succPool.Get().(map[*txNode]struct{}),
+		anti:      g.filterPool.Get().(*bloom.Filter),
 	}
-	n.anti.Add(string(id))
+	n.idPos = n.anti.Positions(n.idPosBuf[:0], string(id))
+	n.anti.AddPositions(n.idPos)
 	return n
+}
+
+// release returns a pruned node's pooled resources. The filter and map are
+// exclusively owned by the node (unions copy bits, edges were unlinked), so
+// recycling them is safe.
+func (g *graph) release(n *txNode) {
+	n.anti.Reset()
+	g.filterPool.Put(n.anti)
+	n.anti = nil
+	clear(n.succ)
+	g.succPool.Put(n.succ)
+	n.succ = nil
 }
 
 // lookup resolves an index hit to a live node; pruned or unknown
@@ -83,7 +140,7 @@ func hasCycle(pred, succ map[*txNode]struct{}) bool {
 				return true
 			}
 			// anti(p) = {ancestors of p} ∪ {p}; a hit means s -> ... -> p.
-			if p.anti.MayContain(string(s.id)) {
+			if p.anti.MayContainPositions(s.idPos) {
 				return true
 			}
 		}
@@ -110,18 +167,18 @@ func (g *graph) insert(txn *txNode, pred, succ map[*txNode]struct{}, nextBlock u
 
 	// Push txn's ancestor set (which includes txn) to all descendants and
 	// refresh their age: txn is a new, soon-to-commit ancestor of each.
-	visited := map[*txNode]struct{}{txn: {}}
-	stack := make([]*txNode, 0, len(succ))
+	g.nextEpoch()
+	g.visit(txn)
+	stack := g.stack[:0]
 	for s := range succ {
 		stack = append(stack, s)
 	}
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if _, seen := visited[n]; seen || n.pruned {
+		if n.pruned || !g.visit(n) {
 			continue
 		}
-		visited[n] = struct{}{}
 		hops++
 		n.anti.Union(txn.anti)
 		if n.age < nextBlock {
@@ -131,38 +188,40 @@ func (g *graph) insert(txn *txNode, pred, succ map[*txNode]struct{}, nextBlock u
 			stack = append(stack, s)
 		}
 	}
+	g.stack = stack[:0]
 	return hops
 }
 
 // topoOrder returns every live node in a deterministic topological order
 // (Kahn's algorithm with arrival-index tie-breaking). It is used both for
 // block formation (the pending sub-sequence of this order is the commit
-// order) and for the reachability rebuilds.
+// order) and for the reachability rebuilds. The returned slice is scratch
+// owned by the graph — it is valid until the next topoOrder call.
 func (g *graph) topoOrder() []*txNode {
-	indeg := make(map[*txNode]int, len(g.nodes))
-	var all []*txNode
+	all := g.topoAll[:0]
 	for _, n := range g.nodes {
 		if n.pruned {
 			continue
 		}
+		n.indeg = 0
 		all = append(all, n)
-		if _, ok := indeg[n]; !ok {
-			indeg[n] = 0
-		}
+	}
+	for _, n := range all {
 		for s := range n.succ {
 			if !s.pruned {
-				indeg[s]++
+				s.indeg++
 			}
 		}
 	}
 	// Ready min-heap by arrival index, seeded with all zero-indegree nodes.
-	var ready nodeHeap
+	ready := &g.topoHeap
+	ready.reset()
 	for _, n := range all {
-		if indeg[n] == 0 {
+		if n.indeg == 0 {
 			ready.push(n)
 		}
 	}
-	out := make([]*txNode, 0, len(all))
+	out := g.topoOut[:0]
 	for ready.len() > 0 {
 		n := ready.pop()
 		out = append(out, n)
@@ -170,8 +229,8 @@ func (g *graph) topoOrder() []*txNode {
 			if s.pruned {
 				continue
 			}
-			indeg[s]--
-			if indeg[s] == 0 {
+			s.indeg--
+			if s.indeg == 0 {
 				ready.push(s)
 			}
 		}
@@ -181,19 +240,21 @@ func (g *graph) topoOrder() []*txNode {
 		// beats emitting an unserializable block.
 		panic("core: dependency graph contains a cycle")
 	}
+	g.topoAll = all
+	g.topoOut = out
 	return out
 }
 
 // rebuildReachability recomputes every live node's ancestor filter from the
-// explicit edges (fresh filters, forward propagation in topological order).
-// This is the relay mechanism of Section 4.4: periodically resetting the
-// filters bounds their fill ratio — and with it the false-positive rate —
+// explicit edges (reset filters in place, forward propagation in topological
+// order). This is the relay mechanism of Section 4.4: periodically resetting
+// the filters bounds their fill ratio — and with it the false-positive rate —
 // without ever losing a true member.
 func (g *graph) rebuildReachability() {
 	order := g.topoOrder()
 	for _, n := range order {
-		n.anti = bloom.New(g.bloomBits, g.bloomHashes)
-		n.anti.Add(string(n.id))
+		n.anti.Reset()
+		n.anti.AddPositions(n.idPos)
 	}
 	for _, n := range order {
 		for s := range n.succ {
@@ -210,18 +271,15 @@ func (g *graph) rebuildReachability() {
 // transaction might have been deferred to a later block); re-bumping at
 // commit keeps pruning strictly conservative.
 func (g *graph) bumpCommitted(committed []*txNode, block uint64) {
-	visited := make(map[*txNode]struct{}, len(committed))
-	var stack []*txNode
-	for _, n := range committed {
-		stack = append(stack, n)
-	}
+	g.nextEpoch()
+	stack := g.stack[:0]
+	stack = append(stack, committed...)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if _, seen := visited[n]; seen || n.pruned {
+		if n.pruned || !g.visit(n) {
 			continue
 		}
-		visited[n] = struct{}{}
 		if n.age < block {
 			n.age = block
 		}
@@ -229,13 +287,14 @@ func (g *graph) bumpCommitted(committed []*txNode, block uint64) {
 			stack = append(stack, s)
 		}
 	}
+	g.stack = stack[:0]
 }
 
 // prune removes committed nodes whose age fell below the horizon: no future
 // transaction can be part of a cycle through them (Section 4.6). Pending
 // nodes are never pruned. It returns the number of pruned nodes.
 func (g *graph) prune(horizon uint64) int {
-	pruned := 0
+	doomed := g.stack[:0]
 	for id, n := range g.nodes {
 		if !n.committed || n.pruned {
 			continue
@@ -243,11 +302,14 @@ func (g *graph) prune(horizon uint64) int {
 		if n.age < horizon {
 			n.pruned = true
 			delete(g.nodes, id)
-			pruned++
+			doomed = append(doomed, n)
 		}
 	}
-	if pruned > 0 {
-		// Drop dangling successor links so traversals stay tight.
+	if len(doomed) > 0 {
+		// Drop dangling successor links so traversals stay tight, then
+		// recycle the pruned nodes' filters and maps (nothing else can
+		// reach them: lookups consult g.nodes, and every traversal guards
+		// on n.pruned before touching a node).
 		for _, n := range g.nodes {
 			for s := range n.succ {
 				if s.pruned {
@@ -255,7 +317,12 @@ func (g *graph) prune(horizon uint64) int {
 				}
 			}
 		}
+		for _, n := range doomed {
+			g.release(n)
+		}
 	}
+	pruned := len(doomed)
+	g.stack = doomed[:0]
 	return pruned
 }
 
@@ -263,10 +330,13 @@ func (g *graph) prune(horizon uint64) int {
 func (g *graph) size() int { return len(g.nodes) }
 
 // nodeHeap is a minimal min-heap of nodes ordered by arrival index; it keeps
-// the topological sort deterministic across replicas.
+// the topological sort deterministic across replicas. The backing slice is
+// reused across sorts.
 type nodeHeap struct{ ns []*txNode }
 
 func (h *nodeHeap) len() int { return len(h.ns) }
+
+func (h *nodeHeap) reset() { h.ns = h.ns[:0] }
 
 func (h *nodeHeap) push(n *txNode) {
 	h.ns = append(h.ns, n)
@@ -305,69 +375,57 @@ func (h *nodeHeap) pop() *txNode {
 	return top
 }
 
-// sortedKeys returns map keys in sorted order (deterministic iteration for
-// the ww restoration pass).
-func sortedKeys[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// restoreWW implements Algorithm 5: after the commit order `order` has been
-// fixed, write-write dependencies between pending transactions are installed
-// so that future cycle checks see them. For every key written by more than
-// one newly committed transaction, adjacent writer pairs not already
-// connected receive an edge and the downstream reachability is refreshed in
-// one topologically ordered pass from the collected heads.
-func (g *graph) restoreWW(pw map[string]map[*txNode]struct{}, position map[*txNode]int) (heads []*txNode) {
-	headSet := make(map[*txNode]struct{})
-	for _, key := range sortedKeys(pw) {
-		writers := make([]*txNode, 0, len(pw[key]))
-		for n := range pw[key] {
-			writers = append(writers, n)
-		}
-		if len(writers) < 2 {
-			continue
-		}
-		sort.Slice(writers, func(i, j int) bool { return position[writers[i]] < position[writers[j]] })
+// restoreWW implements Algorithm 5: after the commit order has been fixed,
+// write-write dependencies between pending transactions are installed so
+// that future cycle checks see them. groups holds, per contended key (in a
+// deterministic key order chosen by the Manager), the key's pending writers
+// sorted by commit position; adjacent writer pairs not already connected
+// receive an edge and the downstream reachability is refreshed in one
+// topologically ordered pass from the collected heads.
+func (g *graph) restoreWW(groups [][]*txNode) {
+	var heads []*txNode
+	g.nextEpoch()
+	headEpoch := g.epoch
+	for _, writers := range groups {
 		for i := 0; i+1 < len(writers); i++ {
 			t1, t2 := writers[i], writers[i+1]
-			if t2.anti.MayContain(string(t1.id)) {
+			if t2.anti.MayContainPositions(t1.idPos) {
 				// Already connected (possibly via another key): the edge is
 				// implicit, as with Txn0 -> Txn3 in Figure 9.
 				continue
 			}
 			t1.succ[t2] = struct{}{}
 			t2.anti.Union(t1.anti)
-			headSet[t2] = struct{}{}
+			if t2.stamp != headEpoch {
+				t2.stamp = headEpoch
+				heads = append(heads, t2)
+			}
 		}
 	}
-	if len(headSet) == 0 {
-		return nil
+	if len(heads) == 0 {
+		return
 	}
 	// Propagate from the heads in topological order so each node's filter
 	// is final before its successors consume it (Figure 9's single-pass
-	// iteration).
-	reachable := make(map[*txNode]struct{})
-	var mark func(n *txNode)
-	mark = func(n *txNode) {
-		if _, ok := reachable[n]; ok || n.pruned {
-			return
+	// iteration). Mark everything reachable from a head, then walk the
+	// global topological order unioning along marked nodes' edges.
+	g.nextEpoch()
+	stack := g.stack[:0]
+	stack = append(stack, heads...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.pruned || !g.visit(n) {
+			continue
 		}
-		reachable[n] = struct{}{}
 		for s := range n.succ {
-			mark(s)
+			stack = append(stack, s)
 		}
 	}
-	for h := range headSet {
-		mark(h)
-		heads = append(heads, h)
-	}
+	g.stack = stack[:0]
+	reachEpoch := g.epoch
 	for _, n := range g.topoOrder() {
-		if _, ok := reachable[n]; !ok {
+		if n.stamp != reachEpoch {
 			continue
 		}
 		for s := range n.succ {
@@ -376,6 +434,10 @@ func (g *graph) restoreWW(pw map[string]map[*txNode]struct{}, position map[*txNo
 			}
 		}
 	}
-	sort.Slice(heads, func(i, j int) bool { return heads[i].arrival < heads[j].arrival })
-	return heads
+}
+
+// sortWriters orders one key's pending writers by commit position (set by
+// the formation's topological pass).
+func sortWriters(writers []*txNode) {
+	sort.Slice(writers, func(i, j int) bool { return writers[i].pos < writers[j].pos })
 }

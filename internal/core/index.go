@@ -8,12 +8,18 @@
 // Theorem 2), emits a serializable commit order at block formation
 // (Algorithm 3), restores write-write dependencies (Algorithm 5), and prunes
 // the graph by snapshot staleness and age (Section 4.6).
+//
+// Record keys are interned (internal/intern): the Manager resolves each
+// string key to a dense uint32 the first time it appears in the consensus
+// stream, and every index and graph structure downstream operates on those
+// KeyIDs — committed-index lookups become slice indexing instead of string
+// hashing.
 package core
 
 import (
 	"sort"
-	"sync"
 
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/kvstore"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/seqno"
@@ -26,22 +32,28 @@ type TxID = protocol.TxID
 // CommittedWriteTxns (CW) and CommittedReadTxns (CR) both map a record key
 // plus the commit sequence of the accessing transaction to that
 // transaction's identifier, and support the point and range queries the
-// dependency resolution needs.
+// dependency resolution needs. Keys are interned KeyIDs; implementations
+// that persist (KVIndex) resolve them back to strings through the shared
+// intern.Table, so the disk layout stays keyed by record-key bytes.
+//
+// Like the Manager that owns them, indices are confined to the orderer's
+// single goroutine; they are not safe for concurrent use.
 type VersionIndex interface {
 	// Put records that transaction id accessed key at commit sequence seq.
-	Put(key string, seq seqno.Seq, id TxID) error
-	// After returns, in commit order, every transaction that accessed key
-	// with commit sequence >= from (the CW[key][from:] range query).
-	After(key string, from seqno.Seq) ([]TxID, error)
+	Put(key intern.Key, seq seqno.Seq, id TxID) error
+	// After appends to dst, in commit order, every transaction that accessed
+	// key with commit sequence >= from (the CW[key][from:] range query).
+	// Passing a reusable dst buffer keeps the arrival path allocation-free.
+	After(dst []TxID, key intern.Key, from seqno.Seq) ([]TxID, error)
 	// Before returns the last transaction that accessed key strictly before
 	// `before` (the CW.Before point query).
-	Before(key string, before seqno.Seq) (TxID, bool, error)
+	Before(key intern.Key, before seqno.Seq) (TxID, bool, error)
 	// Last returns the most recent transaction that accessed key
 	// (the CW.Last point query).
-	Last(key string) (TxID, bool, error)
-	// All returns, in commit order, every retained transaction that
+	Last(key intern.Key) (TxID, bool, error)
+	// All appends to dst, in commit order, every retained transaction that
 	// accessed key (the CR[key] query).
-	All(key string) ([]TxID, error)
+	All(dst []TxID, key intern.Key) ([]TxID, error)
 	// PruneBefore removes every entry whose commit sequence's block is
 	// strictly below minBlock (Section 4.6's index pruning).
 	PruneBefore(minBlock uint64) error
@@ -56,24 +68,43 @@ type memEntry struct {
 	id  TxID
 }
 
-// MemIndex is a purely in-memory VersionIndex: per key, an append-ordered
-// slice of (commit seq, txn) entries. Commit sequences arrive in increasing
-// order, so the slices stay sorted without explicit sorting.
+// MemIndex is a purely in-memory VersionIndex: per KeyID, an append-ordered
+// slice of (commit seq, txn) entries — a plain slice lookup per query.
+// Commit sequences arrive in increasing order, so the slices stay sorted
+// without explicit sorting.
+//
+// Memory: pruning empties a key's slot but the slot itself (one slice
+// header per KeyID ever issued) is retained — the cost of slice indexing
+// over string hashing. See the trade-off note in docs/perf.md; workloads
+// with unboundedly growing key spaces should cap the orderer's lifetime or
+// restart on a horizon (the persistence/FastForward path).
 type MemIndex struct {
-	mu      sync.RWMutex
-	entries map[string][]memEntry
+	entries [][]memEntry // indexed by intern.Key
 }
 
 // NewMemIndex returns an empty in-memory index.
-func NewMemIndex() *MemIndex { return &MemIndex{entries: make(map[string][]memEntry)} }
+func NewMemIndex() *MemIndex { return &MemIndex{} }
 
-// Put implements VersionIndex.
-func (m *MemIndex) Put(key string, seq seqno.Seq, id TxID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// grow ensures the entry table covers key.
+func (m *MemIndex) grow(key intern.Key) {
+	for int(key) >= len(m.entries) {
+		m.entries = append(m.entries, nil)
+	}
+}
+
+// Put implements VersionIndex. Each (key, seq) pair must be written at most
+// once — the Manager guarantees this, since commit sequences (block, pos)
+// are unique. Distinct sequences may arrive out of order (the defensive
+// branch below); replaying the SAME sequence is out of contract (MemIndex
+// would keep both entries where KVIndex overwrites).
+func (m *MemIndex) Put(key intern.Key, seq seqno.Seq, id TxID) error {
+	m.grow(key)
 	es := m.entries[key]
 	if n := len(es); n > 0 && !es[n-1].seq.Less(seq) {
-		// Defensive: out-of-order insert keeps the slice sorted.
+		// Defensive: out-of-order insert keeps the slice sorted. (The manager
+		// always commits in increasing sequence order; this path mirrors
+		// KVIndex, whose sorted on-disk layout gives the same behavior for
+		// free — see TestIndexOutOfOrderInsertAgreement.)
 		i := sort.Search(n, func(i int) bool { return !es[i].seq.Less(seq) })
 		es = append(es, memEntry{})
 		copy(es[i+1:], es[i:])
@@ -86,25 +117,23 @@ func (m *MemIndex) Put(key string, seq seqno.Seq, id TxID) error {
 }
 
 // After implements VersionIndex.
-func (m *MemIndex) After(key string, from seqno.Seq) ([]TxID, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+func (m *MemIndex) After(dst []TxID, key intern.Key, from seqno.Seq) ([]TxID, error) {
+	if int(key) >= len(m.entries) {
+		return dst, nil
+	}
 	es := m.entries[key]
 	i := sort.Search(len(es), func(i int) bool { return !es[i].seq.Less(from) })
-	if i == len(es) {
-		return nil, nil
-	}
-	out := make([]TxID, 0, len(es)-i)
 	for ; i < len(es); i++ {
-		out = append(out, es[i].id)
+		dst = append(dst, es[i].id)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Before implements VersionIndex.
-func (m *MemIndex) Before(key string, before seqno.Seq) (TxID, bool, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+func (m *MemIndex) Before(key intern.Key, before seqno.Seq) (TxID, bool, error) {
+	if int(key) >= len(m.entries) {
+		return "", false, nil
+	}
 	es := m.entries[key]
 	i := sort.Search(len(es), func(i int) bool { return !es[i].seq.Less(before) })
 	if i == 0 {
@@ -114,9 +143,10 @@ func (m *MemIndex) Before(key string, before seqno.Seq) (TxID, bool, error) {
 }
 
 // Last implements VersionIndex.
-func (m *MemIndex) Last(key string) (TxID, bool, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+func (m *MemIndex) Last(key intern.Key) (TxID, bool, error) {
+	if int(key) >= len(m.entries) {
+		return "", false, nil
+	}
 	es := m.entries[key]
 	if len(es) == 0 {
 		return "", false, nil
@@ -125,21 +155,18 @@ func (m *MemIndex) Last(key string) (TxID, bool, error) {
 }
 
 // All implements VersionIndex.
-func (m *MemIndex) All(key string) ([]TxID, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	es := m.entries[key]
-	out := make([]TxID, len(es))
-	for i, e := range es {
-		out[i] = e.id
+func (m *MemIndex) All(dst []TxID, key intern.Key) ([]TxID, error) {
+	if int(key) >= len(m.entries) {
+		return dst, nil
 	}
-	return out, nil
+	for _, e := range m.entries[key] {
+		dst = append(dst, e.id)
+	}
+	return dst, nil
 }
 
 // PruneBefore implements VersionIndex.
 func (m *MemIndex) PruneBefore(minBlock uint64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for key, es := range m.entries {
 		i := 0
 		for i < len(es) && es[i].seq.Block < minBlock {
@@ -149,10 +176,16 @@ func (m *MemIndex) PruneBefore(minBlock uint64) error {
 			continue
 		}
 		if i == len(es) {
-			delete(m.entries, key)
+			m.entries[key] = nil
 			continue
 		}
-		m.entries[key] = append([]memEntry(nil), es[i:]...)
+		// Shift in place: the key slot keeps its backing array, so steady-
+		// state pruning allocates nothing.
+		n := copy(es, es[i:])
+		for j := n; j < len(es); j++ {
+			es[j] = memEntry{}
+		}
+		m.entries[key] = es[:n]
 	}
 	return nil
 }
@@ -166,13 +199,24 @@ func (m *MemIndex) PruneBefore(minBlock uint64) error {
 // "p/<record key>\x00<commit seq>" so that a prefix scan walks one record
 // key's accesses in commit order, and a secondary family
 // "b/<commit seq>\x00<record key>" supports pruning whole block ranges.
-// Record keys must not contain NUL bytes (all workload keys are printable).
+// KeyIDs are resolved back to record-key strings through the shared intern
+// table, keeping the disk layout independent of any one process's interning
+// order. Record keys must not contain NUL bytes (all workload keys are
+// printable).
+//
+// Because the on-disk layout sorts by (record key, commit seq), an
+// out-of-order Put lands in its sorted position automatically — the disk
+// index gets MemIndex's defensive insert path for free.
 type KVIndex struct {
-	db *kvstore.DB
+	db   *kvstore.DB
+	keys *intern.Table
 }
 
-// NewKVIndex wraps db as a VersionIndex.
-func NewKVIndex(db *kvstore.DB) *KVIndex { return &KVIndex{db: db} }
+// NewKVIndex wraps db as a VersionIndex resolving KeyIDs through keys (use
+// the owning Manager's table, Manager.Keys()).
+func NewKVIndex(db *kvstore.DB, keys *intern.Table) *KVIndex {
+	return &KVIndex{db: db, keys: keys}
+}
 
 func kvPrimaryKey(key string, seq seqno.Seq) []byte {
 	out := make([]byte, 0, 2+len(key)+1+seqno.EncodedLen())
@@ -198,28 +242,30 @@ func kvSecondaryKey(key string, seq seqno.Seq) []byte {
 }
 
 // Put implements VersionIndex.
-func (k *KVIndex) Put(key string, seq seqno.Seq, id TxID) error {
-	if err := k.db.Put(kvPrimaryKey(key, seq), []byte(id)); err != nil {
+func (k *KVIndex) Put(key intern.Key, seq seqno.Seq, id TxID) error {
+	s := k.keys.Lookup(key)
+	if err := k.db.Put(kvPrimaryKey(s, seq), []byte(id)); err != nil {
 		return err
 	}
-	return k.db.Put(kvSecondaryKey(key, seq), nil)
+	return k.db.Put(kvSecondaryKey(s, seq), nil)
 }
 
 // After implements VersionIndex.
-func (k *KVIndex) After(key string, from seqno.Seq) ([]TxID, error) {
-	start := kvPrimaryKey(key, from)
-	limit := kvstore.PrefixSuccessor(kvPrimaryPrefix(key))
-	var out []TxID
+func (k *KVIndex) After(dst []TxID, key intern.Key, from seqno.Seq) ([]TxID, error) {
+	s := k.keys.Lookup(key)
+	start := kvPrimaryKey(s, from)
+	limit := kvstore.PrefixSuccessor(kvPrimaryPrefix(s))
 	for it := k.db.NewIterator(start, limit); it.Valid(); it.Next() {
-		out = append(out, TxID(it.Value()))
+		dst = append(dst, TxID(it.Value()))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Before implements VersionIndex.
-func (k *KVIndex) Before(key string, before seqno.Seq) (TxID, bool, error) {
-	prefix := kvPrimaryPrefix(key)
-	limit := kvPrimaryKey(key, before)
+func (k *KVIndex) Before(key intern.Key, before seqno.Seq) (TxID, bool, error) {
+	s := k.keys.Lookup(key)
+	prefix := kvPrimaryPrefix(s)
+	limit := kvPrimaryKey(s, before)
 	var (
 		id    TxID
 		found bool
@@ -231,24 +277,23 @@ func (k *KVIndex) Before(key string, before seqno.Seq) (TxID, bool, error) {
 }
 
 // Last implements VersionIndex.
-func (k *KVIndex) Last(key string) (TxID, bool, error) {
+func (k *KVIndex) Last(key intern.Key) (TxID, bool, error) {
 	var (
 		id    TxID
 		found bool
 	)
-	for it := k.db.NewPrefixIterator(kvPrimaryPrefix(key)); it.Valid(); it.Next() {
+	for it := k.db.NewPrefixIterator(kvPrimaryPrefix(k.keys.Lookup(key))); it.Valid(); it.Next() {
 		id, found = TxID(it.Value()), true
 	}
 	return id, found, nil
 }
 
 // All implements VersionIndex.
-func (k *KVIndex) All(key string) ([]TxID, error) {
-	var out []TxID
-	for it := k.db.NewPrefixIterator(kvPrimaryPrefix(key)); it.Valid(); it.Next() {
-		out = append(out, TxID(it.Value()))
+func (k *KVIndex) All(dst []TxID, key intern.Key) ([]TxID, error) {
+	for it := k.db.NewPrefixIterator(kvPrimaryPrefix(k.keys.Lookup(key))); it.Valid(); it.Next() {
+		dst = append(dst, TxID(it.Value()))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // PruneBefore implements VersionIndex.

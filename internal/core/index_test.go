@@ -5,20 +5,21 @@ import (
 	"math/rand"
 	"testing"
 
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/kvstore"
 	"fabricsharp/internal/seqno"
 )
 
-func newKVIndexForTest(t *testing.T) *KVIndex {
+func newKVIndexForTest(t *testing.T, keys *intern.Table) *KVIndex {
 	t.Helper()
 	db, err := kvstore.Open(kvstore.Options{}) // in-memory
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewKVIndex(db)
+	return NewKVIndex(db, keys)
 }
 
-func testIndexBasics(t *testing.T, idx VersionIndex) {
+func testIndexBasics(t *testing.T, keys *intern.Table, idx VersionIndex) {
 	t.Helper()
 	must := func(err error) {
 		t.Helper()
@@ -26,65 +27,82 @@ func testIndexBasics(t *testing.T, idx VersionIndex) {
 			t.Fatal(err)
 		}
 	}
-	must(idx.Put("A", seqno.Commit(3, 2), "txn1"))
-	must(idx.Put("A", seqno.Commit(4, 1), "txn7"))
-	must(idx.Put("A", seqno.Commit(5, 3), "txn9"))
-	must(idx.Put("B", seqno.Commit(4, 2), "txn8"))
+	kA, kB, kMissing := keys.Intern("A"), keys.Intern("B"), keys.Intern("missing")
+	must(idx.Put(kA, seqno.Commit(3, 2), "txn1"))
+	must(idx.Put(kA, seqno.Commit(4, 1), "txn7"))
+	must(idx.Put(kA, seqno.Commit(5, 3), "txn9"))
+	must(idx.Put(kB, seqno.Commit(4, 2), "txn8"))
 
 	// Last
-	if id, ok, _ := idx.Last("A"); !ok || id != "txn9" {
+	if id, ok, _ := idx.Last(kA); !ok || id != "txn9" {
 		t.Errorf("Last(A) = %v,%v", id, ok)
 	}
-	if _, ok, _ := idx.Last("missing"); ok {
+	if _, ok, _ := idx.Last(kMissing); ok {
 		t.Error("Last(missing) found something")
 	}
 	// Before: the paper's CW.Before(key, seq) — last committed strictly
 	// earlier than seq.
-	if id, ok, _ := idx.Before("A", seqno.Snapshot(3)); !ok || id != "txn1" {
+	if id, ok, _ := idx.Before(kA, seqno.Snapshot(3)); !ok || id != "txn1" {
 		t.Errorf("Before(A,(4,0)) = %v,%v want txn1", id, ok)
 	}
-	if _, ok, _ := idx.Before("A", seqno.Commit(3, 2)); ok {
+	if _, ok, _ := idx.Before(kA, seqno.Commit(3, 2)); ok {
 		t.Error("Before at the exact first seq should be empty")
 	}
 	// After: CW[key][seq:].
-	got, _ := idx.After("A", seqno.Snapshot(3))
+	got, _ := idx.After(nil, kA, seqno.Snapshot(3))
 	if fmt.Sprint(got) != "[txn7 txn9]" {
 		t.Errorf("After(A,(4,0)) = %v", got)
 	}
-	got, _ = idx.After("A", seqno.Seq{})
+	got, _ = idx.After(nil, kA, seqno.Seq{})
 	if fmt.Sprint(got) != "[txn1 txn7 txn9]" {
 		t.Errorf("After(A,zero) = %v", got)
 	}
+	// After appends to the passed buffer.
+	buf := []TxID{"sentinel"}
+	got, _ = idx.After(buf, kA, seqno.Snapshot(3))
+	if fmt.Sprint(got) != "[sentinel txn7 txn9]" {
+		t.Errorf("After with buffer = %v", got)
+	}
 	// All
-	got, _ = idx.All("B")
+	got, _ = idx.All(nil, kB)
 	if fmt.Sprint(got) != "[txn8]" {
 		t.Errorf("All(B) = %v", got)
 	}
 	// PruneBefore drops block < 4.
 	must(idx.PruneBefore(4))
-	got, _ = idx.All("A")
+	got, _ = idx.All(nil, kA)
 	if fmt.Sprint(got) != "[txn7 txn9]" {
 		t.Errorf("after prune All(A) = %v", got)
 	}
-	if id, ok, _ := idx.Last("B"); !ok || id != "txn8" {
+	if id, ok, _ := idx.Last(kB); !ok || id != "txn8" {
 		t.Errorf("prune damaged B: %v,%v", id, ok)
 	}
 }
 
-func TestMemIndexBasics(t *testing.T) { testIndexBasics(t, NewMemIndex()) }
-func TestKVIndexBasics(t *testing.T)  { testIndexBasics(t, newKVIndexForTest(t)) }
+func TestMemIndexBasics(t *testing.T) {
+	testIndexBasics(t, intern.NewTable(), NewMemIndex())
+}
+
+func TestKVIndexBasics(t *testing.T) {
+	keys := intern.NewTable()
+	testIndexBasics(t, keys, newKVIndexForTest(t, keys))
+}
 
 func TestIndexDifferential(t *testing.T) {
 	// MemIndex and KVIndex must agree on every query under a random
 	// operation stream — the kvstore-backed index is the LevelDB-equivalent
 	// layout, the memory index is the model.
+	keys := intern.NewTable()
 	mem := NewMemIndex()
-	kv := newKVIndexForTest(t)
+	kv := newKVIndexForTest(t, keys)
 	rng := rand.New(rand.NewSource(5))
-	keys := []string{"A", "B", "acct:17", "checking:alice"}
+	var ks []intern.Key
+	for _, s := range []string{"A", "B", "acct:17", "checking:alice"} {
+		ks = append(ks, keys.Intern(s))
+	}
 	seq := seqno.Seq{Block: 1, Pos: 1}
 	for i := 0; i < 500; i++ {
-		key := keys[rng.Intn(len(keys))]
+		key := ks[rng.Intn(len(ks))]
 		id := TxID(fmt.Sprintf("t%d", i))
 		if err := mem.Put(key, seq, id); err != nil {
 			t.Fatal(err)
@@ -109,38 +127,83 @@ func TestIndexDifferential(t *testing.T) {
 		}
 		// Compare queries at random probe points.
 		probe := seqno.Commit(uint64(rng.Intn(int(seq.Block)+1)), uint32(rng.Intn(4)))
-		for _, k := range keys {
-			ma, _ := mem.After(k, probe)
-			ka, _ := kv.After(k, probe)
+		for _, k := range ks {
+			ma, _ := mem.After(nil, k, probe)
+			ka, _ := kv.After(nil, k, probe)
 			if fmt.Sprint(ma) != fmt.Sprint(ka) {
-				t.Fatalf("After(%q,%v) diverged: %v vs %v", k, probe, ma, ka)
+				t.Fatalf("After(%d,%v) diverged: %v vs %v", k, probe, ma, ka)
 			}
 			mb, mok, _ := mem.Before(k, probe)
 			kb, kok, _ := kv.Before(k, probe)
 			if mok != kok || mb != kb {
-				t.Fatalf("Before(%q,%v) diverged: %v,%v vs %v,%v", k, probe, mb, mok, kb, kok)
+				t.Fatalf("Before(%d,%v) diverged: %v,%v vs %v,%v", k, probe, mb, mok, kb, kok)
 			}
 			ml, mok2, _ := mem.Last(k)
 			kl, kok2, _ := kv.Last(k)
 			if mok2 != kok2 || ml != kl {
-				t.Fatalf("Last(%q) diverged", k)
+				t.Fatalf("Last(%d) diverged", k)
 			}
-			mall, _ := mem.All(k)
-			kall, _ := kv.All(k)
+			mall, _ := mem.All(nil, k)
+			kall, _ := kv.All(nil, k)
 			if fmt.Sprint(mall) != fmt.Sprint(kall) {
-				t.Fatalf("All(%q) diverged: %v vs %v", k, mall, kall)
+				t.Fatalf("All(%d) diverged: %v vs %v", k, mall, kall)
 			}
 		}
 	}
 }
 
-func TestMemIndexOutOfOrderInsert(t *testing.T) {
-	idx := NewMemIndex()
-	idx.Put("K", seqno.Commit(5, 1), "late")
-	idx.Put("K", seqno.Commit(3, 1), "early") // defensive path
-	got, _ := idx.All("K")
-	if fmt.Sprint(got) != "[early late]" {
-		t.Errorf("All = %v", got)
+// TestIndexOutOfOrderInsertAgreement covers MemIndex's defensive out-of-
+// order insert branch and proves KVIndex takes the equivalent path "for
+// free": its on-disk layout sorts by (record key, commit seq), so a late
+// Put of an earlier sequence lands in sorted position without special
+// casing. Both indices must answer every query identically afterwards.
+func TestIndexOutOfOrderInsertAgreement(t *testing.T) {
+	keys := intern.NewTable()
+	mem := NewMemIndex()
+	kv := newKVIndexForTest(t, keys)
+	k := keys.Intern("K")
+	// Arrive out of order: (5,1) then (3,1) then (4,2).
+	inserts := []struct {
+		seq seqno.Seq
+		id  TxID
+	}{
+		{seqno.Commit(5, 1), "late"},
+		{seqno.Commit(3, 1), "early"},
+		{seqno.Commit(4, 2), "middle"},
+	}
+	for _, in := range inserts {
+		if err := mem.Put(k, in.seq, in.id); err != nil {
+			t.Fatal(err)
+		}
+		if err := kv.Put(k, in.seq, in.id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, idx := range []VersionIndex{mem, kv} {
+		if got, _ := idx.All(nil, k); fmt.Sprint(got) != "[early middle late]" {
+			t.Errorf("%T All = %v, want [early middle late]", idx, got)
+		}
+		if got, _ := idx.After(nil, k, seqno.Snapshot(3)); fmt.Sprint(got) != "[middle late]" {
+			t.Errorf("%T After((4,0)) = %v, want [middle late]", idx, got)
+		}
+		if id, ok, _ := idx.Before(k, seqno.Snapshot(4)); !ok || id != "middle" {
+			t.Errorf("%T Before((5,0)) = %v,%v, want middle", idx, id, ok)
+		}
+		if id, ok, _ := idx.Last(k); !ok || id != "late" {
+			t.Errorf("%T Last = %v,%v, want late", idx, id, ok)
+		}
+	}
+	// Pruning after an out-of-order insert keeps both aligned too.
+	if err := mem.PruneBefore(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.PruneBefore(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []VersionIndex{mem, kv} {
+		if got, _ := idx.All(nil, k); fmt.Sprint(got) != "[middle late]" {
+			t.Errorf("%T post-prune All = %v, want [middle late]", idx, got)
+		}
 	}
 }
 
@@ -149,10 +212,12 @@ func TestManagerWithKVIndices(t *testing.T) {
 	mkManager := func(kvBacked bool) *Manager {
 		opts := Options{}
 		if kvBacked {
+			keys := intern.NewTable()
 			dbw, _ := kvstore.Open(kvstore.Options{})
 			dbr, _ := kvstore.Open(kvstore.Options{})
-			opts.CW = NewKVIndex(dbw)
-			opts.CR = NewKVIndex(dbr)
+			opts.Keys = keys
+			opts.CW = NewKVIndex(dbw, keys)
+			opts.CR = NewKVIndex(dbr, keys)
 		}
 		return NewManager(opts)
 	}

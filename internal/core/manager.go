@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/seqno"
 )
@@ -24,6 +26,10 @@ type Options struct {
 	// RelayBlocks formations, bounding their false-positive rate.
 	// Default 2*MaxSpan.
 	RelayBlocks uint64
+	// Keys is the record-key intern table every index shares. Defaults to a
+	// fresh table; pass one explicitly when wiring KVIndex-backed CW/CR
+	// (they must resolve the same KeyIDs the Manager assigns).
+	Keys *intern.Table
 	// CW and CR supply the committed write/read indices. Defaults to fresh
 	// in-memory indices; pass KVIndex-backed ones for persistence.
 	CW, CR VersionIndex
@@ -41,6 +47,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RelayBlocks == 0 {
 		o.RelayBlocks = 2 * o.MaxSpan
+	}
+	if o.Keys == nil {
+		o.Keys = intern.NewTable()
 	}
 	if o.CW == nil {
 		o.CW = NewMemIndex()
@@ -108,15 +117,30 @@ func (s Stats) MeanHops() float64 {
 type Manager struct {
 	opts Options
 	g    *graph
+	keys *intern.Table
 	cw   VersionIndex
 	cr   VersionIndex
-	// Pending transaction set P with its PW / PR key indices.
+	// Pending transaction set P with its PW / PR key indices: per-KeyID
+	// slices of pending writers/readers (slice indexing, no string hashing).
 	pending []*txNode
-	pw      map[string]map[*txNode]struct{}
-	pr      map[string]map[*txNode]struct{}
+	pw      [][]*txNode
+	pr      [][]*txNode
 	// nextBlock is M, the number of the next block to be committed.
 	nextBlock uint64
 	stats     Stats
+
+	// Arrival/formation scratch, reused to keep the hot path allocation-
+	// free: interned key buffers, the pred/succ working sets of Algorithm 2,
+	// an index-query buffer, and the formation's contended-key collector.
+	rbuf, wbuf []intern.Key
+	predSet    map[*txNode]struct{}
+	succSet    map[*txNode]struct{}
+	idbuf      []TxID
+	orderBuf   []*txNode
+	wwKeys     []intern.Key
+	wwGroups   [][]*txNode
+	keyStamp   []uint64
+	keyEpoch   uint64
 }
 
 // NewManager creates a Manager whose first formed block is number 1
@@ -126,14 +150,19 @@ func NewManager(opts Options) *Manager {
 	return &Manager{
 		opts:      opts,
 		g:         newGraph(opts.BloomBits, opts.BloomHashes),
+		keys:      opts.Keys,
 		cw:        opts.CW,
 		cr:        opts.CR,
 		pending:   nil,
-		pw:        make(map[string]map[*txNode]struct{}),
-		pr:        make(map[string]map[*txNode]struct{}),
 		nextBlock: 1,
+		predSet:   make(map[*txNode]struct{}),
+		succSet:   make(map[*txNode]struct{}),
 	}
 }
+
+// Keys exposes the Manager's intern table — wire it into NewKVIndex when
+// backing CW/CR with a kvstore.
+func (m *Manager) Keys() *intern.Table { return m.keys }
 
 // NextBlock returns M, the number of the block the next formation will seal.
 func (m *Manager) NextBlock() uint64 { return m.nextBlock }
@@ -155,13 +184,29 @@ func (m *Manager) horizon() (uint64, bool) {
 	return m.nextBlock - m.opts.MaxSpan, true
 }
 
+// growKeyIndexed extends the per-KeyID pending indices (and the formation
+// stamp array) to cover every key the table has issued.
+func (m *Manager) growKeyIndexed() {
+	n := m.keys.Len()
+	for len(m.pw) < n {
+		m.pw = append(m.pw, nil)
+	}
+	for len(m.pr) < n {
+		m.pr = append(m.pr, nil)
+	}
+	for len(m.keyStamp) < n {
+		m.keyStamp = append(m.keyStamp, 0)
+	}
+}
+
 // OnArrival is Algorithm 2: it runs when the consensus hands the orderer a
 // transaction, decides reorderability, and either admits the transaction to
 // the pending set or drops it. The returned code is protocol.Valid on
 // admission or one of the early-abort codes.
 //
 // snapshotBlock is the block the transaction simulated against (Algorithm 1)
-// and must be below NextBlock.
+// and must be below NextBlock. readKeys and writeKeys must each be
+// duplicate-free (protocol.RWSet.ReadKeys/WriteKeys guarantee this).
 func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys []string) (protocol.ValidationCode, error) {
 	m.stats.Arrivals++
 	if snapshotBlock >= m.nextBlock {
@@ -178,27 +223,38 @@ func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys [
 	}
 	startTS := seqno.Snapshot(snapshotBlock)
 
+	// Intern the key sets once; everything downstream is KeyID-based.
+	m.rbuf = m.keys.InternAll(m.rbuf[:0], readKeys)
+	m.wbuf = m.keys.InternAll(m.wbuf[:0], writeKeys)
+	m.growKeyIndexed()
+
 	// Phase 1 (Figure 12: "Identify conflict"): resolve the dependency sets
 	// of Section 4.3 — everything except c-ww among pending transactions.
+	// The working sets are reused scratch; the deferred clear covers every
+	// exit path (including index errors), so a failed arrival can never
+	// leak stale nodes into the next one's analysis.
 	t0 := time.Now()
-	pred := make(map[*txNode]struct{})
-	succ := make(map[*txNode]struct{})
+	pred, succ := m.predSet, m.succSet
+	defer func() {
+		clear(pred)
+		clear(succ)
+	}()
 	addTo := func(set map[*txNode]struct{}, txid TxID) {
 		if n, ok := m.g.lookup(txid); ok {
 			set[n] = struct{}{}
 		}
 	}
-	for _, r := range readKeys {
+	var err error
+	for _, r := range m.rbuf {
 		// anti-rw: committed writers at or after the snapshot, plus pending
 		// writers. These must serialize after the new transaction.
-		after, err := m.cw.After(r, startTS)
-		if err != nil {
+		if m.idbuf, err = m.cw.After(m.idbuf[:0], r, startTS); err != nil {
 			return 0, err
 		}
-		for _, txid := range after {
+		for _, txid := range m.idbuf {
 			addTo(succ, txid)
 		}
-		for n := range m.pw[r] {
+		for _, n := range m.pw[r] {
 			succ[n] = struct{}{}
 		}
 		// n-wr: the writer of the version actually read.
@@ -208,16 +264,15 @@ func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys [
 			addTo(pred, txid)
 		}
 	}
-	for _, w := range writeKeys {
+	for _, w := range m.wbuf {
 		// rw: committed and pending readers of the keys we overwrite.
-		all, err := m.cr.All(w)
-		if err != nil {
+		if m.idbuf, err = m.cr.All(m.idbuf[:0], w); err != nil {
 			return 0, err
 		}
-		for _, txid := range all {
+		for _, txid := range m.idbuf {
 			addTo(pred, txid)
 		}
-		for n := range m.pr[w] {
+		for _, n := range m.pr[w] {
 			pred[n] = struct{}{}
 		}
 		// ww against the last committed writer.
@@ -237,7 +292,7 @@ func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys [
 
 	// Phase 2 (Figure 12: "Update graph"): Algorithm 4.
 	t1 := time.Now()
-	node := m.g.newNode(id, startTS, append([]string(nil), readKeys...), append([]string(nil), writeKeys...))
+	node := m.g.newNode(id, startTS, m.rbuf, m.wbuf)
 	hops := m.g.insert(node, pred, succ, m.nextBlock)
 	m.stats.Hops += uint64(hops)
 	m.stats.UpdateGraphNS += time.Since(t1).Nanoseconds()
@@ -246,16 +301,10 @@ func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys [
 	t2 := time.Now()
 	m.pending = append(m.pending, node)
 	for _, r := range node.readKeys {
-		if m.pr[r] == nil {
-			m.pr[r] = make(map[*txNode]struct{})
-		}
-		m.pr[r][node] = struct{}{}
+		m.pr[r] = append(m.pr[r], node)
 	}
 	for _, w := range node.writeKeys {
-		if m.pw[w] == nil {
-			m.pw[w] = make(map[*txNode]struct{})
-		}
-		m.pw[w][node] = struct{}{}
+		m.pw[w] = append(m.pw[w], node)
 	}
 	m.stats.IndexRecordNS += time.Since(t2).Nanoseconds()
 
@@ -282,11 +331,10 @@ func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
 	// Compute the commit order (Figure 11: "Compute order").
 	t0 := time.Now()
 	topo := m.g.topoOrder()
-	order := make([]*txNode, 0, len(m.pending))
-	position := make(map[*txNode]int, len(m.pending))
+	order := m.orderBuf[:0]
 	for _, n := range topo {
 		if !n.committed {
-			position[n] = len(order)
+			n.pos = len(order)
 			order = append(order, n)
 		}
 	}
@@ -299,9 +347,31 @@ func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
 	}
 	m.stats.ComputeOrderNS += time.Since(t0).Nanoseconds()
 
-	// Restore ww dependencies (Figure 11: "Restore ww").
+	// Restore ww dependencies (Figure 11: "Restore ww"): collect the keys
+	// with two or more pending writers, order them deterministically by
+	// record-key string (the same order the pre-interning implementation
+	// used, so decisions are bit-identical), and hand the position-sorted
+	// writer groups to the graph.
 	t1 := time.Now()
-	m.g.restoreWW(m.pw, position)
+	m.keyEpoch++
+	wwKeys := m.wwKeys[:0]
+	for _, n := range order {
+		for _, w := range n.writeKeys {
+			if m.keyStamp[w] != m.keyEpoch && len(m.pw[w]) >= 2 {
+				m.keyStamp[w] = m.keyEpoch
+				wwKeys = append(wwKeys, w)
+			}
+		}
+	}
+	sortKeysByString(m.keys, wwKeys)
+	groups := m.wwGroups[:0]
+	for _, w := range wwKeys {
+		sortWriters(m.pw[w])
+		groups = append(groups, m.pw[w])
+	}
+	m.g.restoreWW(groups)
+	m.wwKeys = wwKeys
+	m.wwGroups = groups
 	m.stats.RestoreWWNS += time.Since(t1).Nanoseconds()
 
 	// Persist commitments to the CW/CR storages (Figure 11: "Persist to
@@ -321,10 +391,17 @@ func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
 			}
 		}
 	}
+	for _, n := range order {
+		for _, w := range n.writeKeys {
+			m.pw[w] = m.pw[w][:0]
+		}
+		for _, r := range n.readKeys {
+			m.pr[r] = m.pr[r][:0]
+		}
+	}
 	m.pending = m.pending[:0]
-	m.pw = make(map[string]map[*txNode]struct{})
-	m.pr = make(map[string]map[*txNode]struct{})
 	m.g.bumpCommitted(order, block)
+	m.orderBuf = order
 	m.stats.PersistNS += time.Since(t2).Nanoseconds()
 
 	// Prune G and the indices (Figure 11: "Prune G"), then advance M.
@@ -370,4 +447,14 @@ func (m *Manager) MinRetainedSnapshot() uint64 {
 		return h + 1
 	}
 	return 0
+}
+
+// sortKeysByString orders KeyIDs by their record-key strings — the
+// deterministic iteration order Algorithm 5's edge restoration was specified
+// with (sorted map keys before interning).
+func sortKeysByString(tbl *intern.Table, keys []intern.Key) {
+	if len(keys) < 2 {
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool { return tbl.Lookup(keys[i]) < tbl.Lookup(keys[j]) })
 }

@@ -1,0 +1,60 @@
+// Package intern maps record-key strings to dense uint32 identifiers.
+//
+// The ordering-phase hot path (internal/core, internal/sched) resolves the
+// same contract keys thousands of times per block: every map keyed by string
+// re-hashes the full key bytes on every probe. Interning turns those probes
+// into slice indexing — each scheduler owns one Table, interns a key the
+// first time it appears in its consensus stream, and thereafter passes the
+// uint32 Key around.
+//
+// Determinism: Keys are assigned in first-appearance order. Replicated
+// orderers consume the same consensus stream in the same order, so every
+// replica's table assigns identical Keys to identical strings — interning is
+// a pure representation change and cannot alter scheduler decisions
+// (asserted by the cross-peer agreement tests).
+//
+// Tables are not safe for concurrent use; every consumer in this repository
+// is single-goroutine by construction (the serialized consensus stream).
+package intern
+
+// Key is a dense identifier for an interned string. Keys count up from 0 in
+// first-appearance order.
+type Key uint32
+
+// Table is a string interner. The zero value is not usable; use NewTable.
+type Table struct {
+	ids  map[string]Key
+	strs []string
+}
+
+// NewTable returns an empty interner.
+func NewTable() *Table {
+	return &Table{ids: make(map[string]Key)}
+}
+
+// Intern returns the Key for s, assigning the next dense Key on first sight.
+func (t *Table) Intern(s string) Key {
+	if k, ok := t.ids[s]; ok {
+		return k
+	}
+	k := Key(len(t.strs))
+	t.ids[s] = k
+	t.strs = append(t.strs, s)
+	return k
+}
+
+// InternAll interns every string of keys, appending the Keys to dst (pass a
+// reusable scratch buffer to keep the hot path allocation-free).
+func (t *Table) InternAll(dst []Key, keys []string) []Key {
+	for _, s := range keys {
+		dst = append(dst, t.Intern(s))
+	}
+	return dst
+}
+
+// Lookup resolves k back to its string. It panics on a Key the table never
+// issued — that is a programming error, never data-dependent.
+func (t *Table) Lookup(k Key) string { return t.strs[k] }
+
+// Len returns the number of interned strings; Keys 0..Len()-1 are valid.
+func (t *Table) Len() int { return len(t.strs) }

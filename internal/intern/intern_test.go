@@ -1,0 +1,51 @@
+package intern
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestInternDenseAndStable(t *testing.T) {
+	tbl := NewTable()
+	if got := tbl.Intern("a"); got != 0 {
+		t.Fatalf("first key = %d, want 0", got)
+	}
+	if got := tbl.Intern("b"); got != 1 {
+		t.Fatalf("second key = %d, want 1", got)
+	}
+	if got := tbl.Intern("a"); got != 0 {
+		t.Fatalf("re-intern = %d, want 0", got)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tbl.Len())
+	}
+	if tbl.Lookup(0) != "a" || tbl.Lookup(1) != "b" {
+		t.Fatalf("Lookup roundtrip broken: %q %q", tbl.Lookup(0), tbl.Lookup(1))
+	}
+}
+
+func TestInternAllAppendsToScratch(t *testing.T) {
+	tbl := NewTable()
+	scratch := make([]Key, 0, 8)
+	out := tbl.InternAll(scratch, []string{"x", "y", "x"})
+	if fmt.Sprint(out) != "[0 1 0]" {
+		t.Fatalf("InternAll = %v", out)
+	}
+	// Reusing the scratch must not leak earlier contents.
+	out = tbl.InternAll(out[:0], []string{"z"})
+	if fmt.Sprint(out) != "[2]" {
+		t.Fatalf("InternAll reuse = %v", out)
+	}
+}
+
+func TestDeterministicAcrossTables(t *testing.T) {
+	// Two tables fed the same stream assign identical keys — the replica
+	// agreement property interning relies on.
+	stream := []string{"k3", "k1", "k3", "k2", "k1", "k4"}
+	a, b := NewTable(), NewTable()
+	for _, s := range stream {
+		if ka, kb := a.Intern(s), b.Intern(s); ka != kb {
+			t.Fatalf("tables diverged on %q: %d vs %d", s, ka, kb)
+		}
+	}
+}

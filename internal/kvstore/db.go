@@ -203,6 +203,42 @@ func (db *DB) Delete(key []byte) error {
 	return db.maybeFlushLocked()
 }
 
+// BatchOp is one mutation of a write batch.
+type BatchOp struct {
+	Key, Value []byte
+	Delete     bool
+}
+
+// ApplyBatch applies every operation under one lock acquisition and defers
+// the memtable-flush decision to the end of the batch — the per-block commit
+// path's alternative to len(ops) individual Put/Delete round-trips. The WAL
+// records each operation, so a crash mid-batch replays a prefix, exactly as
+// it would for the equivalent sequence of single Puts.
+func (db *DB) ApplyBatch(ops []BatchOp) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("kvstore: store closed")
+	}
+	for _, op := range ops {
+		if db.wal != nil {
+			walOp := byte(walOpPut)
+			if op.Delete {
+				walOp = walOpDelete
+			}
+			if err := db.wal.append(walOp, op.Key, op.Value); err != nil {
+				return err
+			}
+		}
+		if op.Delete {
+			db.mem.set(op.Key, nil, true)
+		} else {
+			db.mem.set(op.Key, append([]byte(nil), op.Value...), false)
+		}
+	}
+	return db.maybeFlushLocked()
+}
+
 // Get returns the value stored under key.
 func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
 	db.mu.RLock()

@@ -465,6 +465,48 @@ func TestSSTableCorruptionDetected(t *testing.T) {
 	}
 }
 
+func TestApplyBatch(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("doomed"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ops := []BatchOp{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: []byte("2")},
+		{Key: []byte("a"), Value: []byte("1b")}, // later op wins
+		{Key: []byte("doomed"), Delete: true},
+	}
+	if err := db.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	check := func(db *DB) {
+		t.Helper()
+		if v, ok, _ := db.Get([]byte("a")); !ok || string(v) != "1b" {
+			t.Fatalf("a = %q,%v", v, ok)
+		}
+		if v, ok, _ := db.Get([]byte("b")); !ok || string(v) != "2" {
+			t.Fatalf("b = %q,%v", v, ok)
+		}
+		if _, ok, _ := db.Get([]byte("doomed")); ok {
+			t.Fatal("delete op did not apply")
+		}
+	}
+	check(db)
+	// Batch contents must survive a WAL replay.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(db2)
+}
+
 func BenchmarkPut(b *testing.B) {
 	db, _ := Open(Options{})
 	key := make([]byte, 16)

@@ -38,16 +38,44 @@ type WriteItem struct {
 type RWSet struct {
 	Reads  []ReadItem
 	Writes []WriteItem
+
+	// readKeys/writeKeys cache the deduplicated key sets. Every scheduler
+	// needs them at least twice (arrival and formation), and rebuilding the
+	// dedup map each call was a measurable share of the ordering hot path.
+	// They are filled only by Precompute — the accessors never write, so a
+	// transaction precomputed before fan-out is safe to share across
+	// validator goroutines.
+	readKeys  []string
+	writeKeys []string
 }
 
-// ReadKeys returns the distinct read keys in deterministic order.
+// ReadKeys returns the distinct read keys in deterministic order. The cache
+// fills via Precompute; without it each call recomputes (correct, slower).
+// Callers must not mutate the returned slice.
 func (rw *RWSet) ReadKeys() []string {
+	if rw.readKeys != nil {
+		return rw.readKeys
+	}
 	return dedupKeys(rw.Reads, func(r ReadItem) string { return r.Key })
 }
 
 // WriteKeys returns the distinct written keys in deterministic order.
+// Callers must not mutate the returned slice.
 func (rw *RWSet) WriteKeys() []string {
+	if rw.writeKeys != nil {
+		return rw.writeKeys
+	}
 	return dedupKeys(rw.Writes, func(w WriteItem) string { return w.Key })
+}
+
+// Precompute fills the distinct-key caches consumed by ReadKeys/WriteKeys.
+// Call it once where the transaction is built (or any other point with
+// exclusive access); concurrent readers after publication then share the
+// cached slices. Precompute is intentionally not called lazily from the
+// accessors — a lazy fill from two goroutines would race.
+func (rw *RWSet) Precompute() {
+	rw.readKeys = dedupKeys(rw.Reads, func(r ReadItem) string { return r.Key })
+	rw.writeKeys = dedupKeys(rw.Writes, func(w WriteItem) string { return w.Key })
 }
 
 func dedupKeys[T any](items []T, key func(T) string) []string {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/protocol"
 )
 
@@ -16,12 +17,13 @@ import (
 // removes.
 type FabricPP struct {
 	pending   []*protocol.Transaction
+	keys      *intern.Table
 	nextBlock uint64
 	timing    Timing
 }
 
 // NewFabricPP returns the Fabric++ scheduler.
-func NewFabricPP() *FabricPP { return &FabricPP{nextBlock: 1} }
+func NewFabricPP() *FabricPP { return &FabricPP{keys: intern.NewTable(), nextBlock: 1} }
 
 // System implements Scheduler.
 func (f *FabricPP) System() System { return SystemFabricPP }
@@ -45,7 +47,7 @@ func (f *FabricPP) OnBlockFormation() (FormationResult, error) {
 		return FormationResult{Block: f.nextBlock}, nil
 	}
 	w := startWatch()
-	ordered, dropped := reorderBatch(f.pending)
+	ordered, dropped := reorderBatch(f.keys, f.pending)
 	res := FormationResult{Block: f.nextBlock, Ordered: ordered}
 	for _, tx := range dropped {
 		res.DroppedTxs = append(res.DroppedTxs, Dropped{Tx: tx, Code: protocol.AbortReorderCycle})
@@ -80,17 +82,21 @@ func (f *FabricPP) FastForward(height uint64) error {
 func (f *FabricPP) Timing() Timing { return f.timing }
 
 // reorderBatch performs Fabric++-style cycle elimination and topological
-// reordering over one batch. It returns the serializable order and the
-// transactions dropped to break cycles.
-func reorderBatch(batch []*protocol.Transaction) (ordered, dropped []*protocol.Transaction) {
+// reordering over one batch. Keys are interned through the scheduler's
+// table, so the per-batch conflict indices hash a uint32 rather than the key
+// bytes. It returns the serializable order and the transactions dropped to
+// break cycles.
+func reorderBatch(tbl *intern.Table, batch []*protocol.Transaction) (ordered, dropped []*protocol.Transaction) {
 	n := len(batch)
-	readers := map[string][]int{} // key -> batch indices reading it
-	writers := map[string][]int{} // key -> batch indices writing it
+	readers := map[intern.Key][]int{} // key -> batch indices reading it
+	writers := map[intern.Key][]int{} // key -> batch indices writing it
 	for i, tx := range batch {
-		for _, k := range tx.RWSet.ReadKeys() {
+		for _, s := range tx.RWSet.ReadKeys() {
+			k := tbl.Intern(s)
 			readers[k] = append(readers[k], i)
 		}
-		for _, k := range tx.RWSet.WriteKeys() {
+		for _, s := range tx.RWSet.WriteKeys() {
+			k := tbl.Intern(s)
 			writers[k] = append(writers[k], i)
 		}
 	}

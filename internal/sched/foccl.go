@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/seqno"
 )
@@ -20,14 +21,24 @@ import (
 // Fabric.
 type FoccL struct {
 	pending   []*protocol.Transaction
-	committed map[string]seqno.Seq // latest valid version per key, from feedback
+	keys      *intern.Table
+	committed []seqno.Seq // latest valid version per KeyID, from feedback (zero = none)
 	nextBlock uint64
 	timing    Timing
 }
 
 // NewFoccL returns the Focc-l scheduler.
 func NewFoccL() *FoccL {
-	return &FoccL{committed: map[string]seqno.Seq{}, nextBlock: 1}
+	return &FoccL{keys: intern.NewTable(), nextBlock: 1}
+}
+
+// committedAt returns the latest valid version recorded for key.
+func (f *FoccL) committedAt(k intern.Key) (seqno.Seq, bool) {
+	if int(k) >= len(f.committed) {
+		return seqno.Seq{}, false
+	}
+	seq := f.committed[k]
+	return seq, seq != seqno.Seq{}
 }
 
 // System implements Scheduler.
@@ -73,7 +84,7 @@ func (f *FoccL) greedyOrder(batch []*protocol.Transaction) []*protocol.Transacti
 			viable = append(viable, tx)
 		}
 	}
-	ordered, dropped := reorderBatch(viable) // same graph machinery as Fabric++
+	ordered, dropped := reorderBatch(f.keys, viable) // same graph machinery as Fabric++
 	// Deferred (cycle-breaking) transactions go to the back: some may still
 	// pass validation if the writes that would doom them belong to
 	// transactions that themselves abort.
@@ -86,7 +97,7 @@ func (f *FoccL) greedyOrder(batch []*protocol.Transaction) []*protocol.Transacti
 // latest committed (valid) version — beyond intra-batch repair.
 func (f *FoccL) staleAgainstCommitted(tx *protocol.Transaction) bool {
 	for _, r := range tx.RWSet.Reads {
-		if latest, ok := f.committed[r.Key]; ok && r.Version.Less(latest) {
+		if latest, ok := f.committedAt(f.keys.Intern(r.Key)); ok && r.Version.Less(latest) {
 			return true
 		}
 	}
@@ -101,7 +112,11 @@ func (f *FoccL) OnBlockCommitted(block uint64, txs []*protocol.Transaction, code
 			continue
 		}
 		seq := seqno.Commit(block, uint32(i+1))
-		for _, k := range tx.RWSet.WriteKeys() {
+		for _, s := range tx.RWSet.WriteKeys() {
+			k := f.keys.Intern(s)
+			for int(k) >= len(f.committed) {
+				f.committed = append(f.committed, seqno.Seq{})
+			}
 			f.committed[k] = seq
 		}
 	}

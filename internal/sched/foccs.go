@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fabricsharp/internal/core"
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/seqno"
 )
@@ -26,20 +27,31 @@ import (
 // pivot with an incoming rw and an outgoing *anti*-rw, so certification
 // aborts an arrival whenever it would give some transaction both flags.
 //
+// Record keys are interned on first sight (internal/intern): the committed
+// and pending indices are all KeyID-indexed slices, so certification probes
+// are slice lookups rather than string-map hashing.
+//
 // Nothing happens on block formation ("Focc-s does nothing on block
 // formation"), and since every admitted transaction is certified
 // serializable, the validation phase skips the MVCC check.
 type FoccS struct {
 	maxSpan   uint64
+	keys      *intern.Table
 	cw        *core.MemIndex // committed writes: key -> (commit seq, tx)
 	cr        *core.MemIndex // committed reads:  key -> (commit seq, tx)
 	flags     map[protocol.TxID]*rwFlags
-	endBlock  map[protocol.TxID]uint64           // commit block, for flag pruning
-	pw        map[string][]*protocol.Transaction // pending writers per key
-	pr        map[string][]*protocol.Transaction // pending readers per key
+	endBlock  map[protocol.TxID]uint64 // commit block, for flag pruning
+	pw        [][]*protocol.Transaction // pending writers per KeyID
+	pr        [][]*protocol.Transaction // pending readers per KeyID
 	pending   []*protocol.Transaction
 	nextBlock uint64
 	timing    Timing
+
+	// Arrival scratch (single-goroutine, reused to stay allocation-free).
+	rbuf, wbuf []intern.Key
+	idbuf      []protocol.TxID
+	outWriters []protocol.TxID
+	inReaders  []protocol.TxID
 }
 
 // rwFlags carries the certifier's conflict markers: in is an incoming rw
@@ -58,18 +70,28 @@ func NewFoccS(opts Options) *FoccS {
 	}
 	return &FoccS{
 		maxSpan:   opts.MaxSpan,
+		keys:      intern.NewTable(),
 		cw:        core.NewMemIndex(),
 		cr:        core.NewMemIndex(),
 		flags:     map[protocol.TxID]*rwFlags{},
 		endBlock:  map[protocol.TxID]uint64{},
-		pw:        map[string][]*protocol.Transaction{},
-		pr:        map[string][]*protocol.Transaction{},
 		nextBlock: 1,
 	}
 }
 
 // System implements Scheduler.
 func (f *FoccS) System() System { return SystemFoccS }
+
+// grow extends the KeyID-indexed pending slices to the table size.
+func (f *FoccS) grow() {
+	n := f.keys.Len()
+	for len(f.pw) < n {
+		f.pw = append(f.pw, nil)
+	}
+	for len(f.pr) < n {
+		f.pr = append(f.pr, nil)
+	}
+}
 
 // OnArrival implements Scheduler: the certification step.
 func (f *FoccS) OnArrival(tx *protocol.Transaction) (protocol.ValidationCode, error) {
@@ -85,16 +107,19 @@ func (f *FoccS) certify(tx *protocol.Transaction) protocol.ValidationCode {
 		return protocol.AbortStaleSnapshot
 	}
 	startTS := tx.StartTS()
-	readKeys := tx.RWSet.ReadKeys()
-	writeKeys := tx.RWSet.WriteKeys()
+	f.rbuf = f.keys.InternAll(f.rbuf[:0], tx.RWSet.ReadKeys())
+	f.wbuf = f.keys.InternAll(f.wbuf[:0], tx.RWSet.WriteKeys())
+	f.grow()
 
 	// Rule 1: concurrent write-write conflict => abort (the prevention
 	// whose cost Figure 11 charts as the write-hot ratio grows).
-	for _, k := range writeKeys {
+	for _, k := range f.wbuf {
 		if len(f.pw[k]) > 0 {
 			return protocol.AbortConcurrentWW
 		}
-		if committed, _ := f.cw.After(k, startTS); len(committed) > 0 {
+		committed, _ := f.cw.After(f.idbuf[:0], k, startTS)
+		f.idbuf = committed[:0]
+		if len(committed) > 0 {
 			return protocol.AbortConcurrentWW
 		}
 	}
@@ -102,24 +127,23 @@ func (f *FoccS) certify(tx *protocol.Transaction) protocol.ValidationCode {
 	// Outgoing anti-rw edges: tx reads k, a concurrent transaction that
 	// commits first (already committed after tx's snapshot, or pending and
 	// ahead in FIFO order) overwrites k.
-	var outWriters []protocol.TxID
-	for _, k := range readKeys {
-		committed, _ := f.cw.After(k, startTS)
-		outWriters = append(outWriters, committed...)
+	outWriters := f.outWriters[:0]
+	for _, k := range f.rbuf {
+		outWriters, _ = f.cw.After(outWriters, k, startTS)
 		for _, w := range f.pw[k] {
 			outWriters = append(outWriters, w.ID)
 		}
 	}
 	// Incoming rw edges: a concurrent earlier transaction read a key tx
 	// overwrites (it commits first: c-rw into tx).
-	var inReaders []protocol.TxID
-	for _, k := range writeKeys {
-		committedReaders, _ := f.cr.After(k, startTS)
-		inReaders = append(inReaders, committedReaders...)
+	inReaders := f.inReaders[:0]
+	for _, k := range f.wbuf {
+		inReaders, _ = f.cr.After(inReaders, k, startTS)
 		for _, r := range f.pr[k] {
 			inReaders = append(inReaders, r.ID)
 		}
 	}
+	f.outWriters, f.inReaders = outWriters, inReaders
 
 	// Rule 2, the dangerous structure. tx itself as pivot: its outgoing
 	// edges are all anti-rw, so in+out suffices ...
@@ -148,10 +172,10 @@ func (f *FoccS) certify(tx *protocol.Transaction) protocol.ValidationCode {
 		fl.in = true
 	}
 	f.flags[tx.ID] = fl
-	for _, k := range readKeys {
+	for _, k := range f.rbuf {
 		f.pr[k] = append(f.pr[k], tx)
 	}
-	for _, k := range writeKeys {
+	for _, k := range f.wbuf {
 		f.pw[k] = append(f.pw[k], tx)
 	}
 	f.pending = append(f.pending, tx)
@@ -169,17 +193,17 @@ func (f *FoccS) OnBlockFormation() (FormationResult, error) {
 	res := FormationResult{Block: block, Ordered: f.pending}
 	for i, tx := range f.pending {
 		seq := seqno.Commit(block, uint32(i+1))
-		for _, k := range tx.RWSet.WriteKeys() {
+		for _, k := range f.keys.InternAll(f.wbuf[:0], tx.RWSet.WriteKeys()) {
 			_ = f.cw.Put(k, seq, tx.ID)
+			f.pw[k] = f.pw[k][:0]
 		}
-		for _, k := range tx.RWSet.ReadKeys() {
+		for _, k := range f.keys.InternAll(f.rbuf[:0], tx.RWSet.ReadKeys()) {
 			_ = f.cr.Put(k, seq, tx.ID)
+			f.pr[k] = f.pr[k][:0]
 		}
 		f.endBlock[tx.ID] = block
 	}
 	f.pending = nil
-	f.pw = map[string][]*protocol.Transaction{}
-	f.pr = map[string][]*protocol.Transaction{}
 	f.nextBlock++
 	if f.nextBlock > f.maxSpan {
 		h := f.nextBlock - f.maxSpan

@@ -10,11 +10,34 @@
 // a bounded history per key, so contract simulations read a consistent
 // snapshot "as of block M" while later blocks commit concurrently. Stale
 // snapshots beyond the max_span horizon are pruned.
+//
+// # Concurrency
+//
+// The history is striped across fnv-hashed shards, each with its own
+// read-write lock, so concurrent snapshot reads (simulations) and committer
+// writes contend only when they touch the same stripe. Three lock classes
+// compose the protocol:
+//
+//   - per-key readers (Get, GetAt, VersionCount, KeysInRange) take one
+//     shard's read lock;
+//   - mutators (ApplyBlock, PruneSnapshots) take applyMu plus each touched
+//     shard's write lock;
+//   - whole-database views (Clone, StateFingerprint, ForEachLatest, Keys)
+//     take applyMu alone — it excludes every mutator, and concurrent shard
+//     readers are harmless.
+//
+// Snapshot isolation does not depend on the locks: ApplyBlock publishes the
+// new height only after every shard write of the block has landed, and
+// snapshot reads filter versions by block, so a reader at any snapshot
+// <= Height() can never observe a torn block (asserted by the -race stress
+// test).
 package statedb
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fabricsharp/internal/kvstore"
 	"fabricsharp/internal/protocol"
@@ -38,17 +61,41 @@ type BlockWrites struct {
 // Options configures a state database.
 type Options struct {
 	// Backing, when non-nil, persists the latest version of every key (plus
-	// the chain height) write-through, and is loaded on construction.
+	// the chain height) per block in one write batch, and is loaded on
+	// construction.
 	Backing *kvstore.DB
+}
+
+// numShards stripes the version history; a power of two so the shard pick is
+// a mask. 32 stripes keep committer/simulator contention negligible at
+// GOMAXPROCS values this repository targets.
+const numShards = 32
+
+// shard is one stripe of the version history.
+type shard struct {
+	mu   sync.RWMutex
+	hist map[string][]VersionedValue // ascending by version
+}
+
+// shardFor hashes key onto a stripe (FNV-1a).
+func shardFor(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h & (numShards - 1)
 }
 
 // DB is a multi-versioned state database. It is safe for concurrent use.
 type DB struct {
-	mu      sync.RWMutex
-	hist    map[string][]VersionedValue // ascending by version
-	height  uint64                      // last committed block number
-	hasAny  bool                        // whether any block has been applied
+	// applyMu serializes mutators against each other and against
+	// whole-database views; see the package comment for the lock protocol.
+	applyMu sync.Mutex
+	shards  [numShards]shard
+	height  atomic.Uint64 // last committed block number, published post-write
+	hasAny  atomic.Bool   // whether any block has been applied
 	backing *kvstore.DB
+	batch   []kvstore.BatchOp // per-block persist batch, reused
 }
 
 const (
@@ -59,7 +106,10 @@ const (
 // New creates a state database, loading the latest state from
 // opts.Backing when present.
 func New(opts Options) (*DB, error) {
-	db := &DB{hist: make(map[string][]VersionedValue), backing: opts.Backing}
+	db := &DB{backing: opts.Backing}
+	for i := range db.shards {
+		db.shards[i].hist = make(map[string][]VersionedValue)
+	}
 	if opts.Backing == nil {
 		return db, nil
 	}
@@ -70,8 +120,8 @@ func New(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("statedb: corrupt height: %w", err)
 		}
-		db.height = seq.Block
-		db.hasAny = true
+		db.height.Store(seq.Block)
+		db.hasAny.Store(true)
 	}
 	it := opts.Backing.NewPrefixIterator([]byte(backingStatePrefix))
 	for ; it.Valid(); it.Next() {
@@ -85,23 +135,22 @@ func New(opts Options) (*DB, error) {
 			return nil, err
 		}
 		val := append([]byte(nil), raw[seqno.EncodedLen():]...)
-		db.hist[key] = []VersionedValue{{Value: val, Version: ver}}
+		sh := &db.shards[shardFor(key)]
+		sh.hist[key] = []VersionedValue{{Value: val, Version: ver}}
 	}
 	return db, nil
 }
 
 // Height returns the number of the last committed block.
-func (db *DB) Height() uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.height
-}
+func (db *DB) Height() uint64 { return db.height.Load() }
 
-// Get returns the latest version of key.
+// Get returns the latest version of key — a per-key point read. Cross-key
+// consistency under concurrent commits needs GetAt/SnapshotAt.
 func (db *DB) Get(key string) (VersionedValue, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	versions := db.hist[key]
+	sh := &db.shards[shardFor(key)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	versions := sh.hist[key]
 	if len(versions) == 0 {
 		return VersionedValue{}, false
 	}
@@ -114,12 +163,13 @@ func (db *DB) Get(key string) (VersionedValue, bool) {
 
 // GetAt returns the value of key as observed by the blockchain snapshot
 // taken after block asOfBlock (Definition 1): the latest version whose
-// block number is <= asOfBlock. It reports an error if that part of the
-// history has been pruned away.
+// block number is <= asOfBlock. Reads at snapshots at or below Height() are
+// torn-free with respect to concurrently applying blocks.
 func (db *DB) GetAt(key string, asOfBlock uint64) (VersionedValue, bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	versions := db.hist[key]
+	sh := &db.shards[shardFor(key)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	versions := sh.hist[key]
 	// Binary search for the last version with Version.Block <= asOfBlock.
 	lo, hi := 0, len(versions)
 	for lo < hi {
@@ -131,13 +181,8 @@ func (db *DB) GetAt(key string, asOfBlock uint64) (VersionedValue, bool, error) 
 		}
 	}
 	if lo == 0 {
-		// Either the key did not exist at that snapshot, or history was
-		// pruned past it. Distinguish: if an even-older version would have
-		// been pruned, the oldest retained version tells us.
-		if len(versions) > 0 && versions[0].Version.Block <= asOfBlock {
-			// unreachable given the search, defensive
-			return VersionedValue{}, false, nil
-		}
+		// The key did not exist at that snapshot (or its history was pruned
+		// past it, which the caller bounds by max_span).
 		return VersionedValue{}, false, nil
 	}
 	vv := versions[lo-1]
@@ -174,12 +219,17 @@ func (s *Snapshot) Get(key string) (VersionedValue, bool, error) {
 // order. Versions are assigned as (block, pos) per the EOV model. Blocks
 // must be applied in strictly increasing order; an empty writes slice is
 // fine (a block of aborted or read-only transactions).
+//
+// The new height is published only after every shard write (and the backing
+// store's batch) has landed, so concurrent snapshot readers at or below the
+// previous height never observe a partial block.
 func (db *DB) ApplyBlock(block uint64, txWrites []BlockWrites) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.hasAny && block <= db.height {
-		return fmt.Errorf("statedb: block %d applied out of order (height %d)", block, db.height)
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	if db.hasAny.Load() && block <= db.height.Load() {
+		return fmt.Errorf("statedb: block %d applied out of order (height %d)", block, db.height.Load())
 	}
+	batch := db.batch[:0]
 	for _, tw := range txWrites {
 		ver := seqno.Commit(block, tw.Pos)
 		for _, w := range tw.Writes {
@@ -187,30 +237,43 @@ func (db *DB) ApplyBlock(block uint64, txWrites []BlockWrites) error {
 			if !w.Delete {
 				vv.Value = append([]byte(nil), w.Value...)
 			}
-			db.hist[w.Key] = append(db.hist[w.Key], vv)
+			sh := &db.shards[shardFor(w.Key)]
+			sh.mu.Lock()
+			sh.hist[w.Key] = append(sh.hist[w.Key], vv)
+			sh.mu.Unlock()
 			if db.backing != nil {
-				if err := db.persist(w.Key, vv); err != nil {
-					return err
-				}
+				batch = append(batch, persistOp(w.Key, vv))
 			}
 		}
 	}
-	db.height = block
-	db.hasAny = true
 	if db.backing != nil {
-		return db.backing.Put([]byte(backingHeightKey), seqno.Seq{Block: block}.Bytes())
+		// One write batch per block: the height record rides along, so a
+		// replayed WAL prefix is at worst a partially re-applied block below
+		// the recorded height — identical to the pre-batching semantics.
+		batch = append(batch, kvstore.BatchOp{
+			Key:   []byte(backingHeightKey),
+			Value: seqno.Seq{Block: block}.Bytes(),
+		})
+		if err := db.backing.ApplyBatch(batch); err != nil {
+			db.batch = batch[:0]
+			return err
+		}
 	}
+	db.batch = batch[:0]
+	db.height.Store(block)
+	db.hasAny.Store(true)
 	return nil
 }
 
-func (db *DB) persist(key string, vv VersionedValue) error {
+// persistOp encodes one latest-version record for the backing store.
+func persistOp(key string, vv VersionedValue) kvstore.BatchOp {
 	k := []byte(backingStatePrefix + key)
 	if vv.Deleted {
-		return db.backing.Delete(k)
+		return kvstore.BatchOp{Key: k, Delete: true}
 	}
 	rec := vv.Version.AppendTo(nil)
 	rec = append(rec, vv.Value...)
-	return db.backing.Put(k, rec)
+	return kvstore.BatchOp{Key: k, Value: rec}
 }
 
 // PruneSnapshots discards history no longer needed to serve snapshots at or
@@ -218,47 +281,55 @@ func (db *DB) persist(key string, vv VersionedValue) error {
 // before the horizon plus everything after it (Section 4.2's periodic
 // pruning of staled snapshots).
 func (db *DB) PruneSnapshots(minSnapshotBlock uint64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for key, versions := range db.hist {
-		// Find the last version with Block <= minSnapshotBlock.
-		idx := -1
-		for i, vv := range versions {
-			if vv.Version.Block <= minSnapshotBlock {
-				idx = i
-			} else {
-				break
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		for key, versions := range sh.hist {
+			// Find the last version with Block <= minSnapshotBlock.
+			idx := -1
+			for j, vv := range versions {
+				if vv.Version.Block <= minSnapshotBlock {
+					idx = j
+				} else {
+					break
+				}
 			}
+			if idx <= 0 {
+				continue
+			}
+			kept := versions[idx:]
+			if len(kept) == 1 && kept[0].Deleted {
+				// Latest is a tombstone and nothing newer: the key is gone.
+				delete(sh.hist, key)
+				continue
+			}
+			sh.hist[key] = append([]VersionedValue(nil), kept...)
 		}
-		if idx <= 0 {
-			continue
-		}
-		kept := versions[idx:]
-		if len(kept) == 1 && kept[0].Deleted {
-			// Latest is a tombstone and nothing newer: the key is gone.
-			delete(db.hist, key)
-			continue
-		}
-		db.hist[key] = append([]VersionedValue(nil), kept...)
+		sh.mu.Unlock()
 	}
 }
 
 // VersionCount reports how many versions of key are retained (tests and
 // metrics).
 func (db *DB) VersionCount(key string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.hist[key])
+	sh := &db.shards[shardFor(key)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.hist[key])
 }
 
 // Keys returns the number of live keys at the latest snapshot.
 func (db *DB) Keys() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
 	n := 0
-	for _, versions := range db.hist {
-		if len(versions) > 0 && !versions[len(versions)-1].Deleted {
-			n++
+	for i := range db.shards {
+		for _, versions := range db.shards[i].hist {
+			if len(versions) > 0 && !versions[len(versions)-1].Deleted {
+				n++
+			}
 		}
 	}
 	return n
@@ -267,15 +338,17 @@ func (db *DB) Keys() int {
 // ForEachLatest visits every live key with its latest version, in
 // unspecified order. The callback must not mutate the database.
 func (db *DB) ForEachLatest(fn func(key string, vv VersionedValue) bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for key, versions := range db.hist {
-		last := versions[len(versions)-1]
-		if last.Deleted {
-			continue
-		}
-		if !fn(key, last) {
-			return
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	for i := range db.shards {
+		for key, versions := range db.shards[i].hist {
+			last := versions[len(versions)-1]
+			if last.Deleted {
+				continue
+			}
+			if !fn(key, last) {
+				return
+			}
 		}
 	}
 }
@@ -285,26 +358,29 @@ func (db *DB) ForEachLatest(fn func(key string, vv VersionedValue) bool) {
 // acceptable for the contract-visible state sizes this repository targets
 // (the kvstore layer provides indexed range scans where volume matters).
 func (db *DB) KeysInRange(start, end string, asOfBlock uint64) []string {
-	db.mu.RLock()
 	var out []string
-	for key, versions := range db.hist {
-		if key < start || (end != "" && key >= end) {
-			continue
-		}
-		// Last version at or before the snapshot.
-		idx := -1
-		for i, vv := range versions {
-			if vv.Version.Block <= asOfBlock {
-				idx = i
-			} else {
-				break
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for key, versions := range sh.hist {
+			if key < start || (end != "" && key >= end) {
+				continue
+			}
+			// Last version at or before the snapshot.
+			idx := -1
+			for j, vv := range versions {
+				if vv.Version.Block <= asOfBlock {
+					idx = j
+				} else {
+					break
+				}
+			}
+			if idx >= 0 && !versions[idx].Deleted {
+				out = append(out, key)
 			}
 		}
-		if idx >= 0 && !versions[idx].Deleted {
-			out = append(out, key)
-		}
+		sh.mu.RUnlock()
 	}
-	db.mu.RUnlock()
 	sortStrings(out)
 	return out
 }
@@ -313,15 +389,22 @@ func (db *DB) KeysInRange(start, end string, asOfBlock uint64) []string {
 // serializability verifier, which re-executes committed schedules against a
 // fresh copy of the genesis state.
 func (db *DB) Clone() *DB {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := &DB{hist: make(map[string][]VersionedValue, len(db.hist)), height: db.height, hasAny: db.hasAny}
-	for k, versions := range db.hist {
-		cp := make([]VersionedValue, len(versions))
-		for i, vv := range versions {
-			cp[i] = VersionedValue{Version: vv.Version, Deleted: vv.Deleted, Value: append([]byte(nil), vv.Value...)}
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	out := &DB{}
+	out.height.Store(db.height.Load())
+	out.hasAny.Store(db.hasAny.Load())
+	for i := range db.shards {
+		src := db.shards[i].hist
+		dst := make(map[string][]VersionedValue, len(src))
+		for k, versions := range src {
+			cp := make([]VersionedValue, len(versions))
+			for j, vv := range versions {
+				cp[j] = VersionedValue{Version: vv.Version, Deleted: vv.Deleted, Value: append([]byte(nil), vv.Value...)}
+			}
+			dst[k] = cp
 		}
-		out.hist[k] = cp
+		out.shards[i].hist = dst
 	}
 	return out
 }
@@ -331,20 +414,26 @@ func (db *DB) Clone() *DB {
 // produce identical fingerprints; the serializability property tests compare
 // end states with it.
 func (db *DB) StateFingerprint() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.hist))
-	for k, versions := range db.hist {
-		if len(versions) > 0 && !versions[len(versions)-1].Deleted {
-			keys = append(keys, k)
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	type kv struct {
+		key string
+		val []byte
+	}
+	var live []kv
+	for i := range db.shards {
+		for k, versions := range db.shards[i].hist {
+			last := versions[len(versions)-1]
+			if !last.Deleted {
+				live = append(live, kv{key: k, val: last.Value})
+			}
 		}
 	}
-	sortStrings(keys)
+	sort.Slice(live, func(i, j int) bool { return live[i].key < live[j].key })
 	h := newFNV()
-	for _, k := range keys {
-		vv := db.hist[k][len(db.hist[k])-1]
-		h.writeString(k)
-		h.write(vv.Value)
+	for _, e := range live {
+		h.writeString(e.key)
+		h.write(e.val)
 	}
 	return h.sum()
 }
