@@ -10,6 +10,8 @@ import (
 
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
+	"fabricsharp/internal/seqno"
+	"fabricsharp/internal/validation"
 )
 
 // OrderingShape describes a synthetic consensus stream fed straight into a
@@ -82,9 +84,15 @@ type OrderingResult struct {
 	Txs    int    `json:"txs"`
 	Blocks int    `json:"blocks"`
 	// Admitted counts transactions surviving OnArrival; Committed counts
-	// transactions emitted in formed blocks.
+	// transactions emitted in formed blocks; Valid counts the transactions
+	// the shadow validator judged Valid (the effective-throughput numerator
+	// — for MVCC systems the emitted blocks still carry doomed
+	// transactions).
+	// omitempty keeps pre-PR-3 trajectory records (which never measured
+	// validity) from being rewritten with a spurious zero.
 	Admitted  int `json:"admitted"`
 	Committed int `json:"committed"`
+	Valid     int `json:"valid,omitempty"`
 	// ArrivalUSPerTx is the scheduler-reported mean arrival latency (µs).
 	ArrivalUSPerTx float64 `json:"arrival_us_per_tx"`
 	// FormationMSPerBlock is the scheduler-reported mean formation latency.
@@ -100,8 +108,17 @@ type OrderingResult struct {
 
 // RunOrdering drives one scheduler over a pre-generated stream, cutting a
 // block every blockSize arrivals, and reports wall-clock and allocation
-// costs. Commit feedback is fed back synchronously with all-valid verdicts so
-// schedulers that track committed state (focc-l) run their real code path.
+// costs. Commit feedback is the orderer's real path: after each formation
+// the shadow validator (validation.ComputeVerdicts over a value-free
+// ShadowState) derives the deterministic verdicts the peers would compute,
+// and those — not a blanket all-Valid — feed OnBlockCommitted, so Focc-l's
+// doomed-transaction detection actually fires on the contended shape.
+//
+// Transactions are "endorsed" in a sliding window two blocks deep: their
+// read versions and snapshot come from the shadow state as of the window's
+// start, modelling the execution phase running concurrently with ordering
+// (a transaction can land in a block formed after its snapshot, which is
+// exactly what makes reads go stale under contention).
 func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize int, seed int64) (OrderingResult, error) {
 	txs := shape.Stream(txCount, seed)
 	sc, err := sched.New(system, sched.Options{})
@@ -110,7 +127,27 @@ func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize in
 	}
 	res := OrderingResult{System: string(system), Shape: shape.Name, Txs: txCount}
 	height := uint64(0)
-	codes := make([]protocol.ValidationCode, 0, blockSize*2)
+	shadow := validation.NewShadowState()
+	vopts := validation.Options{MVCC: sc.NeedsMVCCValidation()}
+
+	endorsed := 0
+	endorse := func(upTo int) {
+		if upTo > len(txs) {
+			upTo = len(txs)
+		}
+		for ; endorsed < upTo; endorsed++ {
+			tx := txs[endorsed]
+			tx.SnapshotBlock = height
+			reads := tx.RWSet.Reads
+			for j := range reads {
+				ver, ok := shadow.Version(reads[j].Key)
+				if !ok {
+					ver = seqno.Seq{}
+				}
+				reads[j].Version = ver
+			}
+		}
+	}
 
 	cut := func() error {
 		fr, err := sc.OnBlockFormation()
@@ -123,9 +160,12 @@ func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize in
 		height = fr.Block
 		res.Blocks++
 		res.Committed += len(fr.Ordered)
-		codes = codes[:0]
-		for range fr.Ordered {
-			codes = append(codes, protocol.Valid)
+		codes := validation.ComputeVerdicts(shadow, fr.Block, fr.Ordered, vopts)
+		shadow.Apply(fr.Block, fr.Ordered, codes)
+		for _, c := range codes {
+			if c == protocol.Valid {
+				res.Valid++
+			}
 		}
 		sc.OnBlockCommitted(fr.Block, fr.Ordered, codes)
 		return nil
@@ -135,8 +175,10 @@ func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize in
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
-	for _, tx := range txs {
-		tx.SnapshotBlock = height
+	for i, tx := range txs {
+		if i >= endorsed {
+			endorse(i + 2*blockSize)
+		}
 		code, err := sc.OnArrival(tx)
 		if err != nil {
 			return OrderingResult{}, err
@@ -182,8 +224,8 @@ func Ordering(o Options) (*Table, []OrderingResult, error) {
 	t := &Table{
 		Title: "Ordering-phase hot path: scheduler cost per submitted transaction",
 		Columns: []string{"system", "shape", "arrival µs/tx", "formation ms/blk",
-			"allocs/tx", "bytes/tx", "admitted", "tps"},
-		Comment: "schedulers driven directly (no consensus/commit around them); allocs amortize formations",
+			"allocs/tx", "bytes/tx", "admitted", "valid", "tps"},
+		Comment: "schedulers driven directly with shadow-validator feedback (no consensus/commit around them); allocs amortize formations + verdicts",
 	}
 	var all []OrderingResult
 	for _, system := range sched.Systems() {
@@ -199,6 +241,7 @@ func Ordering(o Options) (*Table, []OrderingResult, error) {
 				fmt.Sprintf("%.1f", r.AllocsPerTx),
 				fmt.Sprintf("%.0f", r.BytesPerTx),
 				fmt.Sprintf("%d/%d", r.Admitted, r.Txs),
+				fmt.Sprintf("%d", r.Valid),
 				fmt.Sprintf("%.0f", r.TPS))
 		}
 	}

@@ -415,34 +415,3 @@ func TestCommitterReportsPoisonedBlock(t *testing.T) {
 	}
 }
 
-func TestQueue(t *testing.T) {
-	q := NewQueue[int]()
-	var wg sync.WaitGroup
-	for w := 0; w < 4; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < 100; i++ {
-				q.Push(w*100 + i)
-			}
-		}(w)
-	}
-	wg.Wait()
-	<-q.Ready()
-	got := q.Drain()
-	if len(got) != 400 {
-		t.Fatalf("drained %d", len(got))
-	}
-	if len(q.Drain()) != 0 {
-		t.Error("second drain non-empty")
-	}
-	// Push order is preserved per producer.
-	last := map[int]int{}
-	for _, v := range got {
-		w, i := v/100, v%100
-		if prev, ok := last[w]; ok && i <= prev {
-			t.Fatalf("producer %d out of order", w)
-		}
-		last[w] = i
-	}
-}

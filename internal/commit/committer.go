@@ -151,13 +151,23 @@ func (c *Committer) fail(err error) {
 
 // commit is the live path: append the peer's own copy of the block, run the
 // parallel validator, record the codes as block metadata, and batch-apply
-// the valid writes.
+// the valid writes. A delivered block carrying the orderer's precomputed
+// shadow verdicts (blk.Validation) is cross-checked byte for byte: the
+// agreement property requires verdicts to be a pure function of the stream,
+// so any divergence between the orderer's value-free derivation and the
+// peer's full validation is a pipeline bug that must fail loudly rather
+// than be silently re-derived around.
 func (c *Committer) commit(blk *ledger.Block) error {
 	peerBlk := &ledger.Block{Header: blk.Header, Transactions: blk.Transactions}
 	if err := c.cfg.Chain.Append(peerBlk); err != nil {
 		return fmt.Errorf("append block %d: %w", blk.Header.Number, err)
 	}
 	res := ValidateBlock(c.cfg.State, peerBlk, c.cfg.Validation)
+	if blk.Validation != nil {
+		if err := assertVerdictsEqual(blk.Header.Number, blk.Validation, res.Codes); err != nil {
+			return err
+		}
+	}
 	if err := c.cfg.Chain.SetValidation(peerBlk.Header.Number, res.Codes); err != nil {
 		return fmt.Errorf("record validation for block %d: %w", peerBlk.Header.Number, err)
 	}
@@ -171,6 +181,21 @@ func (c *Committer) commit(blk *ledger.Block) error {
 	}
 	if c.cfg.OnCommit != nil {
 		c.cfg.OnCommit(peerBlk, res.Codes)
+	}
+	return nil
+}
+
+// assertVerdictsEqual compares the orderer's precomputed codes against the
+// peer's own, reporting the first divergent transaction.
+func assertVerdictsEqual(block uint64, precomputed, derived []protocol.ValidationCode) error {
+	if len(precomputed) != len(derived) {
+		return fmt.Errorf("block %d: %d precomputed verdicts vs %d derived", block, len(precomputed), len(derived))
+	}
+	for i := range derived {
+		if precomputed[i] != derived[i] {
+			return fmt.Errorf("block %d tx %d: peer verdict %v diverges from orderer shadow verdict %v",
+				block, i, derived[i], precomputed[i])
+		}
 	}
 	return nil
 }

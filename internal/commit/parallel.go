@@ -82,10 +82,11 @@ func ValidateBlock(db *statedb.DB, blk *ledger.Block, opts Options) BlockResult 
 	if opts.MVCC {
 		groupList := partitionByConflict(blk.Transactions, codes)
 		groups = len(groupList)
+		base := validation.DBVersions(db)
 		runGroups(groupList, workers, func(group []int) {
 			overlay := validation.NewOverlay()
 			current := func(key string) (seqno.Seq, bool) {
-				return overlay.Version(db, key)
+				return overlay.Version(base, key)
 			}
 			for _, i := range group {
 				tx := blk.Transactions[i]

@@ -82,6 +82,13 @@ type Options struct {
 	// commit.DefaultQueueDepth). Ordering only blocks when a peer falls this
 	// many blocks behind.
 	CommitQueueDepth int
+	// DedupHorizon bounds the orderers' duplicate-suppression memory: a
+	// TxID first seen while block B was being assembled is forgotten once
+	// block B+DedupHorizon seals (default DefaultDedupHorizon). Eviction
+	// runs at cut time — a stream-determined position — so the dedup
+	// decision stays identical on every replica; the horizon trades
+	// replay-protection depth for bounded memory under sustained traffic.
+	DedupHorizon uint64
 	// ValidationWorkers caps each peer's intra-block validation parallelism
 	// (default: GOMAXPROCS divided among the peers, since they all validate
 	// a delivered block concurrently).
@@ -122,8 +129,17 @@ func (o Options) withDefaults() Options {
 	if o.RaftNodes == 0 {
 		o.RaftNodes = 3
 	}
+	if o.DedupHorizon == 0 {
+		o.DedupHorizon = DefaultDedupHorizon
+	}
 	return o
 }
+
+// DefaultDedupHorizon is the default Options.DedupHorizon: deep enough that
+// a duplicate would have to arrive over a thousand blocks after the
+// original to slip through, shallow enough that the dedup map stays bounded
+// under sustained million-transaction traffic.
+const DefaultDedupHorizon = 1024
 
 // TxResult reports a transaction's fate.
 type TxResult struct {
@@ -153,10 +169,6 @@ type Network struct {
 	wg        sync.WaitGroup
 	closers   []interface{ Close() error }
 
-	// commitFeed carries (block, txs, codes) from the commit pipeline back
-	// to the lead orderer's scheduler. Unbounded so a committer can never
-	// deadlock against an orderer blocked on delivery backpressure.
-	commitFeed *commit.Queue[commitEvent]
 	// ackMu/pendingAcks implement the per-block commit barrier: a result
 	// resolves once every peer has committed its block, with the lead
 	// peer's validation codes as the authoritative verdicts.
@@ -169,14 +181,6 @@ type Network struct {
 	errMu    sync.Mutex
 	fatalErr error
 	fatalCh  chan struct{}
-}
-
-// commitEvent is one fully committed block's verdicts, fed back to the lead
-// orderer's scheduler.
-type commitEvent struct {
-	block uint64
-	txs   []*protocol.Transaction
-	codes []protocol.ValidationCode
 }
 
 // blockAck tracks how many peers have committed a block and the lead peer's
@@ -225,7 +229,6 @@ func NewNetwork(opts Options) (*Network, error) {
 		waiters:     map[protocol.TxID]chan TxResult{},
 		done:        make(chan struct{}),
 		fatalCh:     make(chan struct{}),
-		commitFeed:  commit.NewQueue[commitEvent](),
 		pendingAcks: map[uint64]*blockAck{},
 	}
 	var peerIDs []string
@@ -287,7 +290,15 @@ func NewNetwork(opts Options) (*Network, error) {
 			scheduler: scheduler,
 			chain:     chain,
 			deliver:   i == 0, // the lead orderer delivers to peers
-			seen:      map[protocol.TxID]bool{},
+			shadow:    validation.NewShadowState(),
+			vopts: validation.Options{
+				MVCC:   scheduler.NeedsMVCCValidation(),
+				MSP:    n.msp,
+				Policy: n.policy,
+			},
+			seen:        map[protocol.TxID]bool{},
+			seenByBlock: map[uint64][]protocol.TxID{},
+			seenFloor:   1,
 		}
 		if opts.HashCommitment {
 			o.broker = NewCommitmentBroker()
@@ -343,9 +354,10 @@ func NewNetwork(opts Options) (*Network, error) {
 
 // peerCommitted is each committer's completion callback. Results resolve on
 // the designated lead peer's (peer 0) verdicts, once every peer has
-// committed the block — so a Submit that returns implies read-your-writes on
-// any peer, and the lead orderer's scheduler receives commit feedback
-// exactly once per block.
+// committed the block — so a Submit that returns implies read-your-writes
+// on any peer. The schedulers are NOT fed from here: commit feedback is
+// derived deterministically by each orderer's shadow validator at cut time,
+// so this barrier only settles client waiters.
 func (n *Network) peerCommitted(peerIdx int, blk *ledger.Block, codes []protocol.ValidationCode) {
 	num := blk.Header.Number
 	n.ackMu.Lock()
@@ -362,12 +374,6 @@ func (n *Network) peerCommitted(peerIdx int, blk *ledger.Block, codes []protocol
 	complete := ack.acks == len(n.peers)
 	if complete {
 		delete(n.pendingAcks, num)
-		// Push under ackMu: barriers complete in block order (each peer
-		// commits sequentially), and keeping the push inside the critical
-		// section means the lead orderer also *observes* them in block
-		// order — Focc-l's committed-version tracking relies on that.
-		// Push never blocks, so holding the mutex is safe.
-		n.commitFeed.Push(commitEvent{block: num, txs: ack.txs, codes: ack.codes})
 	}
 	n.ackMu.Unlock()
 	if !complete {
@@ -402,15 +408,22 @@ func (n *Network) Fatal() <-chan struct{} { return n.fatalCh }
 
 // replayStoredChain distributes peer 0's persisted blocks to the in-memory
 // peers — through the same committer apply path live commits use — and to
-// the orderers, then fast-forwards every scheduler past the stored height.
-// Restart semantics are clean-shutdown: nothing was pending across the
-// restart, so new transactions (whose snapshots are at or above the stored
-// height) cannot conflict with pre-restart history and the schedulers may
-// start from an empty dependency graph.
+// the orderers, rebuilding each orderer's shadow version state from the
+// stored verdicts, then fast-forwards every scheduler past the stored
+// height. Restart semantics are clean-shutdown: nothing was pending across
+// the restart, so new transactions (whose snapshots are at or above the
+// stored height) cannot conflict with pre-restart history and the
+// schedulers may start from an empty dependency graph — but the shadow
+// state MUST resume exactly where the peers' state databases do, or the
+// first post-restart shadow validation would diverge from peer validation.
 func (n *Network) replayStoredChain() error {
 	ref := n.peers[0]
 	var walkErr error
 	ref.chain.ForEach(func(b *ledger.Block) bool {
+		if len(b.Validation) != len(b.Transactions) {
+			walkErr = fmt.Errorf("fabric: stored block %d missing validation metadata", b.Header.Number)
+			return false
+		}
 		for _, p := range n.peers[1:] {
 			if walkErr = p.committer.ReplayStored(b); walkErr != nil {
 				return false
@@ -421,6 +434,7 @@ func (n *Network) replayStoredChain() error {
 			if walkErr = o.chain.Append(&blk); walkErr != nil {
 				return false
 			}
+			o.shadow.Apply(b.Header.Number, b.Transactions, b.Validation)
 		}
 		return true
 	})
@@ -429,6 +443,9 @@ func (n *Network) replayStoredChain() error {
 	}
 	height, _ := ref.chain.Height()
 	for _, o := range n.orderers {
+		// Dedup buckets resume past the stored chain too, so the first
+		// post-restart eviction does not walk empty pre-restart blocks.
+		o.seenFloor = height + 1
 		if err := o.scheduler.FastForward(height); err != nil {
 			return err
 		}

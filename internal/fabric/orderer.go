@@ -2,12 +2,14 @@ package fabric
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"fabricsharp/internal/consensus"
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
+	"fabricsharp/internal/validation"
 )
 
 // orderer is one replicated orderer: it consumes the consensus stream, runs
@@ -18,17 +20,38 @@ import (
 // chains are identical (the agreement property of Section 3.5, asserted in
 // tests).
 //
-// The orderer never touches peer state: delivery is a channel send, and the
-// validation verdicts flow back asynchronously through the network's commit
-// feed, so consensus-stream consumption is pipelined with peer commits.
+// Commit feedback is a pure function of the stream: right after sealing
+// block N, every replica runs the shadow validator (ComputeVerdicts over a
+// value-free ShadowState) to derive the exact codes the peers will compute,
+// feeds them to its own scheduler's OnBlockCommitted, and embeds them in the
+// sealed block. This makes the agreement property exact even for schedulers
+// whose block contents depend on verdicts (Focc-l's doomed-transaction
+// detection): lead and followers see identical feedback at identical stream
+// positions. The peers' committers assert byte-equality against the
+// embedded codes, so a drift between the two derivations fails loudly.
+//
+// The orderer never touches peer state: delivery is a channel send, and
+// consensus-stream consumption stays pipelined with peer commits.
 type orderer struct {
 	net       *Network
 	name      string
 	scheduler sched.Scheduler
 	chain     *ledger.Chain
 	deliver   bool
-	seen      map[protocol.TxID]bool
-	broker    *CommitmentBroker // non-nil when the network runs hash commitments
+	// shadow is the replica's value-free version state; vopts carries the
+	// same validation switches the peers run, so ComputeVerdicts here and
+	// ValidateBlock there are the same function over the same inputs.
+	shadow *validation.ShadowState
+	vopts  validation.Options
+	// seen dedups TxIDs. Entries are bucketed by the block being assembled
+	// when they were first seen and evicted DedupHorizon sealed blocks
+	// later — eviction happens at cut time, a stream-determined position, so
+	// every replica's seen-set stays identical. seenFloor is the lowest
+	// bucket not yet evicted.
+	seen        map[protocol.TxID]bool
+	seenByBlock map[uint64][]protocol.TxID
+	seenFloor   uint64
+	broker      *CommitmentBroker // non-nil when the network runs hash commitments
 }
 
 func (o *orderer) run() {
@@ -52,13 +75,6 @@ func (o *orderer) run() {
 		timer.Reset(o.net.opts.BlockTimeout)
 		timerArmed = true
 	}
-	// Only the lead orderer receives commit feedback (it is the only one
-	// that delivers, hence the only one whose scheduler sees verdicts — as
-	// before the pipeline split). A nil queue leaves the select case dormant.
-	var feedbackReady <-chan struct{}
-	if o.deliver {
-		feedbackReady = o.net.commitFeed.Ready()
-	}
 
 	for {
 		// Fatal check first, non-blocking: select picks ready cases at
@@ -77,8 +93,6 @@ func (o *orderer) run() {
 			// A poisoned block or scheduler fault elsewhere: stop consuming
 			// rather than extending a chain nobody will commit.
 			return
-		case <-feedbackReady:
-			o.drainFeedback()
 		case <-timer.C:
 			timerArmed = false
 			if o.scheduler.PendingCount() > 0 {
@@ -145,6 +159,8 @@ func (o *orderer) processArrival(tx *protocol.Transaction, arm, disarm func()) {
 		return
 	}
 	o.seen[tx.ID] = true
+	bucket := o.nextCutBlock()
+	o.seenByBlock[bucket] = append(o.seenByBlock[bucket], tx.ID)
 	code, err := o.scheduler.OnArrival(tx)
 	if err != nil {
 		o.net.fail(fmt.Errorf("fabric: orderer %s arrival: %w", o.name, err))
@@ -176,34 +192,33 @@ func consensusCutMarker(from string, block uint64) (env consensus.Envelope) {
 	return env
 }
 
-// drainFeedback applies any commit verdicts that have already arrived to
-// the scheduler (lead only). Feedback is best-effort by design: a block
-// still in flight when the next one forms simply isn't reflected yet —
-// schedulers use it as an optimization (Focc-l's doomed-transaction
-// detection), never for correctness, which the validation phase enforces.
-//
-// Caveat (pre-dating the pipeline split, when feedback was synchronous but
-// equally lead-only): follower orderers never receive verdicts, so for the
-// one scheduler whose block contents depend on them (Focc-l) the agreement
-// property above is best-effort rather than exact. Making feedback a
-// deterministic function of the consensus stream is an open roadmap item.
-func (o *orderer) drainFeedback() {
-	if !o.deliver {
+// evictSeen drops dedup entries first seen while assembling blocks at least
+// DedupHorizon sealed blocks ago. Sealed-block count is a pure function of
+// the stream, so eviction — and therefore the dedup decision for any future
+// TxID — is identical on every replica. A duplicate resubmitted after its
+// original fell past the horizon is re-admitted; the horizon bounds the map
+// for sustained million-transaction runs and is sized so that only a client
+// deliberately replaying ancient transactions can cross it.
+func (o *orderer) evictSeen(sealed uint64) {
+	horizon := o.net.opts.DedupHorizon
+	if sealed < horizon {
 		return
 	}
-	for _, ev := range o.net.commitFeed.Drain() {
-		o.scheduler.OnBlockCommitted(ev.block, ev.txs, ev.codes)
+	for b := o.seenFloor; b+horizon <= sealed; b++ {
+		for _, id := range o.seenByBlock[b] {
+			delete(o.seen, id)
+		}
+		delete(o.seenByBlock, b)
+		o.seenFloor = b + 1
 	}
 }
 
-// cut forms a block, seals it on the orderer's chain, and (lead only) fans
-// it out to every peer's committer. Ordering never waits for validation:
-// the only way this blocks is backpressure from a full delivery queue.
+// cut forms a block, seals it on the orderer's chain with the shadow
+// verdicts embedded, feeds those verdicts to the scheduler, and (lead only)
+// fans the block out to every peer's committer. Ordering never waits for
+// validation: the only way this blocks is backpressure from a full delivery
+// queue.
 func (o *orderer) cut() {
-	// Fold in every verdict that has already landed before deciding the
-	// block's contents — minimizes the scheduler's committed-state lag
-	// without ever blocking on in-flight commits.
-	o.drainFeedback()
 	res, err := o.scheduler.OnBlockFormation()
 	if err != nil {
 		o.net.fail(fmt.Errorf("fabric: orderer %s formation: %w", o.name, err))
@@ -217,11 +232,28 @@ func (o *orderer) cut() {
 	if len(res.Ordered) == 0 {
 		return
 	}
-	blk, err := o.chain.Seal(res.Ordered, nil)
+	num := o.nextCutBlock()
+	if res.Block != num {
+		o.net.fail(fmt.Errorf("fabric: orderer %s block numbering drifted: scheduler %d, chain %d", o.name, res.Block, num))
+		return
+	}
+	// The shadow validation pass: the same verdict function the peers run,
+	// over the value-free version state this replica has accumulated from
+	// the stream alone. Synchronous on every replica, so the scheduler
+	// receives feedback for block N before any input that follows it. The
+	// endorsement phase — ed25519 verification, the dominant CPU cost — is
+	// a per-transaction pure function, so it fans out across cores; only
+	// the overlay-coupled MVCC pass is serial.
+	endorseFailed := validation.PrecheckEndorsements(res.Ordered, o.vopts, runtime.GOMAXPROCS(0))
+	codes := validation.ComputeVerdictsPrechecked(o.shadow, num, res.Ordered, o.vopts, endorseFailed)
+	blk, err := o.chain.Seal(res.Ordered, codes)
 	if err != nil {
 		o.net.fail(fmt.Errorf("fabric: orderer %s seal: %w", o.name, err))
 		return
 	}
+	o.shadow.Apply(num, res.Ordered, codes)
+	o.scheduler.OnBlockCommitted(num, res.Ordered, codes)
+	o.evictSeen(num)
 	if !o.deliver {
 		return
 	}

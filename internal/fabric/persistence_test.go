@@ -183,3 +183,26 @@ func TestFastForwardRejectsDirtyScheduler(t *testing.T) {
 		t.Error("fast-forward of a dirty scheduler accepted")
 	}
 }
+
+// TestFastForwardRejectsFedScheduler is the regression companion to the
+// arrivals check above: a scheduler that has absorbed commit feedback has
+// history too, even with zero arrivals. Focc-l used to fast-forward in that
+// state, silently keeping stale committed-version tracking across the jump.
+func TestFastForwardRejectsFedScheduler(t *testing.T) {
+	writer := &protocol.Transaction{
+		ID:    "w",
+		RWSet: protocol.RWSet{Writes: []protocol.WriteItem{{Key: "hot", Value: []byte("v")}}},
+	}
+	fed, _ := sched.New(sched.SystemFoccL, sched.Options{})
+	fed.OnBlockCommitted(1, []*protocol.Transaction{writer}, []protocol.ValidationCode{protocol.Valid})
+	if err := fed.FastForward(10); err == nil {
+		t.Error("fast-forward accepted after commit feedback recorded committed versions")
+	}
+	// Feedback that recorded nothing (no valid writes) leaves no history:
+	// fast-forward must still be allowed.
+	clean, _ := sched.New(sched.SystemFoccL, sched.Options{})
+	clean.OnBlockCommitted(1, []*protocol.Transaction{writer}, []protocol.ValidationCode{protocol.MVCCConflict})
+	if err := clean.FastForward(10); err != nil {
+		t.Errorf("fast-forward rejected with no committed state: %v", err)
+	}
+}

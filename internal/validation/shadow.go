@@ -1,0 +1,171 @@
+package validation
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+	"fabricsharp/internal/statedb"
+)
+
+// VersionSource resolves a key's latest committed version. It is the
+// value-free slice of the state database that the verdict logic actually
+// consumes: endorsement and MVCC checks never read values, only versions.
+// Both the peers' full state (via DBVersions) and the orderers' ShadowState
+// implement it, so one verdict function serves both sides of the pipeline.
+type VersionSource interface {
+	// Version returns the latest version of key, and false when the key is
+	// absent (never written, or deleted).
+	Version(key string) (seqno.Seq, bool)
+}
+
+// dbVersions adapts a statedb.DB's latest-version view to VersionSource.
+type dbVersions struct{ db *statedb.DB }
+
+// DBVersions exposes db's latest committed versions as a VersionSource.
+func DBVersions(db *statedb.DB) VersionSource { return dbVersions{db: db} }
+
+func (s dbVersions) Version(key string) (seqno.Seq, bool) {
+	vv, ok := s.db.Get(key)
+	if !ok {
+		return seqno.Seq{}, false
+	}
+	return vv.Version, true
+}
+
+// ShadowState is a value-free replica of the committed version state: for
+// every live key, the (block, position) version of its last valid write;
+// deletes are tombstoned exactly like the state database reports them
+// (absent). Orderers maintain one per replica and advance it with the
+// verdicts ComputeVerdicts derives at each cut, so commit feedback becomes a
+// pure function of the consensus stream — no peer, no timing, no values.
+//
+// A ShadowState is confined to its orderer goroutine; it is not safe for
+// concurrent use.
+type ShadowState struct {
+	entries map[string]shadowEntry
+	height  uint64
+}
+
+type shadowEntry struct {
+	version seqno.Seq
+	deleted bool
+}
+
+// NewShadowState returns an empty shadow (the genesis version state).
+func NewShadowState() *ShadowState {
+	return &ShadowState{entries: map[string]shadowEntry{}}
+}
+
+// Version implements VersionSource.
+func (s *ShadowState) Version(key string) (seqno.Seq, bool) {
+	e, ok := s.entries[key]
+	if !ok || e.deleted {
+		return seqno.Seq{}, false
+	}
+	return e.version, true
+}
+
+// Apply folds one sealed block's verdicts into the shadow: the writes of
+// every valid transaction land at version (block, position), deletes as
+// tombstones — mirroring what statedb.ApplyBlock will do on the peers with
+// the same codes. codes[i] corresponds to txs[i].
+func (s *ShadowState) Apply(block uint64, txs []*protocol.Transaction, codes []protocol.ValidationCode) {
+	for i, tx := range txs {
+		if codes[i] != protocol.Valid {
+			continue
+		}
+		ver := seqno.Commit(block, uint32(i+1))
+		for _, w := range tx.RWSet.Writes {
+			s.entries[w.Key] = shadowEntry{version: ver, deleted: w.Delete}
+		}
+	}
+	s.height = block
+}
+
+// Height returns the last applied block number.
+func (s *ShadowState) Height() uint64 { return s.height }
+
+// Len returns the number of tracked keys, tombstones included (tests,
+// metrics).
+func (s *ShadowState) Len() int { return len(s.entries) }
+
+// ComputeVerdicts derives the validation codes for one block of ordered
+// transactions against base — the shared, sequential verdict function of
+// the whole repository. ValidateAndCommit wraps it for the peer reference
+// path, commit.ValidateBlock is asserted byte-identical to it, and every
+// orderer runs it over its ShadowState right after a cut, so the codes a
+// block carries out of ordering equal the codes the peers compute during
+// validation by construction, not by luck.
+func ComputeVerdicts(base VersionSource, block uint64, txs []*protocol.Transaction, opts Options) []protocol.ValidationCode {
+	return ComputeVerdictsPrechecked(base, block, txs, opts, PrecheckEndorsements(txs, opts, 1))
+}
+
+// PrecheckEndorsements runs opts' endorsement policy over every transaction
+// on up to `workers` goroutines and returns the failure mask
+// ComputeVerdictsPrechecked consumes, or nil when the options disable
+// endorsement checking. Each verdict is an independent pure function of its
+// transaction, so the mask is deterministic regardless of scheduling — this
+// is how the orderers keep the dominant CPU cost of shadow validation
+// (ed25519 verification) off the serial part of the cut path.
+func PrecheckEndorsements(txs []*protocol.Transaction, opts Options, workers int) []bool {
+	if opts.MSP == nil || opts.Policy == nil {
+		return nil
+	}
+	failed := make([]bool, len(txs))
+	check := func(i int) {
+		failed[i] = opts.MSP.CheckEndorsements(txs[i], opts.Policy) != nil
+	}
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+	if workers <= 1 {
+		for i := range txs {
+			check(i)
+		}
+		return failed
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(txs) {
+					return
+				}
+				check(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return failed
+}
+
+// ComputeVerdictsPrechecked is ComputeVerdicts with the endorsement phase
+// already done: endorseFailed[i], when the slice is non-nil, is the
+// (order-independent) endorsement verdict for txs[i]. The sequential pass
+// here is only the overlay-coupled MVCC rule.
+func ComputeVerdictsPrechecked(base VersionSource, block uint64, txs []*protocol.Transaction, opts Options, endorseFailed []bool) []protocol.ValidationCode {
+	codes := make([]protocol.ValidationCode, len(txs))
+	overlay := NewOverlay()
+	current := func(key string) (seqno.Seq, bool) {
+		return overlay.Version(base, key)
+	}
+	for i, tx := range txs {
+		if endorseFailed != nil && endorseFailed[i] {
+			codes[i] = protocol.EndorsementFailure
+			continue
+		}
+		if opts.MVCC && !ReadsFresh(tx, current) {
+			codes[i] = protocol.MVCCConflict
+			continue
+		}
+		codes[i] = protocol.Valid
+		overlay.Record(seqno.Commit(block, uint32(i+1)), tx.RWSet.Writes)
+	}
+	return codes
+}

@@ -9,10 +9,14 @@
 // FabricSharp and Focc-s the ordering phase already guarantees
 // serializability, so peers skip the concurrency check entirely (Figure 8).
 //
-// ValidateAndCommit is the sequential reference implementation. The
-// internal/commit package builds the parallel production path on the same
-// Overlay and ReadsFresh primitives, partitioning a block into key-disjoint
-// conflict groups that validate concurrently.
+// ValidateAndCommit is the sequential reference implementation, a thin
+// wrapper over ComputeVerdicts — the shared verdict function that the
+// orderers' shadow validators (see ShadowState) run against a value-free
+// version overlay at every cut. The internal/commit package builds the
+// parallel production path on the same Overlay and ReadsFresh primitives,
+// partitioning a block into key-disjoint conflict groups that validate
+// concurrently, and asserts its codes byte-equal against the orderer's
+// precomputed ones.
 package validation
 
 import (
@@ -62,46 +66,30 @@ func (o *Overlay) Record(ver seqno.Seq, writes []protocol.WriteItem) {
 }
 
 // Version resolves key's current version: the overlay first, then the
-// committed state in db.
-func (o *Overlay) Version(db *statedb.DB, key string) (seqno.Seq, bool) {
+// committed versions in base.
+func (o *Overlay) Version(base VersionSource, key string) (seqno.Seq, bool) {
 	if e, ok := o.entries[key]; ok {
 		if e.deleted {
 			return seqno.Seq{}, false
 		}
 		return e.version, true
 	}
-	vv, ok := db.Get(key)
-	if !ok {
-		return seqno.Seq{}, false
-	}
-	return vv.Version, true
+	return base.Version(key)
 }
 
 // ValidateAndCommit validates every transaction of blk in order and commits
 // the valid ones' writes to db with versions (block, position). It returns
-// the per-transaction validation codes, in block order.
+// the per-transaction validation codes, in block order. The verdicts come
+// from ComputeVerdicts over the database's version view — the same function
+// the orderers' shadow validators run, so the two paths cannot drift.
 func ValidateAndCommit(db *statedb.DB, blk *ledger.Block, opts Options) ([]protocol.ValidationCode, error) {
-	codes := make([]protocol.ValidationCode, len(blk.Transactions))
-	overlay := NewOverlay()
+	codes := ComputeVerdicts(DBVersions(db), blk.Header.Number, blk.Transactions, opts)
 	var writes []statedb.BlockWrites
-
 	for i, tx := range blk.Transactions {
-		pos := uint32(i + 1)
-		if opts.MSP != nil && opts.Policy != nil {
-			if err := opts.MSP.CheckEndorsements(tx, opts.Policy); err != nil {
-				codes[i] = protocol.EndorsementFailure
-				continue
-			}
-		}
-		if opts.MVCC && !ReadsFresh(tx, func(key string) (seqno.Seq, bool) {
-			return overlay.Version(db, key)
-		}) {
-			codes[i] = protocol.MVCCConflict
+		if codes[i] != protocol.Valid {
 			continue
 		}
-		codes[i] = protocol.Valid
-		overlay.Record(seqno.Commit(blk.Header.Number, pos), tx.RWSet.Writes)
-		writes = append(writes, statedb.BlockWrites{Pos: pos, Writes: tx.RWSet.Writes})
+		writes = append(writes, statedb.BlockWrites{Pos: uint32(i + 1), Writes: tx.RWSet.Writes})
 	}
 	if err := db.ApplyBlock(blk.Header.Number, writes); err != nil {
 		return nil, fmt.Errorf("validation: commit block %d: %w", blk.Header.Number, err)
