@@ -129,7 +129,7 @@ func BenchmarkOrdering(b *testing.B) {
 			system, shape := system, shape
 			b.Run(fmt.Sprintf("%s/%s", system, shape.Name), func(b *testing.B) {
 				txs := shape.Stream(b.N, 42)
-				sc, err := sched.New(system, sched.Options{})
+				sc, err := sched.New(system, sched.Options{CompactEvery: shape.CompactEvery})
 				if err != nil {
 					b.Fatal(err)
 				}

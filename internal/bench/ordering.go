@@ -29,16 +29,26 @@ type OrderingShape struct {
 	HotProb float64
 	// Accounts is the cold key-space size.
 	Accounts int
+	// Rotate, when positive, rotates the whole account pool every Rotate
+	// transactions: generation i/Rotate draws from a disjoint key space —
+	// the churn workload whose total key universe grows without bound while
+	// its working set stays Accounts-sized.
+	Rotate int
+	// CompactEvery is the scheduler's epoch-compaction period for this
+	// shape (0 = append-only tables, the default for the legacy shapes).
+	CompactEvery uint64
 }
 
-// OrderingShapes are the two canonical shapes of the perf trajectory: a
-// conflict-free stream (pure data-structure cost, no dependency edges) and a
+// OrderingShapes are the canonical shapes of the perf trajectory: a
+// conflict-free stream (pure data-structure cost, no dependency edges), a
 // contended stream (the graph, reachability, and reordering machinery under
-// load).
+// load), and — since PR 4 — a churn stream (rotating key space with epoch
+// compaction on, proving interned-key residency stays bounded).
 func OrderingShapes() []OrderingShape {
 	return []OrderingShape{
 		{Name: "conflict-free", Accounts: 1 << 20},
 		{Name: "contended", Hot: 64, HotProb: 0.5, Accounts: 1 << 20},
+		{Name: "churn", Accounts: 2048, Rotate: 2000, CompactEvery: 10},
 	}
 }
 
@@ -47,6 +57,10 @@ func OrderingShapes() []OrderingShape {
 func (s OrderingShape) Stream(n int, seed int64) []*protocol.Transaction {
 	rng := rand.New(rand.NewSource(seed))
 	account := func(i int, slot int) string {
+		if s.Rotate > 0 {
+			// Churn: every generation is a fresh, disjoint key space.
+			return fmt.Sprintf("checking:g%d:%d", i/s.Rotate, rng.Intn(s.Accounts))
+		}
 		if s.Hot > 0 && rng.Float64() < s.HotProb {
 			return fmt.Sprintf("checking:h%d", rng.Intn(s.Hot))
 		}
@@ -104,6 +118,10 @@ type OrderingResult struct {
 	// TPS is submitted transactions per wall-clock second through the
 	// scheduler (ordering-phase ceiling, not end-to-end throughput).
 	TPS float64 `json:"tps"`
+	// MaxResidentKeys is the peak intern-table size observed across the run
+	// (sampled after every cut) — the memory-residency figure the churn
+	// shape exists to bound. omitempty keeps pre-PR-4 records intact.
+	MaxResidentKeys int `json:"max_resident_keys,omitempty"`
 }
 
 // RunOrdering drives one scheduler over a pre-generated stream, cutting a
@@ -121,7 +139,7 @@ type OrderingResult struct {
 // exactly what makes reads go stale under contention).
 func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize int, seed int64) (OrderingResult, error) {
 	txs := shape.Stream(txCount, seed)
-	sc, err := sched.New(system, sched.Options{})
+	sc, err := sched.New(system, sched.Options{CompactEvery: shape.CompactEvery})
 	if err != nil {
 		return OrderingResult{}, err
 	}
@@ -149,11 +167,23 @@ func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize in
 		}
 	}
 
+	sampleResidency := func() {
+		if n := sc.ResidentKeys(); n > res.MaxResidentKeys {
+			res.MaxResidentKeys = n
+		}
+	}
 	cut := func() error {
+		// Peak residency is sampled around each cut: before it (the maximum
+		// since the last compaction for arrival-interning schedulers) and
+		// after it (catching schedulers that intern at formation time, like
+		// Focc-l's greedy pass — only their growth inside the compacting
+		// call itself goes unobserved).
+		sampleResidency()
 		fr, err := sc.OnBlockFormation()
 		if err != nil {
 			return err
 		}
+		sampleResidency()
 		if len(fr.Ordered) == 0 {
 			return nil
 		}
@@ -224,8 +254,8 @@ func Ordering(o Options) (*Table, []OrderingResult, error) {
 	t := &Table{
 		Title: "Ordering-phase hot path: scheduler cost per submitted transaction",
 		Columns: []string{"system", "shape", "arrival µs/tx", "formation ms/blk",
-			"allocs/tx", "bytes/tx", "admitted", "valid", "tps"},
-		Comment: "schedulers driven directly with shadow-validator feedback (no consensus/commit around them); allocs amortize formations + verdicts",
+			"allocs/tx", "bytes/tx", "admitted", "valid", "tps", "max keys"},
+		Comment: "schedulers driven directly with shadow-validator feedback (no consensus/commit around them); allocs amortize formations + verdicts; max keys = peak interned-key residency (the churn shape runs with epoch compaction on)",
 	}
 	var all []OrderingResult
 	for _, system := range sched.Systems() {
@@ -242,15 +272,19 @@ func Ordering(o Options) (*Table, []OrderingResult, error) {
 				fmt.Sprintf("%.0f", r.BytesPerTx),
 				fmt.Sprintf("%d/%d", r.Admitted, r.Txs),
 				fmt.Sprintf("%d", r.Valid),
-				fmt.Sprintf("%.0f", r.TPS))
+				fmt.Sprintf("%.0f", r.TPS),
+				fmt.Sprintf("%d", r.MaxResidentKeys))
 		}
 	}
 	return t, all, nil
 }
 
-// BenchRecord is one entry of the repository's benchmark trajectory file
-// (BENCH_PR2.json): a labelled snapshot of the ordering-phase results on one
-// machine. Future PRs append records rather than overwrite them.
+// BenchRecord is one entry of the repository's benchmark trajectory file:
+// a labelled snapshot of the ordering-phase results on one machine. The
+// committed history lives in BENCH_PR2.json at the repo root — the name
+// records the PR that introduced the file, not its scope; it is the ongoing
+// append-only trajectory, and every PR appends records rather than
+// overwriting them.
 type BenchRecord struct {
 	Label      string           `json:"label"`
 	Captured   string           `json:"captured"`

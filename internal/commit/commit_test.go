@@ -414,4 +414,3 @@ func TestCommitterReportsPoisonedBlock(t *testing.T) {
 		t.Error("committer not marked failed")
 	}
 }
-

@@ -17,6 +17,8 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
 	"sort"
 
 	"fabricsharp/internal/intern"
@@ -57,6 +59,17 @@ type VersionIndex interface {
 	// PruneBefore removes every entry whose commit sequence's block is
 	// strictly below minBlock (Section 4.6's index pruning).
 	PruneBefore(minBlock uint64) error
+	// MarkLive sets live[k] = true for every KeyID with at least one
+	// retained entry — the index's contribution to the liveness set of an
+	// epoch compaction. Keys at or beyond len(live) are ignored (they were
+	// interned after the caller sized the slice and are handled separately).
+	MarkLive(live []bool) error
+	// Remap informs the index that the shared intern table was compacted:
+	// remap[old] is each old KeyID's new identity, or intern.Dropped.
+	// In-memory implementations move their KeyID-indexed slots; disk-backed
+	// ones whose layout is keyed by record-key bytes (KVIndex) have nothing
+	// to move and only keep resolving through the compacted table.
+	Remap(remap []intern.Key, newLen int) error
 }
 
 // ---------------------------------------------------------------------------
@@ -164,6 +177,29 @@ func (m *MemIndex) All(dst []TxID, key intern.Key) ([]TxID, error) {
 	}
 	return dst, nil
 }
+
+// MarkLive implements VersionIndex.
+func (m *MemIndex) MarkLive(live []bool) error {
+	for key, es := range m.entries {
+		if len(es) > 0 && key < len(live) {
+			live[key] = true
+		}
+	}
+	return nil
+}
+
+// Remap implements VersionIndex: slots of retained keys move to their new
+// dense index (keeping their backing arrays), slots of dropped keys are
+// released to the GC — this is where a churn workload's retired key slots
+// are actually reclaimed.
+func (m *MemIndex) Remap(remap []intern.Key, newLen int) error {
+	m.entries = intern.RemapSlots(m.entries, remap, newLen)
+	return nil
+}
+
+// Slots returns the number of KeyID slots currently held (tests, metrics):
+// the quantity compaction bounds for churn workloads.
+func (m *MemIndex) Slots() int { return len(m.entries) }
 
 // PruneBefore implements VersionIndex.
 func (m *MemIndex) PruneBefore(minBlock uint64) error {
@@ -296,7 +332,12 @@ func (k *KVIndex) All(dst []TxID, key intern.Key) ([]TxID, error) {
 	return dst, nil
 }
 
-// PruneBefore implements VersionIndex.
+// PruneBefore implements VersionIndex. All deletions are collected into a
+// single kvstore.ApplyBatch — one lock acquisition instead of one round-trip
+// per entry, and no other mutation can interleave mid-prune. Primaries are
+// deleted before their secondaries within the batch: if a crash replays only
+// a WAL prefix, the survivors are dangling "b/" keys the next prune simply
+// re-deletes, never orphaned primaries that no future prune would find.
 func (k *KVIndex) PruneBefore(minBlock uint64) error {
 	limit := []byte{'b', '/'}
 	limit = (seqno.Seq{Block: minBlock}).AppendTo(limit)
@@ -316,21 +357,86 @@ func (k *KVIndex) PruneBefore(minBlock uint64) error {
 		}
 		primaries = append(primaries, kvPrimaryKey(string(rest), seq))
 	}
+	if len(secondaries) == 0 {
+		return nil
+	}
+	ops := make([]kvstore.BatchOp, 0, len(primaries)+len(secondaries))
 	for _, pk := range primaries {
-		if err := k.db.Delete(pk); err != nil {
-			return err
-		}
+		ops = append(ops, kvstore.BatchOp{Key: pk, Delete: true})
 	}
 	for _, sk := range secondaries {
-		if err := k.db.Delete(sk); err != nil {
-			return err
+		ops = append(ops, kvstore.BatchOp{Key: sk, Delete: true})
+	}
+	return k.db.ApplyBatch(ops)
+}
+
+// MarkLive implements VersionIndex: one scan over the primary family marks
+// every record key that still has a retained entry. The on-disk layout is
+// string-keyed, so keys resolve back to KeyIDs through the shared table —
+// every key with disk entries was interned when it was Put, so Find always
+// hits while the table and index are driven by the same manager.
+func (k *KVIndex) MarkLive(live []bool) error {
+	for it := k.db.NewPrefixIterator([]byte("p/")); it.Valid(); it.Next() {
+		body := it.Key()[2:]
+		i := bytes.IndexByte(body, 0)
+		if i < 0 {
+			return fmt.Errorf("core: malformed primary index key %q", it.Key())
+		}
+		if id, ok := k.keys.Find(string(body[:i])); ok && int(id) < len(live) {
+			live[id] = true
 		}
 	}
 	return nil
 }
+
+// Remap implements VersionIndex: nothing moves — the disk layout is keyed by
+// record-key bytes, independent of any interning order, and queries resolve
+// KeyIDs through the (now compacted) shared table.
+func (k *KVIndex) Remap([]intern.Key, int) error { return nil }
 
 // ensure interface compliance
 var (
 	_ VersionIndex = (*MemIndex)(nil)
 	_ VersionIndex = (*KVIndex)(nil)
 )
+
+// CompactKeyState is the shared liveness+remap core of epoch compaction for
+// schedulers whose interned-key state is (CW, CR, pending-writer/reader
+// slot tables): a key is live iff some index retained an entry for it, some
+// pending slot is non-empty, or extraLive marks it (the Manager adds live
+// graph nodes' key sets there). The table is rebuilt with dense KeyIDs
+// re-assigned in old-ID order, both indices are told to remap, and the slot
+// tables are rebuilt. Keeping this protocol in one place is what keeps the
+// per-scheduler compactions replica-deterministic in lockstep — callers add
+// structure-specific steps (scratch truncation, stamp resets) on top.
+func CompactKeyState[T any](tbl *intern.Table, cw, cr VersionIndex, pw, pr [][]T, extraLive func(live []bool)) (newPW, newPR [][]T, remap []intern.Key, err error) {
+	live := make([]bool, tbl.Len())
+	if err := cw.MarkLive(live); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := cr.MarkLive(live); err != nil {
+		return nil, nil, nil, err
+	}
+	for k := range pw {
+		if len(pw[k]) > 0 {
+			live[k] = true
+		}
+	}
+	for k := range pr {
+		if len(pr[k]) > 0 {
+			live[k] = true
+		}
+	}
+	if extraLive != nil {
+		extraLive(live)
+	}
+	remap = tbl.Compact(func(k intern.Key) bool { return live[k] })
+	newLen := tbl.Len()
+	if err := cw.Remap(remap, newLen); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := cr.Remap(remap, newLen); err != nil {
+		return nil, nil, nil, err
+	}
+	return intern.RemapSlots(pw, remap, newLen), intern.RemapSlots(pr, remap, newLen), remap, nil
+}

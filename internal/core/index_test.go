@@ -207,6 +207,125 @@ func TestIndexOutOfOrderInsertAgreement(t *testing.T) {
 	}
 }
 
+// TestIndexMarkLiveRemapAgreement drives MemIndex and KVIndex through the
+// compaction protocol side by side: after identical puts and pruning, both
+// must report the same liveness set, and after the shared table compacts,
+// both must answer every query identically through the remapped KeyIDs.
+func TestIndexMarkLiveRemapAgreement(t *testing.T) {
+	keys := intern.NewTable()
+	mem := NewMemIndex()
+	kv := newKVIndexForTest(t, keys)
+	var ks []intern.Key
+	for i := 0; i < 6; i++ {
+		ks = append(ks, keys.Intern(fmt.Sprintf("key%d", i)))
+	}
+	// key0..key2 get entries in old blocks (pruned away), key3..key5 recent.
+	for i, k := range ks {
+		seq := seqno.Commit(uint64(i+1), 1)
+		id := TxID(fmt.Sprintf("t%d", i))
+		if err := mem.Put(k, seq, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := kv.Put(k, seq, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, idx := range []VersionIndex{mem, kv} {
+		if err := idx.PruneBefore(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	memLive := make([]bool, keys.Len())
+	kvLive := make([]bool, keys.Len())
+	if err := mem.MarkLive(memLive); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.MarkLive(kvLive); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(memLive) != fmt.Sprint(kvLive) {
+		t.Fatalf("liveness diverged: mem %v kv %v", memLive, kvLive)
+	}
+	if fmt.Sprint(memLive) != "[false false false true true true]" {
+		t.Fatalf("liveness = %v", memLive)
+	}
+
+	remap := keys.Compact(func(k intern.Key) bool { return memLive[k] })
+	for _, idx := range []VersionIndex{mem, kv} {
+		if err := idx.Remap(remap, keys.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mem.Slots() != 3 {
+		t.Fatalf("mem slots = %d, want 3 (retired slots reclaimed)", mem.Slots())
+	}
+	// Every retained key answers identically through its new KeyID; the
+	// re-interned incarnation of a dropped key is empty in both.
+	for i := 3; i < 6; i++ {
+		nk, ok := keys.Find(fmt.Sprintf("key%d", i))
+		if !ok {
+			t.Fatalf("key%d lost by compaction", i)
+		}
+		for _, idx := range []VersionIndex{mem, kv} {
+			id, found, err := idx.Last(nk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found || id != TxID(fmt.Sprintf("t%d", i)) {
+				t.Errorf("%T Last(key%d) = %v,%v after remap", idx, i, id, found)
+			}
+		}
+	}
+	dropped := keys.Intern("key0")
+	for _, idx := range []VersionIndex{mem, kv} {
+		if got, _ := idx.All(nil, dropped); len(got) != 0 {
+			t.Errorf("%T re-interned dropped key has entries: %v", idx, got)
+		}
+	}
+}
+
+// TestKVIndexPruneBatchAtomic pins the batched prune: a prune over many
+// entries must leave no secondary "b/" key behind (they would otherwise
+// resurrect as phantom prune work) and must keep retained entries intact —
+// the all-or-nothing ApplyBatch path.
+func TestKVIndexPruneBatchAtomic(t *testing.T) {
+	keys := intern.NewTable()
+	kv := newKVIndexForTest(t, keys)
+	for b := uint64(1); b <= 10; b++ {
+		for i := 0; i < 5; i++ {
+			k := keys.Intern(fmt.Sprintf("k%d", i))
+			if err := kv.Put(k, seqno.Commit(b, uint32(i+1)), TxID(fmt.Sprintf("t%d-%d", b, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := kv.PruneBefore(8); err != nil {
+		t.Fatal(err)
+	}
+	live := make([]bool, keys.Len())
+	if err := kv.MarkLive(live); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		k, _ := keys.Find(fmt.Sprintf("k%d", i))
+		got, err := kv.All(nil, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 { // blocks 8, 9, 10
+			t.Errorf("k%d retained %d entries, want 3: %v", i, len(got), got)
+		}
+		if !live[k] {
+			t.Errorf("k%d not marked live despite retained entries", i)
+		}
+	}
+	// No stale secondaries: a second prune at the same horizon is a no-op
+	// and must not fail decoding leftovers.
+	if err := kv.PruneBefore(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestManagerWithKVIndices(t *testing.T) {
 	// The manager must behave identically over kvstore-backed indices.
 	mkManager := func(kvBacked bool) *Manager {

@@ -26,6 +26,17 @@ type Options struct {
 	// RelayBlocks formations, bounding their false-positive rate.
 	// Default 2*MaxSpan.
 	RelayBlocks uint64
+	// CompactEvery triggers deterministic epoch compaction of the intern
+	// table (and every KeyID-indexed structure) after each sealed block
+	// whose number is a multiple of it: keys no longer referenced by
+	// retained state — CW/CR entries above the Section 4.6 horizon, pending
+	// PW/PR writers/readers, live graph nodes — are dropped and the
+	// survivors re-assigned dense KeyIDs in old-ID order. Block numbers are
+	// a pure function of the consensus stream, so every replica compacts at
+	// the same position and produces a bit-identical remapping. 0 (the
+	// default) disables compaction: tables stay append-only, the pre-PR-4
+	// behavior, appropriate for bounded key universes.
+	CompactEvery uint64
 	// Keys is the record-key intern table every index shares. Defaults to a
 	// fresh table; pass one explicitly when wiring KVIndex-backed CW/CR
 	// (they must resolve the same KeyIDs the Manager assigns).
@@ -76,6 +87,11 @@ type Stats struct {
 	PrunedNodes  uint64
 	MaxGraphSize int
 
+	// Compactions counts intern-table epoch compactions; CompactedKeys the
+	// total KeyIDs dropped by them (the memory a churn workload reclaims).
+	Compactions   uint64
+	CompactedKeys uint64
+
 	Hops      uint64 // nodes traversed by reachability updates
 	SpanSum   uint64 // sum of committed transactions' block spans
 	SpanCount uint64
@@ -87,11 +103,13 @@ type Stats struct {
 	IndexRecordNS      int64
 
 	// Formation-time breakdown (Figure 11): commit-order computation,
-	// ww restoration, persisting to the committed indices, graph pruning.
+	// ww restoration, persisting to the committed indices, graph pruning,
+	// and (when enabled) epoch compaction.
 	ComputeOrderNS int64
 	RestoreWWNS    int64
 	PersistNS      int64
 	PruneNS        int64
+	CompactNS      int64
 }
 
 // MeanSpan returns the average block span of committed transactions.
@@ -208,11 +226,14 @@ func (m *Manager) growKeyIndexed() {
 // and must be below NextBlock. readKeys and writeKeys must each be
 // duplicate-free (protocol.RWSet.ReadKeys/WriteKeys guarantee this).
 func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys []string) (protocol.ValidationCode, error) {
-	m.stats.Arrivals++
 	if snapshotBlock >= m.nextBlock {
+		// Contract violation, not an arrival: counting it would skew every
+		// per-arrival denominator (MeanHops, the abort taxonomy) by calls
+		// that never entered Algorithm 2.
 		return 0, fmt.Errorf("core: transaction %s simulated against future block %d (next block %d)",
 			id, snapshotBlock, m.nextBlock)
 	}
+	m.stats.Arrivals++
 	if _, dup := m.g.nodes[id]; dup {
 		m.stats.AbortDuplicate++
 		return protocol.AbortDuplicate, nil
@@ -421,8 +442,68 @@ func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
 	}
 	m.stats.PruneNS += time.Since(t3).Nanoseconds()
 
+	// Epoch compaction (PR 4): after index pruning, at a block boundary
+	// every replica reaches identically, rebuild the intern table around the
+	// keys still referenced by retained state.
+	if m.opts.CompactEvery > 0 && block%m.opts.CompactEvery == 0 {
+		t4 := time.Now()
+		if err := m.compact(); err != nil {
+			return nil, 0, err
+		}
+		m.stats.CompactNS += time.Since(t4).Nanoseconds()
+	}
+
 	m.stats.Committed += uint64(len(ids))
 	return ids, block, nil
+}
+
+// compact is the deterministic epoch compaction: it collects the liveness
+// set — every KeyID still referenced by a retained CW/CR entry, a pending
+// PW/PR slot, or a live graph node's key set — rebuilds the intern table
+// with dense KeyIDs re-assigned in old-ID order, and remaps every
+// KeyID-indexed structure. The liveness set and the old-ID iteration order
+// are both pure functions of the consensus stream, so replicas starting
+// from the same stream produce bit-identical post-compaction state; and
+// because a dropped key by construction has no retained entries anywhere,
+// every index query on it answers "empty" exactly as before — compaction
+// cannot change scheduling decisions (asserted by the equivalence tests).
+func (m *Manager) compact() error {
+	// Committed-but-unpruned nodes keep their key sets (only pending nodes'
+	// sets are read again, but a stale KeyID anywhere is a latent
+	// corruption), so every live node pins its keys.
+	markNodes := func(live []bool) {
+		for _, n := range m.g.nodes {
+			for _, k := range n.readKeys {
+				live[k] = true
+			}
+			for _, k := range n.writeKeys {
+				live[k] = true
+			}
+		}
+	}
+	pw, pr, remap, err := CompactKeyState(m.keys, m.cw, m.cr, m.pw, m.pr, markNodes)
+	if err != nil {
+		return err
+	}
+	m.pw, m.pr = pw, pr
+	newLen := m.keys.Len()
+	m.stats.Compactions++
+	m.stats.CompactedKeys += uint64(len(remap) - newLen)
+	// Stamps restart at zero: keyEpoch only grows and is never reset, so a
+	// zero stamp can never collide with a live epoch.
+	m.keyStamp = make([]uint64, newLen)
+	for _, n := range m.g.nodes {
+		intern.RemapInPlace(n.readKeys, remap)
+		intern.RemapInPlace(n.writeKeys, remap)
+	}
+	// Scratch that carried pre-compaction KeyIDs must not leak them, and
+	// wwGroups' writer-slice aliases must not pin the retired slot arrays.
+	m.rbuf, m.wbuf, m.wwKeys = m.rbuf[:0], m.wbuf[:0], m.wwKeys[:0]
+	for i := range m.wwGroups {
+		m.wwGroups[i] = nil
+	}
+	m.wwGroups = m.wwGroups[:0]
+	return nil
 }
 
 // FastForward moves a fresh manager's block cursor past an externally

@@ -362,3 +362,133 @@ func TestManyBlindWritersAllCommit(t *testing.T) {
 		t.Errorf("committed %d of 200 blind writers", len(order))
 	}
 }
+
+// TestArrivalStatsCountOnlyContractValidCalls pins the PR 4 fix: a call that
+// violates the future-snapshot contract errors out before Algorithm 2 runs
+// and must not count as an arrival — it previously inflated the MeanHops and
+// abort-taxonomy denominators.
+func TestArrivalStatsCountOnlyContractValidCalls(t *testing.T) {
+	m := NewManager(Options{})
+	if _, err := m.OnArrival("future", 5, []string{"a"}, nil); err == nil {
+		t.Fatal("future snapshot accepted")
+	}
+	if got := m.Stats().Arrivals; got != 0 {
+		t.Fatalf("contract-violating call counted: Arrivals = %d, want 0", got)
+	}
+	arrive(t, m, "ok", 0, []string{"a"}, []string{"a"}, protocol.Valid)
+	if got := m.Stats().Arrivals; got != 1 {
+		t.Fatalf("Arrivals = %d, want 1", got)
+	}
+	// An erroring call leaves no history either: FastForward still works on
+	// a manager whose only activity was a rejected contract violation.
+	m2 := NewManager(Options{})
+	if _, err := m2.OnArrival("future", 9, nil, []string{"w"}); err == nil {
+		t.Fatal("future snapshot accepted")
+	}
+	if err := m2.FastForward(42); err != nil {
+		t.Fatalf("FastForward after contract-violating call: %v", err)
+	}
+}
+
+// churnArrive feeds the manager a rotating key space: every block touches a
+// fresh generation of keys, so without compaction the intern table grows
+// with every block.
+func churnArrive(t *testing.T, m *Manager, blocks, perBlock int) (distinct int) {
+	t.Helper()
+	height := uint64(0)
+	n := 0
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < perBlock; i++ {
+			r := fmt.Sprintf("g%d:r%d", b, i)
+			w := fmt.Sprintf("g%d:w%d", b, i)
+			arrive(t, m, fmt.Sprintf("t%d", n), height, []string{r}, []string{w}, protocol.Valid)
+			n++
+			distinct += 2
+		}
+		ids, block, err := m.OnBlockFormation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) > 0 {
+			height = block
+		}
+	}
+	return distinct
+}
+
+// TestCompactionBoundsResidency is the acceptance criterion in miniature:
+// under a churn workload spanning 60 blocks, a compacting manager holds its
+// intern table and MemIndex slot count to a horizon-sized window while the
+// total distinct-key universe keeps growing.
+func TestCompactionBoundsResidency(t *testing.T) {
+	cw, cr := NewMemIndex(), NewMemIndex()
+	m := NewManager(Options{MaxSpan: 4, CompactEvery: 4, CW: cw, CR: cr})
+	distinct := churnArrive(t, m, 60, 10)
+	// Horizon window: MaxSpan blocks x 20 keys/block, plus up to
+	// CompactEvery blocks of growth since the last compaction.
+	bound := 20 * (4 + 4)
+	if got := m.Keys().Len(); got > bound || got == 0 {
+		t.Fatalf("resident keys = %d, want 1..%d (distinct keys seen: %d)", got, bound, distinct)
+	}
+	if got := cw.Slots(); got > bound {
+		t.Fatalf("CW slots = %d, want <= %d", got, bound)
+	}
+	if got := cr.Slots(); got > bound {
+		t.Fatalf("CR slots = %d, want <= %d", got, bound)
+	}
+	st := m.Stats()
+	if st.Compactions == 0 || st.CompactedKeys == 0 {
+		t.Fatalf("compactions did not run: %+v", st)
+	}
+	// Sanity: an identical manager without compaction really does grow.
+	m0 := NewManager(Options{MaxSpan: 4})
+	churnArrive(t, m0, 60, 10)
+	if got := m0.Keys().Len(); got != distinct {
+		t.Fatalf("append-only manager resident keys = %d, want %d", got, distinct)
+	}
+}
+
+// TestCompactionDecisionEquivalence asserts compaction is decision-free: a
+// dropped key has no retained entries anywhere, so every admission code and
+// every formed block must be bit-identical between a compacting and an
+// append-only manager over the same contended stream.
+func TestCompactionDecisionEquivalence(t *testing.T) {
+	run := func(compactEvery uint64) []string {
+		m := NewManager(Options{MaxSpan: 4, CompactEvery: compactEvery})
+		var log []string
+		height := uint64(0)
+		n := 0
+		for b := 0; b < 40; b++ {
+			for i := 0; i < 12; i++ {
+				// Mix of churned generation keys and a persistent hot set so
+				// real conflicts (and aborts) cross compaction boundaries.
+				r := fmt.Sprintf("hot%d", (n*3)%5)
+				w := fmt.Sprintf("g%d:w%d", b/3, i%4)
+				if n%2 == 0 {
+					r, w = w, r
+				}
+				code, err := m.OnArrival(TxID(fmt.Sprintf("t%d", n)), height, []string{r}, []string{w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				log = append(log, fmt.Sprintf("%d:%v", n, code))
+				n++
+			}
+			ids, block, err := m.OnBlockFormation()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) > 0 {
+				height = block
+			}
+			log = append(log, fmt.Sprint(ids))
+		}
+		return log
+	}
+	plain, compacted := run(0), run(4)
+	for i := range plain {
+		if plain[i] != compacted[i] {
+			t.Fatalf("decisions diverged at step %d: %q vs %q", i, plain[i], compacted[i])
+		}
+	}
+}

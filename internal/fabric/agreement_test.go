@@ -133,20 +133,8 @@ func TestFoccLLeadFollowerAgreement(t *testing.T) {
 
 	// Followers consume the same stream asynchronously; give them a bounded
 	// moment to reach the lead's tip before demanding exact agreement.
+	awaitFollowers(n, 5*time.Second)
 	lead := n.OrdererChain(0)
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		caughtUp := true
-		for i := 1; i < n.Orderers(); i++ {
-			if !bytes.Equal(n.OrdererChain(i).TipHash(), lead.TipHash()) {
-				caughtUp = false
-			}
-		}
-		if caughtUp {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
 
 	if lead.Len() < 2 {
 		t.Fatalf("only %d blocks sealed — stream not contended enough", lead.Len())
@@ -164,6 +152,33 @@ func TestFoccLLeadFollowerAgreement(t *testing.T) {
 		t.Error("no MVCC conflicts on the lead chain — Focc-l's doomed path not exercised")
 	}
 
+	assertOrderersAgree(t, n)
+}
+
+// awaitFollowers gives the follower orderers (which consume the same stream
+// asynchronously) a bounded moment to reach the lead's tip.
+func awaitFollowers(n *Network, timeout time.Duration) {
+	lead := n.OrdererChain(0)
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		caughtUp := true
+		for i := 1; i < n.Orderers(); i++ {
+			if !bytes.Equal(n.OrdererChain(i).TipHash(), lead.TipHash()) {
+				caughtUp = false
+			}
+		}
+		if caughtUp {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertOrderersAgree demands bit-identical chains — lengths, hashes, block
+// contents, sealed verdicts — on every orderer replica.
+func assertOrderersAgree(t *testing.T, n *Network) {
+	t.Helper()
+	lead := n.OrdererChain(0)
 	for i := 1; i < n.Orderers(); i++ {
 		follower := n.OrdererChain(i)
 		if follower.Len() != lead.Len() {
@@ -191,6 +206,64 @@ func TestFoccLLeadFollowerAgreement(t *testing.T) {
 				}
 			}
 			return true
+		})
+	}
+}
+
+// TestCompactionLeadFollowerAgreement is the hard invariant of PR 4's epoch
+// compaction: lead and follower orderers compact their intern tables at cut
+// time — remapping every KeyID — and must still seal bit-identical chains.
+// The workload churns through a rotating key space (every round touches a
+// fresh generation, retiring the previous one past the horizon) alongside a
+// persistent hot set, across at least two compaction boundaries, for the
+// schedulers whose committed-key state actually participates in decisions.
+func TestCompactionLeadFollowerAgreement(t *testing.T) {
+	for _, system := range []sched.System{sched.SystemSharp, sched.SystemFoccS} {
+		system := system
+		t.Run(string(system), func(t *testing.T) {
+			n := newNet(t, Options{
+				System:       system,
+				Orderers:     3,
+				BlockSize:    4,
+				MaxSpan:      4,
+				CompactEvery: 2,
+			})
+			client, err := n.NewClient("churn")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 12; i++ {
+						gen := i / 3 // rotate the key space every few rounds
+						switch i % 3 {
+						case 0:
+							client.Submit("kv", "rmw", "hot", "1")
+						case 1:
+							client.Submit("kv", "put", fmt.Sprintf("g%d:w%d:%d", gen, w, i), "v")
+						default:
+							client.Submit("kv", "rmw", fmt.Sprintf("g%d:warm%d", gen, i%2), "1")
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if !n.WaitIdle(10 * time.Second) {
+				t.Fatalf("network did not go idle (err=%v)", n.Err())
+			}
+			if err := n.Err(); err != nil {
+				t.Fatal(err)
+			}
+			awaitFollowers(n, 5*time.Second)
+			// ≥2 compaction boundaries: with CompactEvery=2 that means at
+			// least 4 sealed blocks.
+			if sealed := n.OrdererChain(0).Len(); sealed < 4 {
+				t.Fatalf("only %d blocks sealed — fewer than two compaction epochs", sealed)
+			}
+			assertOrderersAgree(t, n)
 		})
 	}
 }

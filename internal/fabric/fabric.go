@@ -57,6 +57,17 @@ type Options struct {
 	Contracts []chaincode.Contract
 	// MaxSpan is Sharp's pruning horizon (default 10).
 	MaxSpan uint64
+	// CompactEvery enables the orderers' deterministic intern-table epoch
+	// compaction: every CompactEvery sealed blocks, each scheduler rebuilds
+	// its key-interning state at cut time keeping only keys referenced by
+	// retained (above-horizon) entries — bounding orderer memory under
+	// unbounded key spaces. Cuts happen at identical consensus-stream
+	// positions on every replica, so the rebuilt tables (and all KeyID
+	// remappings) are bit-identical across orderers, and a restart through
+	// FastForward resumes the same epoch schedule (the trigger is a pure
+	// function of sealed block numbers). 0 (default) keeps the pre-PR-4
+	// append-only tables.
+	CompactEvery uint64
 	// SubmitTimeout bounds Client.Submit waiting for a commit
 	// (default 10s).
 	SubmitTimeout time.Duration
@@ -276,7 +287,7 @@ func NewNetwork(opts Options) (*Network, error) {
 		if _, err := n.msp.Enroll(name, identity.RoleOrderer); err != nil {
 			return nil, err
 		}
-		scheduler, err := sched.New(opts.System, sched.Options{MaxSpan: opts.MaxSpan})
+		scheduler, err := sched.New(opts.System, sched.Options{MaxSpan: opts.MaxSpan, CompactEvery: opts.CompactEvery})
 		if err != nil {
 			return nil, err
 		}

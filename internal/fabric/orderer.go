@@ -218,6 +218,12 @@ func (o *orderer) evictSeen(sealed uint64) {
 // fans the block out to every peer's committer. Ordering never waits for
 // validation: the only way this blocks is backpressure from a full delivery
 // queue.
+//
+// The cut is also where intern-table epoch compaction fires (inside
+// OnBlockFormation, when Options.CompactEvery is set): a cut lands at the
+// same consensus-stream position on every replica, which is what makes the
+// KeyID remappings replica-deterministic. The shadow validator's state is
+// string-keyed and unaffected.
 func (o *orderer) cut() {
 	res, err := o.scheduler.OnBlockFormation()
 	if err != nil {

@@ -157,6 +157,83 @@ func TestRangeQueryAsTransactionSerializes(t *testing.T) {
 	}
 }
 
+// TestRestartAcrossCompactionEpoch restarts a persisted network whose
+// orderers compact their intern tables every 2 sealed blocks. FastForward
+// restores the sealed block counter, and the compaction trigger is a pure
+// function of it, so the restarted replicas rejoin the same epoch schedule:
+// the chain keeps extending across further compaction boundaries, state
+// survives, and the orderer replicas stay in exact agreement.
+func TestRestartAcrossCompactionEpoch(t *testing.T) {
+	dir := t.TempDir()
+	boot := func() *Network {
+		n, err := NewNetwork(Options{
+			System:       sched.SystemSharp,
+			Orderers:     2,
+			BlockSize:    2,
+			MaxSpan:      4,
+			CompactEvery: 2,
+			BlockTimeout: 50 * time.Millisecond,
+			DataDir:      dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	// Session 1: churn through rotating keys across >= 2 compaction epochs.
+	n1 := boot()
+	c1, err := n1.NewClient("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c1.MustSubmit("kv", "put", fmt.Sprintf("g%d:k%d", i/4, i), "v1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	height1 := n1.Height()
+	tip1 := n1.Peer(0).Chain().TipHash()
+	n1.Close()
+	if height1 < 4 {
+		t.Fatalf("session 1 sealed %d blocks, need >= 4 (two compaction epochs)", height1)
+	}
+
+	// Session 2: resume, then cross more compaction boundaries.
+	n2 := boot()
+	defer n2.Close()
+	if got := n2.Height(); got != height1 {
+		t.Fatalf("resumed height %d want %d", got, height1)
+	}
+	if !bytes.Equal(n2.Peer(0).Chain().TipHash(), tip1) {
+		t.Fatal("resumed chain tip differs")
+	}
+	c2, err := n2.NewClient("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last TxResult
+	for i := 0; i < 10; i++ {
+		if last, err = c2.MustSubmit("kv", "put", fmt.Sprintf("h%d:k%d", i/4, i), "v2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Block < height1+4 {
+		t.Fatalf("session 2 reached block %d, need >= %d to cross another epoch", last.Block, height1+4)
+	}
+	// Pre-restart state survived both the restart and the post-restart
+	// compactions (compaction touches orderer key state, never the ledger).
+	val, err := c2.Query("kv", "get", "g0:k0")
+	if err != nil || string(val) != "v1" {
+		t.Fatalf("pre-restart read = %q, %v", val, err)
+	}
+	if err := n2.Peer(0).Chain().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	awaitFollowers(n2, 5*time.Second)
+	assertOrderersAgree(t, n2)
+}
+
 func TestFastForwardRejectsDirtyScheduler(t *testing.T) {
 	for _, sys := range sched.Systems() {
 		s, err := sched.New(sys, sched.Options{})

@@ -56,5 +56,83 @@ func (t *Table) InternAll(dst []Key, keys []string) []Key {
 // issued — that is a programming error, never data-dependent.
 func (t *Table) Lookup(k Key) string { return t.strs[k] }
 
+// Find returns the Key already assigned to s, without interning it.
+func (t *Table) Find(s string) (Key, bool) {
+	k, ok := t.ids[s]
+	return k, ok
+}
+
 // Len returns the number of interned strings; Keys 0..Len()-1 are valid.
 func (t *Table) Len() int { return len(t.strs) }
+
+// Dropped marks, in the remap slice Compact returns, a Key the compaction
+// discarded. It is never a valid Key (tables are bounded far below 2^32-1
+// entries by memory alone).
+const Dropped = Key(0xFFFFFFFF)
+
+// Compact rebuilds the table in place, retaining only the keys for which
+// live(k) is true and reassigning dense Keys in ascending old-Key order.
+// It returns remap, indexed by old Key: remap[old] is the retained key's new
+// Key, or Dropped.
+//
+// Determinism: the new assignment is a pure function of the old table and
+// the live set. Replicated orderers compact at the same stream position with
+// a liveness predicate derived from stream-determined state (retained index
+// entries, pending sets, live graph nodes), so every replica produces a
+// bit-identical remapping — the property the cross-replica compaction
+// agreement tests assert.
+//
+// A dropped key that reappears later is simply re-interned under a fresh
+// dense Key; callers must therefore never hold a Key across a compaction
+// without translating it through remap.
+func (t *Table) Compact(live func(Key) bool) []Key {
+	remap := make([]Key, len(t.strs))
+	kept := t.strs[:0] // new index <= old index, so in-place is safe
+	for old, s := range t.strs {
+		if live(Key(old)) {
+			remap[old] = Key(len(kept))
+			kept = append(kept, s)
+		} else {
+			remap[old] = Dropped
+		}
+	}
+	for i := len(kept); i < len(t.strs); i++ {
+		t.strs[i] = "" // release dropped strings to the GC
+	}
+	t.strs = kept
+	// Rebuild the map outright: Go maps never shrink, and reclaiming the
+	// bucket memory of dropped keys is the point of compacting.
+	ids := make(map[string]Key, len(kept))
+	for i, s := range kept {
+		ids[s] = Key(i)
+	}
+	t.ids = ids
+	return remap
+}
+
+// RemapInPlace rewrites every Key of keys through remap. It panics on a
+// Dropped key — callers compact only after marking every key they still
+// reference as live, so hitting a dropped key is a programming error.
+func RemapInPlace(keys []Key, remap []Key) {
+	for i, k := range keys {
+		nk := remap[k]
+		if nk == Dropped {
+			panic("intern: live structure references a dropped key")
+		}
+		keys[i] = nk
+	}
+}
+
+// RemapSlots rebuilds a KeyID-indexed slot table after a compaction:
+// retained keys' slots move to their new index (keeping their backing
+// arrays), dropped keys' slots are released. slots may be shorter than
+// remap when trailing keys were interned but never indexed.
+func RemapSlots[T any](slots [][]T, remap []Key, newLen int) [][]T {
+	out := make([][]T, newLen)
+	for old, s := range slots {
+		if nk := remap[old]; nk != Dropped {
+			out[nk] = s
+		}
+	}
+	return out
+}

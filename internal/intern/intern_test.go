@@ -38,6 +38,89 @@ func TestInternAllAppendsToScratch(t *testing.T) {
 	}
 }
 
+func TestCompactRemapsInOldIDOrder(t *testing.T) {
+	tbl := NewTable()
+	for _, s := range []string{"a", "b", "c", "d", "e"} {
+		tbl.Intern(s)
+	}
+	// Keep b (1), d (3), e (4).
+	remap := tbl.Compact(func(k Key) bool { return k == 1 || k == 3 || k == 4 })
+	if fmt.Sprint(remap) != fmt.Sprint([]Key{Dropped, 0, Dropped, 1, 2}) {
+		t.Fatalf("remap = %v", remap)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tbl.Len())
+	}
+	for want, s := range map[Key]string{0: "b", 1: "d", 2: "e"} {
+		if tbl.Lookup(want) != s {
+			t.Errorf("Lookup(%d) = %q, want %q", want, tbl.Lookup(want), s)
+		}
+		if got, ok := tbl.Find(s); !ok || got != want {
+			t.Errorf("Find(%q) = %d,%v, want %d", s, got, ok, want)
+		}
+	}
+	// Dropped keys are gone from the map and re-intern under fresh IDs.
+	if _, ok := tbl.Find("a"); ok {
+		t.Error("dropped key still findable")
+	}
+	if got := tbl.Intern("a"); got != 3 {
+		t.Errorf("re-interned dropped key = %d, want 3", got)
+	}
+	if got := tbl.Intern("b"); got != 0 {
+		t.Errorf("retained key moved: Intern(b) = %d, want 0", got)
+	}
+}
+
+func TestCompactDeterministicAcrossTables(t *testing.T) {
+	// Two replicas interning the same stream and compacting with the same
+	// liveness predicate end bit-identical — the cross-replica agreement
+	// property epoch compaction rests on.
+	build := func() *Table {
+		tbl := NewTable()
+		for i := 0; i < 40; i++ {
+			tbl.Intern(fmt.Sprintf("k%d", i%17))
+		}
+		tbl.Compact(func(k Key) bool { return k%3 == 0 })
+		for i := 0; i < 10; i++ {
+			tbl.Intern(fmt.Sprintf("post%d", i%5))
+		}
+		return tbl
+	}
+	a, b := build(), build()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths diverged: %d vs %d", a.Len(), b.Len())
+	}
+	for k := Key(0); int(k) < a.Len(); k++ {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %d diverged: %q vs %q", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+}
+
+func TestRemapHelpers(t *testing.T) {
+	remap := []Key{Dropped, 0, 1, Dropped, 2}
+	keys := []Key{4, 1, 2}
+	RemapInPlace(keys, remap)
+	if fmt.Sprint(keys) != "[2 0 1]" {
+		t.Fatalf("RemapInPlace = %v", keys)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RemapInPlace of a dropped key did not panic")
+		}
+	}()
+	RemapInPlace([]Key{0}, remap)
+}
+
+func TestRemapSlotsMovesAndReleases(t *testing.T) {
+	slots := [][]int{{10}, {11, 12}, nil, {13}}
+	remap := []Key{Dropped, 0, Dropped, 1, Dropped} // slots shorter than remap
+	out := RemapSlots(slots, remap, 2)
+	if len(out) != 2 || fmt.Sprint(out[0]) != "[11 12]" || fmt.Sprint(out[1]) != "[13]" {
+		t.Fatalf("RemapSlots = %v", out)
+	}
+}
+
 func TestDeterministicAcrossTables(t *testing.T) {
 	// Two tables fed the same stream assign identical keys — the replica
 	// agreement property interning relies on.

@@ -54,6 +54,9 @@ func (f *Fabric) NeedsMVCCValidation() bool { return true }
 // PendingCount implements Scheduler.
 func (f *Fabric) PendingCount() int { return len(f.pending) }
 
+// ResidentKeys implements Scheduler: vanilla Fabric keeps no key state.
+func (f *Fabric) ResidentKeys() int { return 0 }
+
 // FastForward implements Scheduler.
 func (f *Fabric) FastForward(height uint64) error {
 	if f.timing.Arrivals > 0 {

@@ -16,14 +16,17 @@ import (
 // strictly block-local — the limitation Proposition 3 exposes and Sharp
 // removes.
 type FabricPP struct {
-	pending   []*protocol.Transaction
-	keys      *intern.Table
-	nextBlock uint64
-	timing    Timing
+	pending      []*protocol.Transaction
+	keys         *intern.Table
+	compactEvery uint64
+	nextBlock    uint64
+	timing       Timing
 }
 
 // NewFabricPP returns the Fabric++ scheduler.
-func NewFabricPP() *FabricPP { return &FabricPP{keys: intern.NewTable(), nextBlock: 1} }
+func NewFabricPP(opts Options) *FabricPP {
+	return &FabricPP{keys: intern.NewTable(), compactEvery: opts.CompactEvery, nextBlock: 1}
+}
 
 // System implements Scheduler.
 func (f *FabricPP) System() System { return SystemFabricPP }
@@ -48,12 +51,20 @@ func (f *FabricPP) OnBlockFormation() (FormationResult, error) {
 	}
 	w := startWatch()
 	ordered, dropped := reorderBatch(f.keys, f.pending)
-	res := FormationResult{Block: f.nextBlock, Ordered: ordered}
+	block := f.nextBlock
+	res := FormationResult{Block: block, Ordered: ordered}
 	for _, tx := range dropped {
 		res.DroppedTxs = append(res.DroppedTxs, Dropped{Tx: tx, Code: protocol.AbortReorderCycle})
 	}
 	f.pending = nil
 	f.nextBlock++
+	// Fabric++'s conflict indices are strictly per-batch: nothing keyed by
+	// KeyID survives a formation, so epoch compaction degenerates to
+	// starting a fresh table — still at a stream-determined boundary, so
+	// replicas agree, and reordering decisions are untouched.
+	if f.compactEvery > 0 && block%f.compactEvery == 0 {
+		f.keys = intern.NewTable()
+	}
 	f.timing.Formations++
 	f.timing.FormationNS += w.elapsedNS()
 	return res, nil
@@ -68,6 +79,9 @@ func (f *FabricPP) NeedsMVCCValidation() bool { return true }
 
 // PendingCount implements Scheduler.
 func (f *FabricPP) PendingCount() int { return len(f.pending) }
+
+// ResidentKeys implements Scheduler.
+func (f *FabricPP) ResidentKeys() int { return f.keys.Len() }
 
 // FastForward implements Scheduler.
 func (f *FabricPP) FastForward(height uint64) error {

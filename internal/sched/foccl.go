@@ -19,17 +19,35 @@ import (
 // Unsalvageable transactions stay in the block and fail MVCC validation —
 // the ledger still carries unserializable transactions, exactly like
 // Fabric.
+// With Options.CompactEvery set, the committed-version tracking is bounded
+// to a sliding window: entries whose version fell MaxSpan blocks behind the
+// sealed height are dropped (with their interned keys) at compaction
+// boundaries. Doomed-detection then only catches reads stale within the
+// window — older stale reads are simply left for the validation phase,
+// which runs for Focc-l regardless — in exchange for memory proportional to
+// the recently written key set instead of every key ever written. Eviction
+// happens at stream-determined positions, so replicas stay in agreement.
 type FoccL struct {
-	pending   []*protocol.Transaction
-	keys      *intern.Table
-	committed []seqno.Seq // latest valid version per KeyID, from feedback (zero = none)
-	nextBlock uint64
-	timing    Timing
+	pending      []*protocol.Transaction
+	keys         *intern.Table
+	committed    []seqno.Seq // latest valid version per KeyID, from feedback (zero = none)
+	maxSpan      uint64
+	compactEvery uint64
+	nextBlock    uint64
+	timing       Timing
 }
 
 // NewFoccL returns the Focc-l scheduler.
-func NewFoccL() *FoccL {
-	return &FoccL{keys: intern.NewTable(), nextBlock: 1}
+func NewFoccL(opts Options) *FoccL {
+	if opts.MaxSpan == 0 {
+		opts.MaxSpan = 10
+	}
+	return &FoccL{
+		keys:         intern.NewTable(),
+		maxSpan:      opts.MaxSpan,
+		compactEvery: opts.CompactEvery,
+		nextBlock:    1,
+	}
 }
 
 // committedAt returns the latest valid version recorded for key.
@@ -61,12 +79,38 @@ func (f *FoccL) OnBlockFormation() (FormationResult, error) {
 	}
 	w := startWatch()
 	ordered := f.greedyOrder(f.pending)
-	res := FormationResult{Block: f.nextBlock, Ordered: ordered}
+	block := f.nextBlock
+	res := FormationResult{Block: block, Ordered: ordered}
 	f.pending = nil
 	f.nextBlock++
+	if f.compactEvery > 0 && block%f.compactEvery == 0 {
+		f.compact(block)
+	}
 	f.timing.Formations++
 	f.timing.FormationNS += w.elapsedNS()
 	return res, nil
+}
+
+// compact drops committed-version entries that fell out of the MaxSpan
+// window ending at the just-sealed block, and rebuilds the intern table
+// around the survivors. Keys interned only for reads (staleAgainstCommitted
+// probes) never acquire a committed entry and are dropped too; they
+// re-intern on next sight.
+func (f *FoccL) compact(sealed uint64) {
+	var h uint64
+	if sealed > f.maxSpan {
+		h = sealed - f.maxSpan
+	}
+	old := f.committed
+	remap := f.keys.Compact(func(k intern.Key) bool {
+		return int(k) < len(old) && old[k] != (seqno.Seq{}) && old[k].Block >= h
+	})
+	f.committed = make([]seqno.Seq, f.keys.Len())
+	for ok, nk := range remap {
+		if nk != intern.Dropped {
+			f.committed[nk] = old[ok]
+		}
+	}
 }
 
 // greedyOrder permutes the batch. Doomed transactions — whose reads are
@@ -128,6 +172,9 @@ func (f *FoccL) NeedsMVCCValidation() bool { return true }
 
 // PendingCount implements Scheduler.
 func (f *FoccL) PendingCount() int { return len(f.pending) }
+
+// ResidentKeys implements Scheduler.
+func (f *FoccL) ResidentKeys() int { return f.keys.Len() }
 
 // FastForward implements Scheduler. A scheduler that has absorbed commit
 // feedback has history just like one that has processed arrivals: fast-

@@ -34,18 +34,24 @@ import (
 // Nothing happens on block formation ("Focc-s does nothing on block
 // formation"), and since every admitted transaction is certified
 // serializable, the validation phase skips the MVCC check.
+// Index errors — possible once CW/CR are KVIndex-backed — are propagated to
+// the caller, never swallowed: a disk fault that silently dropped an index
+// write would corrupt certification state and make replicas diverge, so the
+// orderer treats a returned error as fatal (Network.Err), matching the
+// divergence policy of the commit pipeline.
 type FoccS struct {
-	maxSpan   uint64
-	keys      *intern.Table
-	cw        *core.MemIndex // committed writes: key -> (commit seq, tx)
-	cr        *core.MemIndex // committed reads:  key -> (commit seq, tx)
-	flags     map[protocol.TxID]*rwFlags
-	endBlock  map[protocol.TxID]uint64 // commit block, for flag pruning
-	pw        [][]*protocol.Transaction // pending writers per KeyID
-	pr        [][]*protocol.Transaction // pending readers per KeyID
-	pending   []*protocol.Transaction
-	nextBlock uint64
-	timing    Timing
+	maxSpan      uint64
+	compactEvery uint64
+	keys         *intern.Table
+	cw           core.VersionIndex // committed writes: key -> (commit seq, tx)
+	cr           core.VersionIndex // committed reads:  key -> (commit seq, tx)
+	flags        map[protocol.TxID]*rwFlags
+	endBlock     map[protocol.TxID]uint64  // commit block, for flag pruning
+	pw           [][]*protocol.Transaction // pending writers per KeyID
+	pr           [][]*protocol.Transaction // pending readers per KeyID
+	pending      []*protocol.Transaction
+	nextBlock    uint64
+	timing       Timing
 
 	// Arrival scratch (single-goroutine, reused to stay allocation-free).
 	rbuf, wbuf []intern.Key
@@ -68,14 +74,26 @@ func NewFoccS(opts Options) *FoccS {
 	if opts.MaxSpan == 0 {
 		opts.MaxSpan = 10
 	}
+	keys := opts.Keys
+	if keys == nil {
+		keys = intern.NewTable()
+	}
+	cw, cr := opts.CW, opts.CR
+	if cw == nil {
+		cw = core.NewMemIndex()
+	}
+	if cr == nil {
+		cr = core.NewMemIndex()
+	}
 	return &FoccS{
-		maxSpan:   opts.MaxSpan,
-		keys:      intern.NewTable(),
-		cw:        core.NewMemIndex(),
-		cr:        core.NewMemIndex(),
-		flags:     map[protocol.TxID]*rwFlags{},
-		endBlock:  map[protocol.TxID]uint64{},
-		nextBlock: 1,
+		maxSpan:      opts.MaxSpan,
+		compactEvery: opts.CompactEvery,
+		keys:         keys,
+		cw:           cw,
+		cr:           cr,
+		flags:        map[protocol.TxID]*rwFlags{},
+		endBlock:     map[protocol.TxID]uint64{},
+		nextBlock:    1,
 	}
 }
 
@@ -93,18 +111,19 @@ func (f *FoccS) grow() {
 	}
 }
 
-// OnArrival implements Scheduler: the certification step.
+// OnArrival implements Scheduler: the certification step. An index error
+// aborts certification and is returned — the orderer turns it fatal.
 func (f *FoccS) OnArrival(tx *protocol.Transaction) (protocol.ValidationCode, error) {
 	w := startWatch()
-	code := f.certify(tx)
+	code, err := f.certify(tx)
 	f.timing.Arrivals++
 	f.timing.ArrivalNS += w.elapsedNS()
-	return code, nil
+	return code, err
 }
 
-func (f *FoccS) certify(tx *protocol.Transaction) protocol.ValidationCode {
+func (f *FoccS) certify(tx *protocol.Transaction) (protocol.ValidationCode, error) {
 	if f.nextBlock > f.maxSpan && tx.SnapshotBlock <= f.nextBlock-f.maxSpan {
-		return protocol.AbortStaleSnapshot
+		return protocol.AbortStaleSnapshot, nil
 	}
 	startTS := tx.StartTS()
 	f.rbuf = f.keys.InternAll(f.rbuf[:0], tx.RWSet.ReadKeys())
@@ -115,21 +134,28 @@ func (f *FoccS) certify(tx *protocol.Transaction) protocol.ValidationCode {
 	// whose cost Figure 11 charts as the write-hot ratio grows).
 	for _, k := range f.wbuf {
 		if len(f.pw[k]) > 0 {
-			return protocol.AbortConcurrentWW
+			return protocol.AbortConcurrentWW, nil
 		}
-		committed, _ := f.cw.After(f.idbuf[:0], k, startTS)
+		committed, err := f.cw.After(f.idbuf[:0], k, startTS)
 		f.idbuf = committed[:0]
+		if err != nil {
+			return 0, err
+		}
 		if len(committed) > 0 {
-			return protocol.AbortConcurrentWW
+			return protocol.AbortConcurrentWW, nil
 		}
 	}
 
 	// Outgoing anti-rw edges: tx reads k, a concurrent transaction that
 	// commits first (already committed after tx's snapshot, or pending and
 	// ahead in FIFO order) overwrites k.
+	var err error
 	outWriters := f.outWriters[:0]
 	for _, k := range f.rbuf {
-		outWriters, _ = f.cw.After(outWriters, k, startTS)
+		if outWriters, err = f.cw.After(outWriters, k, startTS); err != nil {
+			f.outWriters = outWriters[:0]
+			return 0, err
+		}
 		for _, w := range f.pw[k] {
 			outWriters = append(outWriters, w.ID)
 		}
@@ -138,7 +164,10 @@ func (f *FoccS) certify(tx *protocol.Transaction) protocol.ValidationCode {
 	// overwrites (it commits first: c-rw into tx).
 	inReaders := f.inReaders[:0]
 	for _, k := range f.wbuf {
-		inReaders, _ = f.cr.After(inReaders, k, startTS)
+		if inReaders, err = f.cr.After(inReaders, k, startTS); err != nil {
+			f.outWriters, f.inReaders = outWriters[:0], inReaders[:0]
+			return 0, err
+		}
 		for _, r := range f.pr[k] {
 			inReaders = append(inReaders, r.ID)
 		}
@@ -148,13 +177,13 @@ func (f *FoccS) certify(tx *protocol.Transaction) protocol.ValidationCode {
 	// Rule 2, the dangerous structure. tx itself as pivot: its outgoing
 	// edges are all anti-rw, so in+out suffices ...
 	if len(inReaders) > 0 && len(outWriters) > 0 {
-		return protocol.AbortDangerousStructure
+		return protocol.AbortDangerousStructure, nil
 	}
 	// ... or a neighbouring writer becoming one: tx's anti-rw out edge is
 	// W's incoming rw; W is dangerous if W already has an anti-rw out.
 	for _, w := range outWriters {
 		if fl := f.flags[w]; fl != nil && fl.outAnti {
-			return protocol.AbortDangerousStructure
+			return protocol.AbortDangerousStructure, nil
 		}
 	}
 	// Readers feeding into tx gain only a c-rw out edge (they commit
@@ -179,11 +208,13 @@ func (f *FoccS) certify(tx *protocol.Transaction) protocol.ValidationCode {
 		f.pw[k] = append(f.pw[k], tx)
 	}
 	f.pending = append(f.pending, tx)
-	return protocol.Valid
+	return protocol.Valid, nil
 }
 
 // OnBlockFormation implements Scheduler: FIFO emission, bookkeeping of the
-// committed indices, window pruning.
+// committed indices, window pruning, and (when enabled) epoch compaction.
+// Index errors surface to the caller rather than silently desynchronizing
+// the certifier from its committed state.
 func (f *FoccS) OnBlockFormation() (FormationResult, error) {
 	if len(f.pending) == 0 {
 		return FormationResult{Block: f.nextBlock}, nil
@@ -194,11 +225,15 @@ func (f *FoccS) OnBlockFormation() (FormationResult, error) {
 	for i, tx := range f.pending {
 		seq := seqno.Commit(block, uint32(i+1))
 		for _, k := range f.keys.InternAll(f.wbuf[:0], tx.RWSet.WriteKeys()) {
-			_ = f.cw.Put(k, seq, tx.ID)
+			if err := f.cw.Put(k, seq, tx.ID); err != nil {
+				return FormationResult{}, err
+			}
 			f.pw[k] = f.pw[k][:0]
 		}
 		for _, k := range f.keys.InternAll(f.rbuf[:0], tx.RWSet.ReadKeys()) {
-			_ = f.cr.Put(k, seq, tx.ID)
+			if err := f.cr.Put(k, seq, tx.ID); err != nil {
+				return FormationResult{}, err
+			}
 			f.pr[k] = f.pr[k][:0]
 		}
 		f.endBlock[tx.ID] = block
@@ -207,8 +242,12 @@ func (f *FoccS) OnBlockFormation() (FormationResult, error) {
 	f.nextBlock++
 	if f.nextBlock > f.maxSpan {
 		h := f.nextBlock - f.maxSpan
-		_ = f.cw.PruneBefore(h)
-		_ = f.cr.PruneBefore(h)
+		if err := f.cw.PruneBefore(h); err != nil {
+			return FormationResult{}, err
+		}
+		if err := f.cr.PruneBefore(h); err != nil {
+			return FormationResult{}, err
+		}
 		// A committed transaction can gain edges only while some arrival's
 		// snapshot predates its commit; beyond the max-span horizon none
 		// can, so its flags are garbage.
@@ -219,9 +258,30 @@ func (f *FoccS) OnBlockFormation() (FormationResult, error) {
 			}
 		}
 	}
+	if f.compactEvery > 0 && block%f.compactEvery == 0 {
+		if err := f.compact(); err != nil {
+			return FormationResult{}, err
+		}
+	}
 	f.timing.Formations++
 	f.timing.FormationNS += w.elapsedNS()
 	return res, nil
+}
+
+// compact rebuilds the intern table around the keys the pruned committed
+// indices (and any pending slots — empty right after a formation, but the
+// invariant is stated generally) still reference, then remaps the
+// KeyID-indexed slot tables. Runs at sealed-block boundaries only, so every
+// replica compacts identically; a dropped key has no retained entries, so
+// certification decisions are unchanged (see TestFoccSCompactionEquivalence).
+func (f *FoccS) compact() error {
+	pw, pr, _, err := core.CompactKeyState(f.keys, f.cw, f.cr, f.pw, f.pr, nil)
+	if err != nil {
+		return err
+	}
+	f.pw, f.pr = pw, pr
+	f.rbuf, f.wbuf = f.rbuf[:0], f.wbuf[:0]
+	return nil
 }
 
 // OnBlockCommitted implements Scheduler (certification already decided).
@@ -233,6 +293,9 @@ func (f *FoccS) NeedsMVCCValidation() bool { return false }
 
 // PendingCount implements Scheduler.
 func (f *FoccS) PendingCount() int { return len(f.pending) }
+
+// ResidentKeys implements Scheduler.
+func (f *FoccS) ResidentKeys() int { return f.keys.Len() }
 
 // FastForward implements Scheduler.
 func (f *FoccS) FastForward(height uint64) error {

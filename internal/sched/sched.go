@@ -19,6 +19,8 @@ package sched
 import (
 	"time"
 
+	"fabricsharp/internal/core"
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/protocol"
 )
 
@@ -87,7 +89,16 @@ type Scheduler interface {
 	// pending across the restart, and every future snapshot is at or above
 	// height, so starting from an empty dependency history is sound. It
 	// fails on a scheduler that has already processed transactions.
+	// Compaction epochs need no special handling: the trigger is a pure
+	// function of sealed block numbers, which FastForward restores, so a
+	// restarted replica compacts at the same stream positions as one that
+	// ran through.
 	FastForward(height uint64) error
+	// ResidentKeys returns the number of record keys the scheduler currently
+	// holds interned (0 for schedulers that keep no key state). With
+	// Options.CompactEvery set this is the quantity epoch compaction bounds;
+	// the churn benchmark reports its maximum.
+	ResidentKeys() int
 	// Timing returns accumulated wall-clock costs of the scheduler itself.
 	Timing() Timing
 }
@@ -131,11 +142,11 @@ func New(system System, opts Options) (Scheduler, error) {
 	case SystemFabric:
 		return NewFabric(), nil
 	case SystemFabricPP:
-		return NewFabricPP(), nil
+		return NewFabricPP(opts), nil
 	case SystemFoccS:
 		return NewFoccS(opts), nil
 	case SystemFoccL:
-		return NewFoccL(), nil
+		return NewFoccL(opts), nil
 	case SystemSharp:
 		return NewSharp(opts), nil
 	}
@@ -148,13 +159,25 @@ func (e errUnknownSystem) Error() string { return "sched: unknown system " + str
 
 // Options carries cross-scheduler tunables.
 type Options struct {
-	// MaxSpan bounds transaction block spans (sharp, focc-s). Default 10.
+	// MaxSpan bounds transaction block spans (sharp, focc-s) and sizes the
+	// committed-version retention window focc-l's compaction keeps.
+	// Default 10.
 	MaxSpan uint64
 	// BloomBits / BloomHashes size sharp's reachability filters.
 	BloomBits   uint64
 	BloomHashes int
 	// RelayBlocks is sharp's filter relay period.
 	RelayBlocks uint64
+	// CompactEvery enables deterministic epoch compaction of the
+	// key-interning schedulers' tables every CompactEvery sealed blocks
+	// (see core.Options.CompactEvery). 0 (default) keeps tables append-only.
+	CompactEvery uint64
+	// Keys, CW and CR wire an external intern table and committed
+	// write/read indices into the schedulers that keep committed key state
+	// (sharp, focc-s) — pass core.KVIndex-backed indices resolving through
+	// Keys for persistence. nil means fresh in-memory state.
+	Keys   *intern.Table
+	CW, CR core.VersionIndex
 }
 
 // ReadsAcrossBlocks reports whether the simulation read versions from a

@@ -1,9 +1,12 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
+	"fabricsharp/internal/core"
+	"fabricsharp/internal/intern"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/seqno"
 )
@@ -99,7 +102,7 @@ func TestReadsAcrossBlocks(t *testing.T) {
 }
 
 func TestFabricPPReordersReadersBeforeWriters(t *testing.T) {
-	f := NewFabricPP()
+	f := NewFabricPP(Options{})
 	// Arrival order: writer first, reader second. The reader reads key "a"
 	// which the writer overwrites; reordering must place the reader first.
 	mustArrive(t, f, mkTx("writer", 1, nil, []string{"a"}), protocol.Valid)
@@ -114,7 +117,7 @@ func TestFabricPPReordersReadersBeforeWriters(t *testing.T) {
 }
 
 func TestFabricPPDropsCycle(t *testing.T) {
-	f := NewFabricPP()
+	f := NewFabricPP(Options{})
 	mustArrive(t, f, mkTx("t1", 1, []string{"a"}, []string{"b"}), protocol.Valid)
 	mustArrive(t, f, mkTx("t2", 1, []string{"b"}, []string{"a"}), protocol.Valid)
 	res, _ := f.OnBlockFormation()
@@ -127,7 +130,7 @@ func TestFabricPPDropsCycle(t *testing.T) {
 }
 
 func TestFabricPPThreeWayCycleKeepsMajority(t *testing.T) {
-	f := NewFabricPP()
+	f := NewFabricPP(Options{})
 	// t1 -> t2 -> t3 -> t1: dropping one transaction must fix it.
 	mustArrive(t, f, mkTx("t1", 1, []string{"a"}, []string{"b"}), protocol.Valid)
 	mustArrive(t, f, mkTx("t2", 1, []string{"b"}, []string{"c"}), protocol.Valid)
@@ -139,7 +142,7 @@ func TestFabricPPThreeWayCycleKeepsMajority(t *testing.T) {
 }
 
 func TestFabricPPIndependentTxsKeepFIFO(t *testing.T) {
-	f := NewFabricPP()
+	f := NewFabricPP(Options{})
 	for i := 0; i < 4; i++ {
 		mustArrive(t, f, mkTx(fmt.Sprintf("t%d", i), 1, []string{fmt.Sprintf("r%d", i)}, []string{fmt.Sprintf("w%d", i)}), protocol.Valid)
 	}
@@ -219,7 +222,7 @@ func TestFoccSStaleSnapshotAborted(t *testing.T) {
 }
 
 func TestFoccLMovesDoomedToBack(t *testing.T) {
-	f := NewFoccL()
+	f := NewFoccL(Options{})
 	// Feedback: key "hot" last validly written at (1,1).
 	committedTx := mkTx("w", 1, nil, []string{"hot"})
 	f.OnBlockCommitted(1, []*protocol.Transaction{committedTx}, []protocol.ValidationCode{protocol.Valid})
@@ -244,7 +247,7 @@ func TestFoccLMovesDoomedToBack(t *testing.T) {
 }
 
 func TestFoccLInvalidFeedbackIgnored(t *testing.T) {
-	f := NewFoccL()
+	f := NewFoccL(Options{})
 	tx := mkTx("w", 1, nil, []string{"hot"})
 	f.OnBlockCommitted(1, []*protocol.Transaction{tx}, []protocol.ValidationCode{protocol.MVCCConflict})
 	if len(f.committed) != 0 {
@@ -253,7 +256,7 @@ func TestFoccLInvalidFeedbackIgnored(t *testing.T) {
 }
 
 func TestFoccLKeepsCycleMembersInBlock(t *testing.T) {
-	f := NewFoccL()
+	f := NewFoccL(Options{})
 	mustArrive(t, f, mkTx("t1", 1, []string{"a"}, []string{"b"}), protocol.Valid)
 	mustArrive(t, f, mkTx("t2", 1, []string{"b"}, []string{"a"}), protocol.Valid)
 	res, _ := f.OnBlockFormation()
@@ -373,5 +376,162 @@ func TestSortTxIDsHelper(t *testing.T) {
 	txs := []*protocol.Transaction{mkTx("b", 0, nil, nil), mkTx("a", 0, nil, nil)}
 	if got := sortTxIDs(txs); fmt.Sprint(got) != "[a b]" {
 		t.Errorf("sortTxIDs = %v", got)
+	}
+}
+
+// failingIndex wraps a VersionIndex and fails every operation once armed —
+// the disk-fault model for the error-propagation tests.
+type failingIndex struct {
+	core.VersionIndex
+	armed bool
+}
+
+var errIndexBoom = errors.New("index: injected disk fault")
+
+func (f *failingIndex) Put(key intern.Key, seq seqno.Seq, id protocol.TxID) error {
+	if f.armed {
+		return errIndexBoom
+	}
+	return f.VersionIndex.Put(key, seq, id)
+}
+
+func (f *failingIndex) After(dst []protocol.TxID, key intern.Key, from seqno.Seq) ([]protocol.TxID, error) {
+	if f.armed {
+		return dst, errIndexBoom
+	}
+	return f.VersionIndex.After(dst, key, from)
+}
+
+func (f *failingIndex) PruneBefore(minBlock uint64) error {
+	if f.armed {
+		return errIndexBoom
+	}
+	return f.VersionIndex.PruneBefore(minBlock)
+}
+
+// TestFoccSIndexErrorPropagation pins the PR 4 bugfix: Focc-s used to
+// swallow every index error (`_ = f.cw.Put(...)`), so a failing disk-backed
+// index silently corrupted certification state. Errors must now surface from
+// OnArrival and OnBlockFormation — the orderer turns them into a fatal
+// Network.Err, the same policy as a validation divergence.
+func TestFoccSIndexErrorPropagation(t *testing.T) {
+	cw := &failingIndex{VersionIndex: core.NewMemIndex()}
+	f := NewFoccS(Options{CW: cw})
+	mustArrive(t, f, mkTx("t0", 0, []string{"a"}, []string{"b"}), protocol.Valid)
+
+	// Arrival path: the certify queries hit the failing index.
+	cw.armed = true
+	if _, err := f.OnArrival(mkTx("t1", 0, []string{"b"}, []string{"c"})); !errors.Is(err, errIndexBoom) {
+		t.Fatalf("OnArrival swallowed the index error: %v", err)
+	}
+
+	// Formation path: the commit bookkeeping hits the failing index.
+	cw.armed = false
+	mustArrive(t, f, mkTx("t2", 0, []string{"x"}, []string{"y"}), protocol.Valid)
+	cw.armed = true
+	if _, err := f.OnBlockFormation(); !errors.Is(err, errIndexBoom) {
+		t.Fatalf("OnBlockFormation swallowed the index error: %v", err)
+	}
+
+	// Prune path: formation past the horizon prunes through the index too.
+	cw.armed = false
+	f2 := NewFoccS(Options{MaxSpan: 2, CW: &failingIndex{VersionIndex: core.NewMemIndex()}})
+	for b := 0; b < 3; b++ {
+		mustArrive(t, f2, mkTx(fmt.Sprintf("p%d", b), uint64(b), []string{"r"}, nil), protocol.Valid)
+		if _, err := f2.OnBlockFormation(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A read-only transaction touches cw only via PruneBefore at formation.
+	mustArrive(t, f2, mkTx("p4", 3, []string{"r2"}, nil), protocol.Valid)
+	f2.cw.(*failingIndex).armed = true
+	if _, err := f2.OnBlockFormation(); !errors.Is(err, errIndexBoom) {
+		t.Fatalf("prune error swallowed: %v", err)
+	}
+}
+
+// driveChurn pushes a rotating-key-space stream through a scheduler,
+// cutting a block every blockSize arrivals, and returns a decision log
+// (admission codes + emitted block contents) plus the total distinct keys.
+func driveChurn(t *testing.T, s Scheduler, blocks, blockSize int) ([]string, int) {
+	t.Helper()
+	var log []string
+	height := uint64(0)
+	distinct := map[string]bool{}
+	n := 0
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < blockSize; i++ {
+			r := fmt.Sprintf("g%d:k%d", b, i%6)
+			w := fmt.Sprintf("g%d:k%d", b, (i+1)%6)
+			distinct[r], distinct[w] = true, true
+			tx := mkTx(fmt.Sprintf("t%d", n), height, []string{r}, []string{w})
+			code, err := s.OnArrival(tx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			log = append(log, fmt.Sprintf("%d:%v", n, code))
+			n++
+		}
+		res, err := s.OnBlockFormation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Ordered) > 0 {
+			height = res.Block
+		}
+		log = append(log, fmt.Sprint(orderIDs(res)))
+		codes := make([]protocol.ValidationCode, len(res.Ordered))
+		for i := range codes {
+			codes[i] = protocol.Valid
+		}
+		s.OnBlockCommitted(res.Block, res.Ordered, codes)
+	}
+	return log, len(distinct)
+}
+
+// TestCompactionBoundsResidentKeys runs every key-interning scheduler over a
+// churn workload with compaction on: resident keys must stay far below the
+// distinct-key universe, and for the schedulers whose liveness set is
+// exactly "keys with retained entries" (sharp, focc-s, fabric++) the
+// decision log must be bit-identical to an append-only run.
+func TestCompactionBoundsResidentKeys(t *testing.T) {
+	const blocks, blockSize = 50, 8
+	for _, sys := range []System{SystemSharp, SystemFoccS, SystemFabricPP, SystemFoccL} {
+		sys := sys
+		t.Run(string(sys), func(t *testing.T) {
+			compacting, err := New(sys, Options{MaxSpan: 4, CompactEvery: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			log, distinct := driveChurn(t, compacting, blocks, blockSize)
+			resident := compacting.ResidentKeys()
+			if resident == 0 && sys != SystemFabricPP {
+				t.Fatalf("no resident keys tracked")
+			}
+			if bound := distinct / 4; resident > bound {
+				t.Fatalf("resident keys %d not bounded (distinct %d, want <= %d)", resident, distinct, bound)
+			}
+			appendOnly, err := New(sys, Options{MaxSpan: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			log0, _ := driveChurn(t, appendOnly, blocks, blockSize)
+			if appendOnly.ResidentKeys() <= resident {
+				t.Fatalf("append-only run did not grow past compacting run: %d vs %d",
+					appendOnly.ResidentKeys(), resident)
+			}
+			// Focc-l's compaction narrows the doomed-detection window by
+			// design; the all-Valid feedback here leaves no stale reads, so
+			// its log matches too — but the invariant we pin is only for the
+			// retained-entry liveness schedulers.
+			for i := range log0 {
+				if log[i] != log0[i] {
+					if sys == SystemFoccL {
+						t.Skipf("focc-l decision drift at %d (windowed doomed detection)", i)
+					}
+					t.Fatalf("decisions diverged at step %d: %q vs %q", i, log[i], log0[i])
+				}
+			}
+		})
 	}
 }

@@ -22,10 +22,14 @@ type Sharp struct {
 func NewSharp(opts Options) *Sharp {
 	return &Sharp{
 		mgr: core.NewManager(core.Options{
-			MaxSpan:     opts.MaxSpan,
-			BloomBits:   opts.BloomBits,
-			BloomHashes: opts.BloomHashes,
-			RelayBlocks: opts.RelayBlocks,
+			MaxSpan:      opts.MaxSpan,
+			BloomBits:    opts.BloomBits,
+			BloomHashes:  opts.BloomHashes,
+			RelayBlocks:  opts.RelayBlocks,
+			CompactEvery: opts.CompactEvery,
+			Keys:         opts.Keys,
+			CW:           opts.CW,
+			CR:           opts.CR,
 		}),
 		byID: map[protocol.TxID]*protocol.Transaction{},
 	}
@@ -85,6 +89,9 @@ func (s *Sharp) NeedsMVCCValidation() bool { return false }
 
 // PendingCount implements Scheduler.
 func (s *Sharp) PendingCount() int { return s.mgr.PendingCount() }
+
+// ResidentKeys implements Scheduler.
+func (s *Sharp) ResidentKeys() int { return s.mgr.Keys().Len() }
 
 // FastForward implements Scheduler.
 func (s *Sharp) FastForward(height uint64) error {
