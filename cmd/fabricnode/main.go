@@ -1,0 +1,131 @@
+// Command fabricnode runs one node of a process-per-node EOV cluster: the
+// ordering service (-role orderer) or a validating peer (-role peer),
+// speaking the versioned wire protocol over TCP.
+//
+// A minimal 3-process cluster (see docs/transport.md and README):
+//
+//	fabricnode -role orderer -listen 127.0.0.1:7050 -peers peer0,peer1 -system fabric#
+//	fabricnode -role peer -name peer0 -listen 127.0.0.1:7051 -orderer 127.0.0.1:7050 -peers peer0,peer1 -system fabric#
+//	fabricnode -role peer -name peer1 -listen 127.0.0.1:7052 -orderer 127.0.0.1:7050 -peers peer0,peer1 -system fabric#
+//
+// then drive it with `sharpnet -mode load -orderer 127.0.0.1:7050 -peer-addrs
+// 127.0.0.1:7051,127.0.0.1:7052`. Nodes shut down gracefully on SIGINT or
+// SIGTERM (peers finish committing every delivered block first).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fabricsharp/internal/node"
+	"fabricsharp/internal/sched"
+)
+
+func main() {
+	role := flag.String("role", "", "orderer | peer")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	name := flag.String("name", "", "peer identity (role peer; must appear in -peers)")
+	ordererAddr := flag.String("orderer", "", "orderer address (role peer)")
+	peerNames := flag.String("peers", "peer0,peer1", "comma-separated validating peer names (cluster-wide, identical on every node)")
+	system := flag.String("system", "fabric#", "fabric | fabric++ | fabric# | focc-s | focc-l")
+	blockSize := flag.Int("block-size", 100, "transactions per block (orderer)")
+	blockTimeout := flag.Duration("block-timeout", 100*time.Millisecond, "partial-block cut timeout (orderer)")
+	orderers := flag.Int("orderers", 2, "in-process orderer replicas (orderer)")
+	maxSpan := flag.Uint64("max-span", 0, "Sharp pruning horizon (0 = default)")
+	compactEvery := flag.Uint64("compact-every", 0, "intern-table compaction epoch in blocks (0 = off)")
+	dedupHorizon := flag.Uint64("dedup-horizon", 0, "duplicate-suppression horizon in blocks (0 = default)")
+	dataDir := flag.String("data-dir", "", "persist ledger+state under this directory (role peer)")
+	workers := flag.Int("workers", 0, "validation workers (role peer; 0 = GOMAXPROCS)")
+	flag.Parse()
+
+	names := splitNonEmpty(*peerNames)
+	var (
+		addr     string
+		shutdown func() error
+		errFn    func() error
+	)
+	switch *role {
+	case "orderer":
+		ord, err := node.StartOrderer(node.OrdererConfig{
+			Listen:       *listen,
+			System:       sched.System(*system),
+			PeerNames:    names,
+			Orderers:     *orderers,
+			BlockSize:    *blockSize,
+			BlockTimeout: *blockTimeout,
+			MaxSpan:      *maxSpan,
+			CompactEvery: *compactEvery,
+			DedupHorizon: *dedupHorizon,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		addr, shutdown, errFn = ord.Addr(), ord.Close, ord.Err
+	case "peer":
+		if *name == "" || *ordererAddr == "" {
+			fatal(fmt.Errorf("role peer requires -name and -orderer"))
+		}
+		p, err := node.StartPeer(node.PeerConfig{
+			Name:              *name,
+			Listen:            *listen,
+			OrdererAddr:       *ordererAddr,
+			System:            sched.System(*system),
+			PeerNames:         names,
+			DataDir:           *dataDir,
+			ValidationWorkers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		addr, shutdown, errFn = p.Addr(), p.Close, p.Err
+	default:
+		fmt.Fprintln(os.Stderr, "usage: fabricnode -role orderer|peer [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	// The listen line is machine-readable: harnesses parse it to learn
+	// ephemeral ports.
+	fmt.Printf("fabricnode %s listening on %s (system %s, peers %s)\n",
+		*role, addr, *system, strings.Join(names, ","))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case s := <-sig:
+			fmt.Printf("fabricnode %s: %v, shutting down\n", *role, s)
+			if err := shutdown(); err != nil {
+				fatal(err)
+			}
+			return
+		case <-ticker.C:
+			if err := errFn(); err != nil {
+				_ = shutdown()
+				fatal(err)
+			}
+		}
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fabricnode:", err)
+	os.Exit(1)
+}

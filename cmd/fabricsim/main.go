@@ -35,7 +35,12 @@ func main() {
 	verify := flag.Bool("verify", false, "run the serializability verifier afterwards")
 	flag.Parse()
 
+	// Two explicit, independently seeded streams: one for the workload
+	// generator, one for the pipeline's own choices. Nothing in the harness
+	// touches the global math/rand source, so runs reproduce exactly even
+	// when several harness processes (or parallel CI shards) run at once.
 	rng := rand.New(rand.NewSource(*seed))
+	pipelineRng := rand.New(rand.NewSource(*seed))
 	var gen workload.Generator
 	switch *wl {
 	case "msmallbank":
@@ -58,6 +63,7 @@ func main() {
 		Profile:      network.Profile(*profile),
 		Workload:     gen,
 		Seed:         *seed,
+		Rng:          pipelineRng,
 		Duration:     sim.Time(*duration * float64(sim.Second)),
 		RequestRate:  *rate,
 		BlockSize:    *blockSize,

@@ -1,34 +1,82 @@
-// Command sharpnet boots the in-process blockchain network (library mode)
-// and drives a short interactive-style demo workload against it, printing
-// the transaction lifecycle — a zero-setup way to watch the
-// execute-order-validate pipeline and the Sharp reordering at work.
+// Command sharpnet drives the EOV blockchain two ways:
+//
+//   - -mode demo (default): boots the in-process network (library mode) and
+//     runs a short contended counter workload against it — a zero-setup way
+//     to watch the execute-order-validate pipeline and the Sharp reordering
+//     at work.
+//   - -mode load: acts as a pure wire client against a process-per-node
+//     cluster (cmd/fabricnode): endorses SmallBank traffic on real peers
+//     over TCP, submits to the orderer, polls results, and finally asserts
+//     that every peer converged to bit-identical chain tip hashes and state
+//     fingerprints. Exit status 0 means converged; anything else is a
+//     failed run. This is what the CI cluster-smoke job runs against three
+//     separate OS processes.
 //
 // Usage:
 //
 //	sharpnet [-system fabric#] [-clients 4] [-txs 200]
+//	sharpnet -mode load -orderer 127.0.0.1:7050 \
+//	         -peer-addrs 127.0.0.1:7051,127.0.0.1:7052 \
+//	         [-clients 4] [-txs 125] [-accounts 32] [-seed 42]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fabricsharp/internal/fabric"
+	"fabricsharp/internal/node"
+	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
 )
 
 func main() {
-	system := flag.String("system", "fabric#", "fabric | fabric++ | fabric# | focc-s | focc-l")
+	mode := flag.String("mode", "demo", "demo (in-process network) | load (wire client against a fabricnode cluster)")
+	system := flag.String("system", "fabric#", "fabric | fabric++ | fabric# | focc-s | focc-l (demo mode)")
 	clients := flag.Int("clients", 4, "concurrent clients")
 	txs := flag.Int("txs", 200, "transactions per client")
-	hotKeys := flag.Int("hot", 8, "number of contended counters")
+	hotKeys := flag.Int("hot", 8, "number of contended counters (demo mode)")
+	ordererAddr := flag.String("orderer", "", "orderer address (load mode)")
+	peerAddrs := flag.String("peer-addrs", "", "comma-separated peer addresses (load mode)")
+	accounts := flag.Int("accounts", 32, "SmallBank account pool (load mode)")
+	seed := flag.Int64("seed", 42, "base seed; client i draws from an explicit rand.Rand seeded with seed+i (load mode)")
+	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "how long to retry dialing the cluster (load mode)")
 	flag.Parse()
 
+	switch *mode {
+	case "demo":
+		demo(*system, *clients, *txs, *hotKeys)
+	case "load":
+		load(*ordererAddr, splitAddrs(*peerAddrs), *clients, *txs, *accounts, *seed, *dialTimeout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// demo mode: the original in-process session
+// ---------------------------------------------------------------------------
+
+func demo(system string, clients, txs, hotKeys int) {
 	net, err := fabric.NewNetwork(fabric.Options{
-		System:       sched.System(*system),
+		System:       sched.System(system),
 		BlockSize:    50,
 		BlockTimeout: 100 * time.Millisecond,
 	})
@@ -41,7 +89,7 @@ func main() {
 	var committed, aborted int64
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
+	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
@@ -50,8 +98,8 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				return
 			}
-			for i := 0; i < *txs; i++ {
-				key := fmt.Sprintf("counter%d", (c+i)%*hotKeys)
+			for i := 0; i < txs; i++ {
+				key := fmt.Sprintf("counter%d", (c+i)%hotKeys)
 				res, err := client.Submit("kv", "rmw", key, "1")
 				switch {
 				case err != nil:
@@ -71,7 +119,7 @@ func main() {
 	net.WaitIdle(5 * time.Second)
 	elapsed := time.Since(start)
 
-	fmt.Printf("\nsystem     %s\n", *system)
+	fmt.Printf("\nsystem     %s\n", system)
 	fmt.Printf("committed  %d\n", committed)
 	fmt.Printf("aborted    %d (%.1f%%)\n", aborted,
 		100*float64(aborted)/float64(committed+aborted))
@@ -82,7 +130,7 @@ func main() {
 	// increments.
 	client, _ := net.NewClient("auditor")
 	total := int64(0)
-	for k := 0; k < *hotKeys; k++ {
+	for k := 0; k < hotKeys; k++ {
 		raw, err := client.Query("kv", "get", fmt.Sprintf("counter%d", k))
 		if err == nil && raw != nil {
 			var v int64
@@ -95,4 +143,147 @@ func main() {
 		fmt.Fprintln(os.Stderr, "AUDIT FAILED: state does not match committed transactions")
 		os.Exit(1)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// load mode: wire client against a process-per-node cluster
+// ---------------------------------------------------------------------------
+
+// smallbankOp draws one contended SmallBank operation from an explicit rng
+// (never the global math/rand: each worker owns a deterministic stream, so
+// runs are reproducible regardless of scheduling or parallel harnesses).
+func smallbankOp(rng *rand.Rand, accounts int) (string, []string) {
+	a := fmt.Sprintf("acct%d", rng.Intn(accounts))
+	b := fmt.Sprintf("acct%d", rng.Intn(accounts))
+	amount := fmt.Sprint(1 + rng.Intn(50))
+	switch rng.Intn(5) {
+	case 0:
+		return "deposit_checking", []string{a, amount}
+	case 1:
+		return "transact_savings", []string{a, amount}
+	case 2:
+		return "write_check", []string{a, amount}
+	case 3:
+		return "amalgamate", []string{a, b}
+	default:
+		return "send_payment", []string{a, b, amount}
+	}
+}
+
+func load(ordererAddr string, peers []string, clients, txs, accounts int, seed int64, dialTimeout time.Duration) {
+	if ordererAddr == "" || len(peers) == 0 {
+		fmt.Fprintln(os.Stderr, "load mode requires -orderer and -peer-addrs")
+		os.Exit(2)
+	}
+	start := time.Now()
+
+	// Phase 0: seed the account pool (blind writes, contention-free).
+	seeder, err := node.DialClient("seeder", ordererAddr, peers, dialTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i := 0; i < accounts; i++ {
+		res, err := seeder.Submit("smallbank", "create_account", fmt.Sprintf("acct%d", i), "1000", "1000")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seeding account %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		if res.Code != protocol.Valid {
+			fmt.Fprintf(os.Stderr, "seeding account %d aborted: %s\n", i, res.Code)
+			os.Exit(1)
+		}
+	}
+	seeder.Close()
+
+	// Phase 1: contended SmallBank traffic from independent workers.
+	var committed, aborted, failed int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			client, err := node.DialClient(fmt.Sprintf("load%d", c), ordererAddr, peers, dialTimeout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				atomic.AddInt64(&failed, int64(txs))
+				return
+			}
+			defer client.Close()
+			for i := 0; i < txs; i++ {
+				function, args := smallbankOp(rng, accounts)
+				res, err := client.Submit("smallbank", function, args...)
+				switch {
+				case err != nil:
+					atomic.AddInt64(&failed, 1)
+					fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
+				case res.Code == protocol.Valid:
+					atomic.AddInt64(&committed, 1)
+				default:
+					atomic.AddInt64(&aborted, 1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Phase 2: convergence. Every peer must reach the orderer's sealed
+	// chain and agree bit for bit.
+	checker, err := node.DialClient("checker", ordererAddr, peers, dialTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer checker.Close()
+	ordStatus, err := checker.OrdererStatus()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\norderer    %d blocks sealed, tip %x\n", ordStatus.Blocks, ordStatus.TipHash)
+	fmt.Printf("submitted  %d (%d committed, %d aborted, %d failed) in %.1fs\n",
+		int64(accounts)+committed+aborted+failed, committed, aborted, failed, elapsed.Seconds())
+	fmt.Printf("throughput %.0f tx/s end-to-end over TCP\n",
+		(float64(accounts)+float64(committed+aborted))/elapsed.Seconds())
+
+	deadline := time.Now().Add(60 * time.Second)
+	converged := true
+	var refState string
+	for i := range peers {
+		for {
+			st, err := checker.PeerStatus(i)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if st.Blocks >= ordStatus.Blocks {
+				match := string(st.TipHash) == string(ordStatus.TipHash)
+				if i == 0 {
+					refState = st.StateHash
+				}
+				fmt.Printf("peer %-8s %d blocks, height %d, tip %x, state %.16s… match=%v\n",
+					st.Name, st.Blocks, st.Height, st.TipHash, st.StateHash, match)
+				if !match || st.StateHash != refState {
+					converged = false
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "peer %d stuck at %d/%d blocks\n", i, st.Blocks, ordStatus.Blocks)
+				os.Exit(1)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintln(os.Stderr, "LOAD FAILED: some submissions errored")
+		os.Exit(1)
+	}
+	if !converged {
+		fmt.Fprintln(os.Stderr, "CONVERGENCE FAILED: peers disagree on chain or state")
+		os.Exit(1)
+	}
+	fmt.Println("CONVERGED: all peers at bit-identical chain tips and state fingerprints")
 }

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 
 	"fabricsharp/internal/core"
 	"fabricsharp/internal/network"
@@ -33,7 +32,7 @@ func AblationMaxSpan(o Options) *Table {
 		Comment: "long client delays make snapshots lag; small horizons turn lag into stale aborts",
 	}
 	for _, span := range []uint64{2, 4, 6, 10, 20, 40} {
-		rng := rand.New(rand.NewSource(o.Seed))
+		rng := o.Rng(o.Seed)
 		res := run(network.Config{
 			System:      sched.SystemSharp,
 			Workload:    workload.NewModifiedSmallbank(rng, Params.Defaults.ReadHot, Params.Defaults.WriteHot),

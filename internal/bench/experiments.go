@@ -50,8 +50,22 @@ type Options struct {
 	// Quick shortens the measurement window (CI-friendly); full runs use
 	// the window the absolute numbers in EXPERIMENTS.md were taken with.
 	Quick bool
-	// Seed for all randomness.
+	// Seed for all randomness. Every random draw in the harness flows from
+	// it through explicit *rand.Rand instances built by Rng — the global
+	// math/rand source is never seeded or read, so concurrent harness use
+	// (parallel CI shards, benchmarks running beside experiments) cannot
+	// perturb a run's stream.
 	Seed int64
+}
+
+// Rng is the harness's single *rand.Rand construction point. stream is the
+// fully derived seed for one generator — call sites mix o.Seed with a
+// per-experiment constant themselves (e.g. o.Rng(o.Seed*1000+7)), which is
+// what keeps every historical derivation, and therefore every recorded
+// result, byte-stable. The sequence depends on nothing but the argument:
+// no goroutine scheduling, no process-global source.
+func (o Options) Rng(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(stream))
 }
 
 func (o Options) duration() sim.Time {
@@ -65,7 +79,7 @@ func (o Options) duration() sim.Time {
 // Figures 10-14 with the given overrides.
 func msmallbankConfig(o Options, system sched.System, readHot, writeHot float64,
 	blockSize int, clientDelay, readInterval sim.Time) network.Config {
-	rng := rand.New(rand.NewSource(o.Seed*1000 + 7))
+	rng := o.Rng(o.Seed*1000 + 7)
 	return network.Config{
 		System:       system,
 		Workload:     workload.NewModifiedSmallbank(rng, readHot, writeHot),
@@ -137,7 +151,7 @@ func Figure1(o Options) *Table {
 	res := run(mk(workload.NoOp{}))
 	t.AddRow("no-op", res.RawTPS, res.EffectiveTPS, res.RawTPS-res.EffectiveTPS)
 	for _, theta := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2} {
-		rng := rand.New(rand.NewSource(o.Seed*100 + int64(theta*10)))
+		rng := o.Rng(o.Seed*100 + int64(theta*10))
 		res := run(mk(workload.NewSingleMod(rng, 10000, theta)))
 		t.AddRow(fmt.Sprintf("θ=%.1f", theta), res.RawTPS, res.EffectiveTPS, res.RawTPS-res.EffectiveTPS)
 	}
@@ -391,7 +405,7 @@ func Figure15(o Options) *Table {
 	for _, theta := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
 		theta := theta
 		runPair(fmt.Sprintf("mixed θ=%.2f", theta), func() workload.Generator {
-			rng := rand.New(rand.NewSource(o.Seed*10 + int64(theta*100)))
+			rng := o.Rng(o.Seed*10 + int64(theta*100))
 			return workload.NewMixedSmallbank(rng, 10000, theta)
 		})
 	}

@@ -16,8 +16,13 @@ type Client struct {
 	endorser uint64 // round-robin cursor over peers
 }
 
-// NewClient enrolls a client with the membership service.
+// NewClient enrolls a client with the membership service. An ordering-only
+// network has no local peers to endorse, so its clients live in other
+// processes and speak the wire protocol instead.
 func (n *Network) NewClient(name string) (*Client, error) {
+	if len(n.peers) == 0 {
+		return nil, fmt.Errorf("fabric: network has no local peers to endorse; submit over the wire instead")
+	}
 	id, err := n.msp.Enroll(name, identity.RoleClient)
 	if err != nil {
 		return nil, err
@@ -59,7 +64,7 @@ func (c *Client) SubmitAsync(contract, function string, args ...string) (protoco
 	c.net.waitersMu.Lock()
 	c.net.waiters[tx.ID] = ch
 	c.net.waitersMu.Unlock()
-	if err := c.net.kafka.Submit(consensus.Envelope{Tx: tx, SubmittedBy: c.id.ID}); err != nil {
+	if err := c.net.submission.Submit(consensus.Envelope{Tx: tx, SubmittedBy: c.id.ID}); err != nil {
 		c.net.waitersMu.Lock()
 		delete(c.net.waiters, tx.ID)
 		c.net.waitersMu.Unlock()

@@ -122,7 +122,7 @@ func (c *Client) SubmitCommitted(contract, function string, args ...string) (TxR
 		c.net.waitersMu.Unlock()
 	}
 	// Phase 1: publish only the digest.
-	if err := c.net.kafka.Submit(consensus.Envelope{
+	if err := c.net.submission.Submit(consensus.Envelope{
 		SubmittedBy: c.id.ID,
 		Commitment:  tx.DigestHex(),
 	}); err != nil {
@@ -130,7 +130,7 @@ func (c *Client) SubmitCommitted(contract, function string, args ...string) (TxR
 		return TxResult{}, err
 	}
 	// Phase 2: disclose the payload (a separate consensus message).
-	if err := c.net.kafka.Submit(consensus.Envelope{
+	if err := c.net.submission.Submit(consensus.Envelope{
 		SubmittedBy: c.id.ID,
 		Tx:          tx,
 		Disclosure:  true,

@@ -32,6 +32,7 @@ import (
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/statedb"
+	"fabricsharp/internal/transport"
 	"fabricsharp/internal/validation"
 )
 
@@ -104,13 +105,31 @@ type Options struct {
 	// (default: GOMAXPROCS divided among the peers, since they all validate
 	// a delivered block concurrently).
 	ValidationWorkers int
+	// RemotePeers, when non-empty, runs the network as an *ordering-only*
+	// process: no local peers are built, and the named peers — living in
+	// other OS processes — are the validating set. Their deterministic
+	// public keys (identity.Deterministic) are registered with the MSP so
+	// endorsements signed across the wire verify here, and the endorsement
+	// policy is any-of the named peers, exactly as in loopback mode.
+	// Sealed blocks leave through attached transport.Delivery
+	// implementations (AttachDelivery), and transaction results resolve at
+	// seal time from the shadow verdicts — which the agreement property
+	// guarantees equal the codes every remote peer will derive. Mutually
+	// exclusive with Peers and DataDir.
+	RemotePeers []string
+	// OnResult, when set, observes every transaction result the lead
+	// replica resolves (commits, early aborts, duplicates) — the hook the
+	// process-per-node orderer uses to serve result polls to wire clients.
+	// Called from pipeline goroutines; implementations must be fast and
+	// thread-safe.
+	OnResult func(TxResult)
 }
 
 func (o Options) withDefaults() Options {
 	if o.System == "" {
 		o.System = sched.SystemSharp
 	}
-	if o.Peers == 0 {
+	if len(o.RemotePeers) == 0 && o.Peers == 0 {
 		o.Peers = 4
 	}
 	if o.Orderers == 0 {
@@ -164,21 +183,31 @@ func (r TxResult) Committed() bool { return r.Code == protocol.Valid }
 
 // Network is a running blockchain network.
 type Network struct {
-	opts      Options
-	msp       *identity.Service
-	registry  *chaincode.Registry
-	policy    identity.Policy
-	kafka     consensus.Service
-	peers     []*Peer
-	orderers  []*orderer
-	waitersMu sync.Mutex
-	waiters   map[protocol.TxID]chan TxResult
-	txSeq     uint64
-	seqMu     sync.Mutex
-	closeOnce sync.Once
-	done      chan struct{}
-	wg        sync.WaitGroup
-	closers   []interface{ Close() error }
+	opts     Options
+	msp      *identity.Service
+	registry *chaincode.Registry
+	policy   identity.Policy
+	kafka    consensus.Service
+	peers    []*Peer
+	orderers []*orderer
+
+	// submission is where endorsed envelopes enter ordering; in-process it
+	// is the consensus service itself. deliveries is where the lead
+	// orderer's sealed blocks go: the loopback fan-out to local committers
+	// (when the network has local peers) plus anything attached later
+	// (TCP block streams). Both sides of the seam speak the same
+	// interfaces a socket-fed deployment does.
+	submission transport.Submission
+	deliveryMu sync.RWMutex
+	deliveries []transport.Delivery
+	waitersMu  sync.Mutex
+	waiters    map[protocol.TxID]chan TxResult
+	txSeq      uint64
+	seqMu      sync.Mutex
+	closeOnce  sync.Once
+	done       chan struct{}
+	wg         sync.WaitGroup
+	closers    []interface{ Close() error }
 
 	// ackMu/pendingAcks implement the per-block commit barrier: a result
 	// resolves once every peer has committed its block, with the lead
@@ -222,6 +251,14 @@ func (p *Peer) Committer() *commit.Committer { return p.committer }
 
 // NewNetwork boots a network.
 func NewNetwork(opts Options) (*Network, error) {
+	if len(opts.RemotePeers) > 0 {
+		if opts.Peers != 0 {
+			return nil, fmt.Errorf("fabric: RemotePeers and Peers are mutually exclusive (a network is ordering-only or has local peers, never both)")
+		}
+		if opts.DataDir != "" {
+			return nil, fmt.Errorf("fabric: DataDir persistence belongs to peer processes, not an ordering-only network")
+		}
+	}
 	opts = opts.withDefaults()
 	var ordering consensus.Service
 	switch opts.Consensus {
@@ -242,7 +279,18 @@ func NewNetwork(opts Options) (*Network, error) {
 		fatalCh:     make(chan struct{}),
 		pendingAcks: map[uint64]*blockAck{},
 	}
+	n.submission = ordering
+	// Ordering-only mode: the validating peers live in other processes.
+	// Register their deterministic public keys so endorsements produced
+	// across the wire verify against this MSP exactly as local ones would.
+	for _, name := range opts.RemotePeers {
+		id := identity.Deterministic(name, identity.RolePeer)
+		if err := n.msp.Register(name, identity.RolePeer, id.Public()); err != nil {
+			return nil, err
+		}
+	}
 	var peerIDs []string
+	peerIDs = append(peerIDs, opts.RemotePeers...)
 	for i := 0; i < opts.Peers; i++ {
 		name := fmt.Sprintf("peer%d", i)
 		id, err := n.msp.Enroll(name, identity.RolePeer)
@@ -322,7 +370,7 @@ func NewNetwork(opts Options) (*Network, error) {
 	// already guarantee serializability (Figure 8).
 	mvcc := n.orderers[0].scheduler.NeedsMVCCValidation()
 	workers := opts.ValidationWorkers
-	if workers == 0 {
+	if workers == 0 && opts.Peers > 0 {
 		// All peers validate the same block concurrently; divide the cores
 		// among them rather than oversubscribing by the peer count.
 		if workers = runtime.GOMAXPROCS(0) / opts.Peers; workers < 1 {
@@ -353,6 +401,11 @@ func NewNetwork(opts Options) (*Network, error) {
 			return nil, err
 		}
 	}
+	// The loopback delivery: the same interface a TCP block stream
+	// implements, wired to the local committers' channels.
+	if len(n.peers) > 0 {
+		n.deliveries = append(n.deliveries, loopbackDelivery{n})
+	}
 	for _, p := range n.peers {
 		p.committer.Start()
 	}
@@ -361,6 +414,53 @@ func NewNetwork(opts Options) (*Network, error) {
 		go o.run()
 	}
 	return n, nil
+}
+
+// loopbackDelivery fans a sealed block out to every local peer's committer —
+// the in-process implementation of the transport seam. Deliver blocks only
+// on a full committer queue (backpressure), never errors.
+type loopbackDelivery struct{ n *Network }
+
+// Deliver implements transport.Delivery.
+func (l loopbackDelivery) Deliver(blk *ledger.Block) error {
+	for _, p := range l.n.peers {
+		p.committer.Deliver(blk)
+	}
+	return nil
+}
+
+// AttachDelivery adds a consumer for the lead orderer's sealed blocks —
+// e.g. the TCP block-stream notifier of a process-per-node orderer. The
+// delivery is invoked in block order from the lead orderer's goroutine; a
+// returned error is fatal to the network.
+func (n *Network) AttachDelivery(d transport.Delivery) {
+	n.deliveryMu.Lock()
+	n.deliveries = append(n.deliveries, d)
+	n.deliveryMu.Unlock()
+}
+
+// dispatch hands a sealed block to every attached delivery.
+func (n *Network) dispatch(blk *ledger.Block) {
+	n.deliveryMu.RLock()
+	deliveries := n.deliveries
+	n.deliveryMu.RUnlock()
+	for _, d := range deliveries {
+		if err := d.Deliver(blk); err != nil {
+			n.fail(fmt.Errorf("fabric: block %d delivery: %w", blk.Header.Number, err))
+			return
+		}
+	}
+}
+
+// SubmitEnvelope feeds an externally built envelope (a transaction decoded
+// off the wire, typically) into the ordering service — the Submission side
+// of the transport seam. The caller is responsible for having precomputed
+// the transaction's key caches.
+func (n *Network) SubmitEnvelope(env consensus.Envelope) error {
+	if err := n.Err(); err != nil {
+		return fmt.Errorf("fabric: network failed: %w", err)
+	}
+	return n.submission.Submit(env)
 }
 
 // peerCommitted is each committer's completion callback. Results resolve on
@@ -490,8 +590,15 @@ func (n *Network) Orderers() int { return len(n.orderers) }
 // OrdererChain exposes orderer i's sealed chain (agreement checks).
 func (n *Network) OrdererChain(i int) *ledger.Chain { return n.orderers[i].chain }
 
-// Height returns the lead peer's committed block height.
-func (n *Network) Height() uint64 { return n.peers[0].state.Height() }
+// Height returns the lead peer's committed block height; an ordering-only
+// network reports the lead orderer's sealed-chain height instead.
+func (n *Network) Height() uint64 {
+	if len(n.peers) == 0 {
+		h, _ := n.orderers[0].chain.Height()
+		return h
+	}
+	return n.peers[0].state.Height()
+}
 
 // WaitIdle blocks until every submitted transaction has been resolved and
 // the commit pipeline has drained (every peer's delivery queue empty), or
@@ -590,8 +697,13 @@ func (n *Network) claimWaiter(id protocol.TxID, ch <-chan TxResult) (TxResult, b
 	return <-ch, true
 }
 
-// resolve delivers a transaction result to its waiter.
+// resolve delivers a transaction result to its waiter and the OnResult
+// observer. Only lead-replica paths call it, so an observer sees each
+// result exactly once.
 func (n *Network) resolve(id protocol.TxID, res TxResult) {
+	if n.opts.OnResult != nil {
+		n.opts.OnResult(res)
+	}
 	n.waitersMu.Lock()
 	ch, ok := n.waiters[id]
 	if ok {

@@ -263,7 +263,14 @@ func (o *orderer) cut() {
 	if !o.deliver {
 		return
 	}
-	for _, p := range o.net.peers {
-		p.committer.Deliver(blk)
+	o.net.dispatch(blk)
+	if len(o.net.peers) == 0 {
+		// Ordering-only process: there is no local commit barrier to settle
+		// waiters, and the sealed verdicts already ARE the final codes (the
+		// agreement property — every peer's validation must byte-match
+		// them or fail fatally). Resolve at seal so wire clients can poll.
+		for i, tx := range res.Ordered {
+			o.net.resolve(tx.ID, TxResult{TxID: tx.ID, Code: codes[i], Block: num})
+		}
 	}
 }

@@ -1,0 +1,59 @@
+package identity
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDeterministicDerivation pins the dev-MSP property the multi-process
+// mode rests on: the same (name, role) always derives the same key pair, so
+// independent processes agree on every node's public key, and signatures
+// made in one process verify in another.
+func TestDeterministicDerivation(t *testing.T) {
+	a := Deterministic("peer0", RolePeer)
+	b := Deterministic("peer0", RolePeer)
+	if !bytes.Equal(a.Public(), b.Public()) {
+		t.Fatal("same name+role derived different keys")
+	}
+	if bytes.Equal(a.Public(), Deterministic("peer1", RolePeer).Public()) {
+		t.Fatal("different names derived the same key")
+	}
+	if bytes.Equal(a.Public(), Deterministic("peer0", RoleOrderer).Public()) {
+		t.Fatal("different roles derived the same key")
+	}
+
+	// Cross-"process" verification: a service that only registered the
+	// public half verifies a signature produced by the private half.
+	svc := NewService()
+	if err := svc.Register("peer0", RolePeer, a.Public()); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("endorse me")
+	if !svc.Verify("peer0", msg, b.Sign(msg)) {
+		t.Fatal("deterministic signature did not verify across services")
+	}
+}
+
+func TestRegisterIdempotentAndConflicting(t *testing.T) {
+	svc := NewService()
+	id := Deterministic("peer0", RolePeer)
+	if err := svc.Register("peer0", RolePeer, id.Public()); err != nil {
+		t.Fatal(err)
+	}
+	// Same key, same role: a no-op.
+	if err := svc.Register("peer0", RolePeer, id.Public()); err != nil {
+		t.Fatalf("idempotent re-registration rejected: %v", err)
+	}
+	// Conflicting credentials must be refused.
+	other := Deterministic("other", RolePeer)
+	if err := svc.Register("peer0", RolePeer, other.Public()); err == nil {
+		t.Fatal("conflicting re-registration accepted")
+	}
+	if err := svc.Register("peer0", RoleOrderer, id.Public()); err == nil {
+		t.Fatal("role change on re-registration accepted")
+	}
+	// Register also collides with Enroll-created members.
+	if _, err := svc.Enroll("peer0", RolePeer); err == nil {
+		t.Fatal("enroll over a registered member accepted")
+	}
+}

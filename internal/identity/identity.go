@@ -7,6 +7,7 @@ package identity
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"sync"
@@ -84,6 +85,43 @@ func (s *Service) Enroll(id string, role Role) (*Identity, error) {
 	}
 	s.members[id] = memberRecord{role: role, pub: pub}
 	return &Identity{ID: id, Role: role, pub: pub, priv: priv}, nil
+}
+
+// Register adds a member whose public key was produced elsewhere — the
+// multi-process deployment's key distribution path, where each node process
+// derives the cluster's well-known identities with Deterministic and
+// registers their public halves. Duplicate registration with the same key
+// and role is a no-op; a conflicting one is rejected.
+func (s *Service) Register(id string, role Role, pub ed25519.PublicKey) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, exists := s.members[id]; exists {
+		if rec.role == role && string(rec.pub) == string(pub) {
+			return nil
+		}
+		return fmt.Errorf("identity: %q already enrolled with different credentials", id)
+	}
+	s.members[id] = memberRecord{role: role, pub: pub}
+	return nil
+}
+
+// Deterministic derives a member's key pair from its name and role alone, so
+// every process in a cluster computes identical credentials without any key
+// exchange. This is the *development/test MSP* of the process-per-node mode:
+// anyone who knows a node's name can derive its private key, so it provides
+// wiring fidelity (real ed25519 signatures over real sockets), not
+// confidentiality — a production deployment would replace this with
+// provisioned keys. The derivation is versioned; changing it is a
+// cluster-wide breaking change.
+func Deterministic(id string, role Role) *Identity {
+	seed := sha256.Sum256([]byte("fabricsharp-dev-msp-v1|" + role.String() + "|" + id))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Identity{
+		ID:   id,
+		Role: role,
+		pub:  priv.Public().(ed25519.PublicKey),
+		priv: priv,
+	}
 }
 
 // Revoke bans a member; its signatures stop verifying.

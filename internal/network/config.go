@@ -16,6 +16,7 @@ package network
 
 import (
 	"math"
+	"math/rand"
 
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/sim"
@@ -127,8 +128,16 @@ type Config struct {
 	Profile Profile
 	// Workload generates the submitted operations.
 	Workload workload.Generator
-	// Seed drives every random choice.
+	// Seed drives every random choice the pipeline itself makes.
 	Seed int64
+	// Rng, when non-nil, is the explicit random stream the pipeline draws
+	// from instead of deriving one from Seed. Threading a *rand.Rand in
+	// (rather than seeding any process-global source) keeps concurrent
+	// harness use reproducible: each Run owns its stream, so parallel CI
+	// shards or side-by-side experiments cannot perturb each other. The
+	// default derivation rand.New(rand.NewSource(Seed)) is what every
+	// historical result used; pass exactly that to reproduce them.
+	Rng *rand.Rand
 	// Duration is the submission window of virtual time; the run drains
 	// in-flight work afterwards. Throughput = committed / Duration.
 	Duration sim.Time

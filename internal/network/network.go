@@ -114,10 +114,14 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	p := &pipeline{
 		cfg:         cfg,
 		eng:         eng,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rng:         rng,
 		registry:    chaincode.NewRegistry(chaincode.KVContract{}, chaincode.Smallbank{}, chaincode.ModifiedSmallbank{}, chaincode.SupplyChain{}),
 		state:       state,
 		chain:       chain,

@@ -1,0 +1,174 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/transport"
+	"fabricsharp/internal/wire"
+)
+
+// Client drives a process-per-node cluster over TCP: proposals to peers
+// (round-robin), submits to the orderer, result polling by TxID. A Client
+// is single-goroutine (use one per worker); Dial absorbs cluster startup
+// with bounded retry.
+type Client struct {
+	name    string
+	orderer *transport.Conn
+	peers   []*transport.Conn
+	rr      uint64
+	seq     uint64
+	// PollInterval is the result-poll cadence (default 2ms).
+	PollInterval time.Duration
+	// SubmitTimeout bounds Submit waiting for a result (default 30s).
+	SubmitTimeout time.Duration
+}
+
+// DialClient connects to an orderer and at least one peer, retrying each
+// address for up to dialTimeout.
+func DialClient(name, ordererAddr string, peerAddrs []string, dialTimeout time.Duration) (*Client, error) {
+	if err := nonEmpty(peerAddrs, "peer addresses"); err != nil {
+		return nil, err
+	}
+	c := &Client{name: name, PollInterval: 2 * time.Millisecond, SubmitTimeout: 30 * time.Second}
+	var err error
+	if c.orderer, err = transport.DialRetry(ordererAddr, dialTimeout); err != nil {
+		return nil, err
+	}
+	for _, addr := range peerAddrs {
+		conn, err := transport.DialRetry(addr, dialTimeout)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.peers = append(c.peers, conn)
+	}
+	return c, nil
+}
+
+// Close tears down every connection. Idempotent.
+func (c *Client) Close() {
+	if c.orderer != nil {
+		_ = c.orderer.Close()
+	}
+	for _, p := range c.peers {
+		_ = p.Close()
+	}
+}
+
+// nextTxID mints a client-unique transaction identifier.
+func (c *Client) nextTxID() string {
+	c.seq++
+	return fmt.Sprintf("%s-%06d", c.name, c.seq)
+}
+
+// Endorse runs the execution phase on the next peer (round-robin): the peer
+// simulates the invocation and signs the effects.
+func (c *Client) Endorse(contract, function string, args ...string) (*protocol.Transaction, error) {
+	peer := c.peers[c.rr%uint64(len(c.peers))]
+	c.rr++
+	payload := wire.EncodeProposal(&wire.Proposal{
+		ClientID: c.name,
+		TxID:     c.nextTxID(),
+		Contract: contract,
+		Function: function,
+		Args:     args,
+	})
+	typ, resp, err := peer.Call(wire.MsgProposal, payload)
+	if err != nil {
+		return nil, fmt.Errorf("node: proposal: %w", err)
+	}
+	if typ != wire.MsgProposalResp {
+		return nil, fmt.Errorf("node: proposal answered with %v", typ)
+	}
+	pr, err := wire.DecodeProposalResp(resp)
+	if err != nil {
+		return nil, fmt.Errorf("node: endorsed transaction: %w", err)
+	}
+	if !pr.OK {
+		return nil, fmt.Errorf("node: endorsement refused: %s", pr.Err)
+	}
+	return pr.Tx, nil
+}
+
+// SubmitTx broadcasts an endorsed transaction to the ordering service.
+func (c *Client) SubmitTx(tx *protocol.Transaction) error {
+	typ, resp, err := c.orderer.Call(wire.MsgSubmit, wire.EncodeTransaction(tx))
+	if err != nil {
+		return fmt.Errorf("node: submit: %w", err)
+	}
+	if typ != wire.MsgAck {
+		return fmt.Errorf("node: submit answered with %v", typ)
+	}
+	ack, err := wire.DecodeAck(resp)
+	if err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("node: submit rejected: %s", ack.Err)
+	}
+	return nil
+}
+
+// PollResult asks the orderer once for a transaction's fate.
+func (c *Client) PollResult(txID string) (wire.Result, error) {
+	typ, resp, err := c.orderer.Call(wire.MsgResultPoll, []byte(txID))
+	if err != nil {
+		return wire.Result{}, fmt.Errorf("node: poll: %w", err)
+	}
+	if typ != wire.MsgResult {
+		return wire.Result{}, fmt.Errorf("node: poll answered with %v", typ)
+	}
+	return wire.DecodeResult(resp)
+}
+
+// Submit is the full client lifecycle: endorse on a peer, submit to the
+// orderer, poll until the transaction resolves (committed or aborted).
+func (c *Client) Submit(contract, function string, args ...string) (wire.Result, error) {
+	tx, err := c.Endorse(contract, function, args...)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	if err := c.SubmitTx(tx); err != nil {
+		return wire.Result{}, err
+	}
+	deadline := time.Now().Add(c.SubmitTimeout)
+	for {
+		res, err := c.PollResult(string(tx.ID))
+		if err != nil {
+			return wire.Result{}, err
+		}
+		if res.Found {
+			return res, nil
+		}
+		if time.Now().After(deadline) {
+			return wire.Result{}, fmt.Errorf("node: transaction %s timed out", tx.ID)
+		}
+		time.Sleep(c.PollInterval)
+	}
+}
+
+// OrdererStatus fetches the orderer's chain position.
+func (c *Client) OrdererStatus() (wire.Status, error) {
+	return status(c.orderer)
+}
+
+// PeerStatus fetches peer i's chain/state position.
+func (c *Client) PeerStatus(i int) (wire.Status, error) {
+	return status(c.peers[i])
+}
+
+// Peers returns how many peers the client is connected to.
+func (c *Client) Peers() int { return len(c.peers) }
+
+func status(conn *transport.Conn) (wire.Status, error) {
+	typ, resp, err := conn.Call(wire.MsgStatusReq, nil)
+	if err != nil {
+		return wire.Status{}, fmt.Errorf("node: status: %w", err)
+	}
+	if typ != wire.MsgStatus {
+		return wire.Status{}, fmt.Errorf("node: status answered with %v", typ)
+	}
+	return wire.DecodeStatus(resp)
+}

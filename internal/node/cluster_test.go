@@ -1,0 +1,215 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/sched"
+	"fabricsharp/internal/wire"
+)
+
+const dialTimeout = 10 * time.Second
+
+// bootCluster starts an orderer and n peers on ephemeral 127.0.0.1 ports,
+// registering cleanup. It returns the running nodes.
+func bootCluster(t *testing.T, system sched.System, n int) (*Orderer, []*Peer) {
+	t.Helper()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("peer%d", i)
+	}
+	ord, err := StartOrderer(OrdererConfig{
+		Listen:       "127.0.0.1:0",
+		System:       system,
+		PeerNames:    names,
+		BlockSize:    10,
+		BlockTimeout: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ord.Close() })
+	peers := make([]*Peer, n)
+	for i := range peers {
+		p, err := StartPeer(PeerConfig{
+			Name:        names[i],
+			Listen:      "127.0.0.1:0",
+			OrdererAddr: ord.Addr(),
+			System:      system,
+			PeerNames:   names,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		peers[i] = p
+	}
+	return ord, peers
+}
+
+func peerAddrs(peers []*Peer) []string {
+	addrs := make([]string, len(peers))
+	for i, p := range peers {
+		addrs[i] = p.Addr()
+	}
+	return addrs
+}
+
+// driveContended pipelines txs contended read-modify-writes over hotKeys
+// counters through the cluster: endorse + submit everything first (so many
+// transactions share a snapshot — real contention), then poll every result.
+func driveContended(t *testing.T, client *Client, txs, hotKeys int) (committed, aborted int) {
+	t.Helper()
+	ids := make([]string, 0, txs)
+	for i := 0; i < txs; i++ {
+		key := fmt.Sprintf("counter%d", i%hotKeys)
+		tx, err := client.Endorse("kv", "rmw", key, "1")
+		if err != nil {
+			t.Fatalf("endorse %d: %v", i, err)
+		}
+		if err := client.SubmitTx(tx); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, string(tx.ID))
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			res, err := client.PollResult(id)
+			if err != nil {
+				t.Fatalf("poll %s: %v", id, err)
+			}
+			if res.Found {
+				if res.Code == protocol.Valid {
+					committed++
+				} else {
+					aborted++
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("result %s never resolved", id)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return committed, aborted
+}
+
+// awaitConvergence polls every peer until it reaches the orderer's sealed
+// chain, then asserts bit-identical tips and identical state fingerprints.
+func awaitConvergence(t *testing.T, client *Client, ord *Orderer) {
+	t.Helper()
+	ordStatus, err := client.OrdererStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	statuses := make([]wire.Status, client.Peers())
+	for i := 0; i < client.Peers(); i++ {
+		for {
+			st, err := client.PeerStatus(i)
+			if err != nil {
+				t.Fatalf("peer %d status: %v", i, err)
+			}
+			if st.Blocks >= ordStatus.Blocks {
+				statuses[i] = st
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("peer %d stuck at %d/%d blocks (orderer err: %v)",
+					i, st.Blocks, ordStatus.Blocks, ord.Err())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for i, st := range statuses {
+		if !bytes.Equal(st.TipHash, ordStatus.TipHash) {
+			t.Fatalf("peer %d tip hash %x diverges from orderer %x", i, st.TipHash, ordStatus.TipHash)
+		}
+		if st.Blocks != ordStatus.Blocks {
+			t.Fatalf("peer %d has %d blocks, orderer %d", i, st.Blocks, ordStatus.Blocks)
+		}
+		if st.Height != statuses[0].Height {
+			t.Fatalf("peer %d height %d != peer 0 height %d", i, st.Height, statuses[0].Height)
+		}
+		if st.StateHash != statuses[0].StateHash {
+			t.Fatalf("peer %d state fingerprint diverges from peer 0", i)
+		}
+	}
+}
+
+// TestClusterConvergenceAllSystems is the tentpole assertion: a
+// 1-orderer/3-peer cluster wired over real TCP sockets, driven with a
+// contended workload under each of the five systems, must leave every peer
+// with a bit-identical chain (tip hash) and identical state (height and
+// fingerprint) — serialization, framing, and delivery included.
+func TestClusterConvergenceAllSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system TCP cluster is not a -short test")
+	}
+	for _, system := range sched.Systems() {
+		system := system
+		t.Run(string(system), func(t *testing.T) {
+			ord, peers := bootCluster(t, system, 3)
+			client, err := DialClient("loadgen", ord.Addr(), peerAddrs(peers), dialTimeout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			committed, aborted := driveContended(t, client, 90, 4)
+			if committed == 0 {
+				t.Fatalf("nothing committed (%d aborted)", aborted)
+			}
+			t.Logf("%s: %d committed, %d aborted", system, committed, aborted)
+			awaitConvergence(t, client, ord)
+			if err := ord.Err(); err != nil {
+				t.Fatalf("orderer failed: %v", err)
+			}
+			for i, p := range peers {
+				if err := p.Err(); err != nil {
+					t.Fatalf("peer %d failed: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterSealedVerdictsTravel pins that blocks arriving over the wire
+// still carry the orderer's sealed verdicts and that peers assert against
+// them (the byte-equality contract of the commit pipeline): a cluster run
+// ends with every peer's stored validation codes equal to the orderer's.
+func TestClusterSealedVerdictsTravel(t *testing.T) {
+	ord, peers := bootCluster(t, sched.SystemSharp, 2)
+	client, err := DialClient("verdicts", ord.Addr(), peerAddrs(peers), dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	driveContended(t, client, 40, 2)
+	awaitConvergence(t, client, ord)
+	ordChain := ord.Network().OrdererChain(0)
+	for _, p := range peers {
+		if p.Chain().Len() != ordChain.Len() {
+			t.Fatalf("chain length mismatch: %d vs %d", p.Chain().Len(), ordChain.Len())
+		}
+		for n := uint64(1); n <= uint64(ordChain.Len()); n++ {
+			want, _ := ordChain.Get(n)
+			got, ok := p.Chain().Get(n)
+			if !ok {
+				t.Fatalf("peer missing block %d", n)
+			}
+			if len(got.Validation) != len(want.Validation) {
+				t.Fatalf("block %d: verdict count mismatch", n)
+			}
+			for i := range got.Validation {
+				if got.Validation[i] != want.Validation[i] {
+					t.Fatalf("block %d tx %d: peer verdict %v != sealed %v", n, i, got.Validation[i], want.Validation[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fabricsharp/internal/sched"
+)
+
+// TestPeerRestartCatchesUp kills a peer process mid-run, keeps traffic
+// flowing, then boots a replacement with the same identity: the newcomer
+// must replay the whole chain over the wire (the subscription's catch-up
+// path) and land bit-identical with the surviving peer.
+func TestPeerRestartCatchesUp(t *testing.T) {
+	ord, peers := bootCluster(t, sched.SystemSharp, 2)
+	client, err := DialClient("restart", ord.Addr(), []string{peers[0].Addr()}, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	driveContended(t, client, 30, 2)
+
+	// Take peer1 down mid-stream and keep committing without it.
+	if err := peers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	driveContended(t, client, 30, 2)
+
+	// A replacement peer1 starts empty and must catch up from block 1.
+	reborn, err := StartPeer(PeerConfig{
+		Name:        "peer1",
+		Listen:      "127.0.0.1:0",
+		OrdererAddr: ord.Addr(),
+		System:      sched.SystemSharp,
+		PeerNames:   []string{"peer0", "peer1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reborn.Close() })
+
+	checker, err := DialClient("checker", ord.Addr(), []string{peers[0].Addr(), reborn.Addr()}, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer checker.Close()
+	awaitConvergence(t, checker, ord)
+	if !bytes.Equal(reborn.Chain().TipHash(), peers[0].Chain().TipHash()) {
+		t.Fatal("reborn peer's chain diverges from the survivor's")
+	}
+	if reborn.State().StateFingerprint() != peers[0].State().StateFingerprint() {
+		t.Fatal("reborn peer's state diverges from the survivor's")
+	}
+}
+
+// TestOrdererCloseFailsInFlightSubmits pins the listener-shutdown contract:
+// clients with submits in flight get errors promptly — never a hang.
+func TestOrdererCloseFailsInFlightSubmits(t *testing.T) {
+	ord, peers := bootCluster(t, sched.SystemSharp, 2)
+	client, err := DialClient("inflight", ord.Addr(), peerAddrs(peers), dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Pre-endorse so the submit loop needs only the orderer.
+	tx, err := client.Endorse("kv", "put", "k", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; ; i++ {
+			if err := client.SubmitTx(tx); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let some submits land
+	if err := ord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("submit after orderer close reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("submit loop hung after orderer close")
+	}
+}
+
+// TestNodeDoubleCloseIdempotence: closing any node (or the client) twice is
+// safe and returns promptly.
+func TestNodeDoubleCloseIdempotence(t *testing.T) {
+	ord, peers := bootCluster(t, sched.SystemFabric, 2)
+	client, err := DialClient("dc", ord.Addr(), peerAddrs(peers), dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2; i++ {
+			for _, p := range peers {
+				if err := p.Close(); err != nil {
+					t.Errorf("peer close #%d: %v", i+1, err)
+				}
+			}
+			if err := ord.Close(); err != nil {
+				t.Errorf("orderer close #%d: %v", i+1, err)
+			}
+			client.Close()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("double close hung")
+	}
+}

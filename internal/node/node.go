@@ -1,0 +1,117 @@
+// Package node assembles process-per-node deployments of the EOV network:
+// an ordering process (consensus + replicated orderers + shadow validation
+// behind a TCP server), standalone validating-peer processes (endorsement +
+// pipelined commit fed by a reconnecting block subscription), and the wire
+// client that drives them. cmd/fabricnode is a thin flag wrapper around
+// this package; the in-process cluster tests boot the same types on
+// 127.0.0.1 listeners, so the OS-process deployment and the test cluster
+// exercise identical code.
+//
+// The division of labour mirrors deployed Fabric:
+//
+//	client ──proposal──▶ peer (simulate + endorse)
+//	client ──submit────▶ orderer (dedup, schedule, cut, seal verdicts)
+//	orderer ──blocks───▶ every peer (validate, assert sealed verdicts, commit)
+//	client ──poll──────▶ orderer (result by TxID, resolved at seal)
+//
+// Identity in this mode comes from the deterministic dev MSP
+// (identity.Deterministic): every process derives the cluster's well-known
+// key pairs locally, so real ed25519 endorsements verify across process
+// boundaries without a key-exchange protocol. See that function's caveats.
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"fabricsharp/internal/chaincode"
+	"fabricsharp/internal/fabric"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/sched"
+)
+
+// DefaultResultHorizon bounds the orderer's result map: results older than
+// this many resolutions are forgotten (a poller that slow has timed out
+// anyway).
+const DefaultResultHorizon = 1 << 17
+
+// defaultContracts is the contract suite every node deploys, matching the
+// in-process network's default registry.
+func defaultContracts() []chaincode.Contract {
+	return []chaincode.Contract{
+		chaincode.KVContract{}, chaincode.Smallbank{},
+		chaincode.ModifiedSmallbank{}, chaincode.SupplyChain{},
+	}
+}
+
+// needsMVCC reports whether the system's validation phase must re-check
+// serializability — the switch every peer must agree on with the orderer.
+func needsMVCC(system sched.System) (bool, error) {
+	s, err := sched.New(system, sched.Options{})
+	if err != nil {
+		return false, err
+	}
+	return s.NeedsMVCCValidation(), nil
+}
+
+// resultStore is a bounded TxID → result map with FIFO eviction.
+type resultStore struct {
+	mu      sync.Mutex
+	results map[protocol.TxID]fabric.TxResult
+	order   []protocol.TxID
+	horizon int
+}
+
+func newResultStore(horizon int) *resultStore {
+	if horizon <= 0 {
+		horizon = DefaultResultHorizon
+	}
+	return &resultStore{results: map[protocol.TxID]fabric.TxResult{}, horizon: horizon}
+}
+
+func (r *resultStore) put(res fabric.TxResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.results[res.TxID]; !dup {
+		r.order = append(r.order, res.TxID)
+	}
+	r.results[res.TxID] = res
+	for len(r.order) > r.horizon {
+		delete(r.results, r.order[0])
+		r.order = r.order[1:]
+	}
+}
+
+func (r *resultStore) get(id protocol.TxID) (fabric.TxResult, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.results[id]
+	return res, ok
+}
+
+// errOnce records a node's first fatal error.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+func nonEmpty(names []string, what string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("node: %s must not be empty", what)
+	}
+	return nil
+}

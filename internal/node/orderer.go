@@ -1,0 +1,216 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsharp/internal/consensus"
+	"fabricsharp/internal/fabric"
+	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/sched"
+	"fabricsharp/internal/transport"
+	"fabricsharp/internal/wire"
+)
+
+// OrdererConfig parameterizes an ordering process.
+type OrdererConfig struct {
+	// Listen is the TCP address for client submits/polls and peer
+	// subscriptions ("127.0.0.1:0" picks an ephemeral port).
+	Listen string
+	// System selects the ordering-phase concurrency control.
+	System sched.System
+	// PeerNames are the validating peers of the cluster (remote processes).
+	PeerNames []string
+	// Orderers is the number of in-process orderer replicas (default 2:
+	// lead + follower, keeping the agreement property under live exercise).
+	Orderers int
+	// BlockSize, BlockTimeout, MaxSpan, CompactEvery, DedupHorizon tune the
+	// schedulers exactly as in fabric.Options.
+	BlockSize    int
+	BlockTimeout time.Duration
+	MaxSpan      uint64
+	CompactEvery uint64
+	DedupHorizon uint64
+	// ResultHorizon bounds the result map (default DefaultResultHorizon).
+	ResultHorizon int
+}
+
+// Orderer is a running ordering process: an ordering-only fabric.Network
+// behind a TCP server speaking the wire protocol.
+type Orderer struct {
+	net     *fabric.Network
+	srv     *transport.Server
+	results *resultStore
+
+	// sealed broadcasts "a block was sealed" to delivery streams: each
+	// waiter grabs the current channel and blocks until it closes.
+	sealedMu sync.Mutex
+	sealed   chan struct{}
+
+	done      chan struct{}
+	closeOnce sync.Once
+	errs      errOnce
+}
+
+// StartOrderer boots an ordering process and starts serving.
+func StartOrderer(cfg OrdererConfig) (*Orderer, error) {
+	if err := nonEmpty(cfg.PeerNames, "PeerNames"); err != nil {
+		return nil, err
+	}
+	o := &Orderer{
+		results: newResultStore(cfg.ResultHorizon),
+		sealed:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	net, err := fabric.NewNetwork(fabric.Options{
+		System:       cfg.System,
+		RemotePeers:  cfg.PeerNames,
+		Orderers:     cfg.Orderers,
+		BlockSize:    cfg.BlockSize,
+		BlockTimeout: cfg.BlockTimeout,
+		MaxSpan:      cfg.MaxSpan,
+		CompactEvery: cfg.CompactEvery,
+		DedupHorizon: cfg.DedupHorizon,
+		OnResult:     func(res fabric.TxResult) { o.results.put(res) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	o.net = net
+	// Block delivery: the notifier wakes every subscription stream; the
+	// streams read sealed blocks (with verdicts) off the lead orderer's
+	// chain at their own pace — catch-up and live tail are the same loop.
+	net.AttachDelivery(transport.DeliveryFunc(func(*ledger.Block) error {
+		o.sealedMu.Lock()
+		close(o.sealed)
+		o.sealed = make(chan struct{})
+		o.sealedMu.Unlock()
+		return nil
+	}))
+	srv, err := transport.Listen(cfg.Listen, o.handle)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	o.srv = srv
+	return o, nil
+}
+
+// Addr returns the server's bound address.
+func (o *Orderer) Addr() string { return o.srv.Addr() }
+
+// Network exposes the underlying ordering network (tests, metrics).
+func (o *Orderer) Network() *fabric.Network { return o.net }
+
+// Err returns the node's first fatal error, nil while healthy.
+func (o *Orderer) Err() error {
+	if err := o.errs.get(); err != nil {
+		return err
+	}
+	return o.net.Err()
+}
+
+// Close shuts the process down: stop accepting, close every conn (delivery
+// streams unblock), drain the ordering network.
+func (o *Orderer) Close() error {
+	o.closeOnce.Do(func() {
+		close(o.done)
+		_ = o.srv.Close()
+		o.net.Close()
+	})
+	return nil
+}
+
+// sealedWait returns the channel closed at the next seal.
+func (o *Orderer) sealedWait() <-chan struct{} {
+	o.sealedMu.Lock()
+	defer o.sealedMu.Unlock()
+	return o.sealed
+}
+
+// handle serves one connection: a request/response loop that hands off to
+// the streaming path when the peer subscribes.
+func (o *Orderer) handle(c *transport.Conn) {
+	for {
+		typ, payload, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case wire.MsgSubmit:
+			o.handleSubmit(c, payload)
+		case wire.MsgResultPoll:
+			id := protocol.TxID(payload)
+			res, ok := o.results.get(id)
+			_ = c.Send(wire.MsgResult, wire.EncodeResult(wire.Result{
+				Found: ok, TxID: string(res.TxID), Code: res.Code, Block: res.Block,
+			}))
+		case wire.MsgSubscribe:
+			sub, err := wire.DecodeSubscribe(payload)
+			if err != nil {
+				return
+			}
+			o.streamBlocks(c, sub.From)
+			return // the stream owns the connection until it dies
+		case wire.MsgStatusReq:
+			chain := o.net.OrdererChain(0)
+			height, _ := chain.Height()
+			_ = c.Send(wire.MsgStatus, wire.EncodeStatus(wire.Status{
+				Role:    "orderer",
+				Name:    "orderer0",
+				Height:  height,
+				Blocks:  uint64(chain.Len()),
+				TipHash: chain.TipHash(),
+			}))
+		default:
+			// Unknown request: answer with an error rather than going mute,
+			// then drop the conn (the peer is confused or newer than us).
+			_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Err: fmt.Sprintf("unexpected %v", typ)}))
+			return
+		}
+	}
+}
+
+func (o *Orderer) handleSubmit(c *transport.Conn, payload []byte) {
+	tx, err := wire.DecodeTransaction(payload)
+	if err != nil {
+		_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Err: err.Error()}))
+		return
+	}
+	// DecodeTransaction precomputed the key caches, so the schedulers see
+	// exactly what an in-process submit would hand them.
+	if err := o.net.SubmitEnvelope(consensus.Envelope{Tx: tx, SubmittedBy: tx.ClientID}); err != nil {
+		_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Err: err.Error()}))
+		return
+	}
+	_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{OK: true}))
+}
+
+// streamBlocks walks the lead orderer's sealed chain from block from+1,
+// sending each block and waiting for the next seal when it reaches the tip.
+// Slow consumers exert backpressure only on their own stream; the ordering
+// pipeline never waits for a peer.
+func (o *Orderer) streamBlocks(c *transport.Conn, from uint64) {
+	chain := o.net.OrdererChain(0)
+	next := from + 1
+	for {
+		// Fetch the wakeup channel BEFORE probing the chain: a seal landing
+		// between a miss and the wait would otherwise be signalled on the
+		// old channel and lost, stalling the stream until the next seal.
+		wait := o.sealedWait()
+		if blk, ok := chain.Get(next); ok {
+			if err := c.Send(wire.MsgBlock, wire.EncodeBlock(blk)); err != nil {
+				return // subscriber went away; it will redial and resubscribe
+			}
+			next++
+			continue
+		}
+		select {
+		case <-wait:
+		case <-o.done:
+			return
+		}
+	}
+}

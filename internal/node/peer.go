@@ -1,0 +1,304 @@
+package node
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+
+	"fabricsharp/internal/chaincode"
+	"fabricsharp/internal/commit"
+	"fabricsharp/internal/identity"
+	"fabricsharp/internal/kvstore"
+	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/sched"
+	"fabricsharp/internal/seqno"
+	"fabricsharp/internal/statedb"
+	"fabricsharp/internal/transport"
+	"fabricsharp/internal/validation"
+	"fabricsharp/internal/wire"
+)
+
+// PeerConfig parameterizes a validating-peer process.
+type PeerConfig struct {
+	// Name is this peer's enrolled identity; it must appear in PeerNames.
+	Name string
+	// Listen is the TCP address for proposals and status requests.
+	Listen string
+	// OrdererAddr is the ordering service's address (block subscription).
+	OrdererAddr string
+	// System must match the orderer's (it decides the MVCC switch).
+	System sched.System
+	// PeerNames is the cluster's full validating set — every name's
+	// deterministic public key joins this process's MSP so endorsements
+	// from any peer verify during validation.
+	PeerNames []string
+	// DataDir, when non-empty, persists this peer's ledger and state; a
+	// restart resumes from the stored chain and re-subscribes from its
+	// height (catch-up over the wire).
+	DataDir string
+	// Contracts to deploy (default: the built-in suite).
+	Contracts []chaincode.Contract
+	// ValidationWorkers caps intra-block validation parallelism
+	// (default GOMAXPROCS).
+	ValidationWorkers int
+	// QueueDepth buffers the committer's delivery channel.
+	QueueDepth int
+}
+
+// Peer is a running validating-peer process: endorsement and status over
+// TCP, block delivery via a reconnecting subscription feeding the pipelined
+// committer.
+type Peer struct {
+	name      string
+	id        *identity.Identity
+	msp       *identity.Service
+	registry  *chaincode.Registry
+	state     *statedb.DB
+	chain     *ledger.Chain
+	committer *commit.Committer
+	srv       *transport.Server
+	sub       *transport.Subscriber
+	closers   []interface{ Close() error }
+
+	// delivered tracks the highest block number handed to the committer —
+	// the resubscription cursor. Monotonic; duplicates the orderer replays
+	// after a reconnect are dropped before they can double-commit.
+	delivered atomic.Uint64
+
+	closed chan struct{}
+	errs   errOnce
+}
+
+// StartPeer boots a validating-peer process: state, ledger, committer,
+// block subscription, and the TCP server.
+func StartPeer(cfg PeerConfig) (*Peer, error) {
+	if err := nonEmpty(cfg.PeerNames, "PeerNames"); err != nil {
+		return nil, err
+	}
+	mvcc, err := needsMVCC(cfg.System)
+	if err != nil {
+		return nil, err
+	}
+	contracts := cfg.Contracts
+	if len(contracts) == 0 {
+		contracts = defaultContracts()
+	}
+	p := &Peer{
+		name:     cfg.Name,
+		msp:      identity.NewService(),
+		registry: chaincode.NewRegistry(contracts...),
+		closed:   make(chan struct{}),
+	}
+	// The deterministic dev MSP: every cluster process derives the same
+	// key pairs, so endorsements verify across process boundaries.
+	for _, name := range cfg.PeerNames {
+		id := identity.Deterministic(name, identity.RolePeer)
+		if err := p.msp.Register(name, identity.RolePeer, id.Public()); err != nil {
+			return nil, err
+		}
+		if name == cfg.Name {
+			p.id = id
+		}
+	}
+	if p.id == nil {
+		return nil, fmt.Errorf("node: peer %q not in cluster peer set %v", cfg.Name, cfg.PeerNames)
+	}
+	var stateOpts statedb.Options
+	var chainKV *kvstore.DB
+	if cfg.DataDir != "" {
+		stateKV, err := kvstore.Open(kvstore.Options{Dir: filepath.Join(cfg.DataDir, "state")})
+		if err != nil {
+			return nil, err
+		}
+		p.closers = append(p.closers, stateKV)
+		stateOpts.Backing = stateKV
+		if chainKV, err = kvstore.Open(kvstore.Options{Dir: filepath.Join(cfg.DataDir, "blocks")}); err != nil {
+			p.closeStores()
+			return nil, err
+		}
+		p.closers = append(p.closers, chainKV)
+	}
+	if p.state, err = statedb.New(stateOpts); err != nil {
+		p.closeStores()
+		return nil, err
+	}
+	if p.chain, err = ledger.NewChain(chainKV); err != nil {
+		p.closeStores()
+		return nil, err
+	}
+	if height, ok := p.chain.Height(); ok {
+		// Resuming from disk: the committer's chain and state already hold
+		// the stored blocks; the subscription resumes just above them.
+		p.delivered.Store(height)
+	}
+	workers := cfg.ValidationWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p.committer = commit.New(commit.Config{
+		Name:  cfg.Name,
+		State: p.state,
+		Chain: p.chain,
+		Validation: commit.Options{
+			Options: validation.Options{
+				MVCC:   mvcc,
+				MSP:    p.msp,
+				Policy: identity.AnyPeerOf(cfg.PeerNames...),
+			},
+			Workers: workers,
+		},
+		QueueDepth: cfg.QueueDepth,
+		OnError:    func(err error) { p.errs.set(err) },
+	})
+	p.committer.Start()
+	p.sub = &transport.Subscriber{
+		Addr:   cfg.OrdererAddr,
+		Height: p.delivered.Load,
+		Deliver: transport.DeliveryFunc(func(blk *ledger.Block) error {
+			// Drop a block the orderer replays after a reconnect (the
+			// delivery cursor can trail a redial, never lead it).
+			if blk.Header.Number <= p.delivered.Load() {
+				return nil
+			}
+			if err := p.errs.get(); err != nil {
+				return err // committer poisoned: stop pulling blocks
+			}
+			p.committer.Deliver(blk)
+			p.delivered.Store(blk.Header.Number)
+			return nil
+		}),
+		OnError: func(err error) { p.errs.set(err) },
+	}
+	p.sub.Start()
+	srv, err := transport.Listen(cfg.Listen, p.handle)
+	if err != nil {
+		p.sub.Close()
+		p.committer.Close()
+		p.closeStores()
+		return nil, err
+	}
+	p.srv = srv
+	return p, nil
+}
+
+func (p *Peer) closeStores() {
+	for _, c := range p.closers {
+		_ = c.Close()
+	}
+}
+
+// Addr returns the server's bound address.
+func (p *Peer) Addr() string { return p.srv.Addr() }
+
+// Err returns the peer's first fatal error, nil while healthy.
+func (p *Peer) Err() error { return p.errs.get() }
+
+// Chain exposes the peer's ledger (tests, tools).
+func (p *Peer) Chain() *ledger.Chain { return p.chain }
+
+// State exposes the peer's state database (tests, tools).
+func (p *Peer) State() *statedb.DB { return p.state }
+
+// Close shuts the peer down: stop the subscription, drain the committer,
+// stop serving, close the stores. Idempotent.
+func (p *Peer) Close() error {
+	select {
+	case <-p.closed:
+		return nil
+	default:
+		close(p.closed)
+	}
+	p.sub.Close()
+	p.committer.Close()
+	_ = p.srv.Close()
+	p.closeStores()
+	return nil
+}
+
+// handle serves one connection.
+func (p *Peer) handle(c *transport.Conn) {
+	for {
+		typ, payload, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case wire.MsgProposal:
+			p.handleProposal(c, payload)
+		case wire.MsgStatusReq:
+			_ = c.Send(wire.MsgStatus, wire.EncodeStatus(wire.Status{
+				Role:      "peer",
+				Name:      p.name,
+				Height:    p.state.Height(),
+				Blocks:    uint64(p.chain.Len()),
+				TipHash:   p.chain.TipHash(),
+				StateHash: p.state.StateFingerprint(),
+			}))
+		default:
+			_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Err: fmt.Sprintf("unexpected %v", typ)}))
+			return
+		}
+	}
+}
+
+// handleProposal runs the execution phase for a wire client: simulate the
+// invocation against this peer's latest committed snapshot (Algorithm 1)
+// and sign the effects — the same endorsement the in-process path produces.
+func (p *Peer) handleProposal(c *transport.Conn, payload []byte) {
+	fail := func(err error) {
+		_ = c.Send(wire.MsgProposalResp, wire.EncodeProposalResp(&wire.ProposalResp{Err: err.Error()}))
+	}
+	prop, err := wire.DecodeProposal(payload)
+	if err != nil {
+		fail(err)
+		return
+	}
+	contract, ok := p.registry.Get(prop.Contract)
+	if !ok {
+		fail(fmt.Errorf("node: unknown contract %q", prop.Contract))
+		return
+	}
+	snap := p.state.Height()
+	rwset, _, err := chaincode.SimulateFull(contract, prop.Function, prop.Args,
+		snapshotReader{state: p.state, snap: snap})
+	if err != nil {
+		fail(fmt.Errorf("node: simulation failed: %w", err))
+		return
+	}
+	tx := &protocol.Transaction{
+		ID:            protocol.TxID(prop.TxID),
+		ClientID:      prop.ClientID,
+		Contract:      prop.Contract,
+		Function:      prop.Function,
+		Args:          prop.Args,
+		SnapshotBlock: snap,
+		RWSet:         rwset,
+	}
+	tx.Endorsements = append(tx.Endorsements, protocol.Endorsement{
+		EndorserID: p.id.ID,
+		Signature:  p.id.Sign(tx.Digest()),
+	})
+	_ = c.Send(wire.MsgProposalResp, wire.EncodeProposalResp(&wire.ProposalResp{OK: true, Tx: tx}))
+}
+
+// snapshotReader performs snapshot reads against a block height, mirroring
+// the in-process endorsement path.
+type snapshotReader struct {
+	state *statedb.DB
+	snap  uint64
+}
+
+func (r snapshotReader) Read(key string) ([]byte, seqno.Seq, bool, error) {
+	vv, ok, err := r.state.GetAt(key, r.snap)
+	if err != nil || !ok {
+		return nil, seqno.Seq{}, false, err
+	}
+	return vv.Value, vv.Version, true, nil
+}
+
+// ReadRange implements chaincode.RangeReader over the same snapshot.
+func (r snapshotReader) ReadRange(start, end string) ([]string, error) {
+	return r.state.KeysInRange(start, end, r.snap), nil
+}

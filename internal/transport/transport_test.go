@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/wire"
+)
+
+// echoServer answers every frame with the same type and payload.
+func echoServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0", func(c *Conn) {
+		for {
+			typ, p, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(typ, p); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConnCallRoundTrip(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	typ, p, err := c.Call(wire.MsgAck, []byte("ping"))
+	if err != nil || typ != wire.MsgAck || string(p) != "ping" {
+		t.Fatalf("call: %v %v %q", typ, err, p)
+	}
+	// Concurrent calls serialize rather than interleave responses.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("m%d", i))
+			_, p, err := c.Call(wire.MsgAck, msg)
+			if err != nil || string(p) != string(msg) {
+				t.Errorf("call %d: %q, %v", i, p, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s := echoServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.Recv() // no request sent: blocks until the server dies
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv returned nil after server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung after server close")
+	}
+}
+
+func TestDoubleCloseIdempotence(t *testing.T) {
+	s := echoServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := &Subscriber{Addr: s.Addr(), Height: func() uint64 { return 0 },
+		Deliver: DeliveryFunc(func(*ledger.Block) error { return nil })}
+	sub.Start()
+	for i := 0; i < 2; i++ {
+		if err := s.Close(); err != nil {
+			t.Fatalf("server close #%d: %v", i+1, err)
+		}
+		_ = c.Close()
+		sub.Close()
+	}
+}
+
+func TestDialRetryGivesUp(t *testing.T) {
+	start := time.Now()
+	// A port from the dynamic range with (almost certainly) no listener.
+	if _, err := DialRetry("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("DialRetry did not respect its timeout")
+	}
+}
+
+// testChain seals n tiny blocks and returns them.
+func testChain(t *testing.T, n int) []*ledger.Block {
+	t.Helper()
+	chain, err := ledger.NewChain(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := make([]*ledger.Block, 0, n)
+	for i := 0; i < n; i++ {
+		tx := &protocol.Transaction{ID: protocol.TxID(fmt.Sprintf("t%d", i)), Contract: "kv", Function: "put"}
+		blk, err := chain.Seal([]*protocol.Transaction{tx}, []protocol.ValidationCode{protocol.Valid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}
+
+// TestSubscriberReconnectAndCatchUp drops the connection after every few
+// delivered blocks; the subscriber must redial, resubscribe from its
+// delivered height, and end up with every block exactly once, in order.
+func TestSubscriberReconnectAndCatchUp(t *testing.T) {
+	const total = 20
+	blocks := testChain(t, total)
+	const perConn = 3 // server hangs up after this many blocks
+	srv, err := Listen("127.0.0.1:0", func(c *Conn) {
+		typ, payload, err := c.Recv()
+		if err != nil || typ != wire.MsgSubscribe {
+			return
+		}
+		sub, err := wire.DecodeSubscribe(payload)
+		if err != nil {
+			return
+		}
+		sent := 0
+		for next := sub.From + 1; next <= total && sent < perConn; next++ {
+			if err := c.Send(wire.MsgBlock, wire.EncodeBlock(blocks[next-1])); err != nil {
+				return
+			}
+			sent++
+		}
+		// Returning closes the connection mid-stream: the reconnect path is
+		// the only way the subscriber can finish.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var got []uint64
+	height := uint64(0)
+	done := make(chan struct{})
+	sub := &Subscriber{
+		Addr:   srv.Addr(),
+		Height: func() uint64 { mu.Lock(); defer mu.Unlock(); return height },
+		Deliver: DeliveryFunc(func(blk *ledger.Block) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if blk.Header.Number <= height {
+				return nil // duplicate after reconnect: skip
+			}
+			if blk.Header.Number != height+1 {
+				return fmt.Errorf("gap: got %d after %d", blk.Header.Number, height)
+			}
+			height = blk.Header.Number
+			got = append(got, blk.Header.Number)
+			if height == total {
+				close(done)
+			}
+			return nil
+		}),
+		OnError: func(err error) { t.Errorf("subscriber error: %v", err) },
+	}
+	sub.Start()
+	defer sub.Close()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		mu.Lock()
+		t.Fatalf("caught up only to %d/%d: %v", height, total, got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, n := range got {
+		if n != uint64(i+1) {
+			t.Fatalf("out-of-order delivery: %v", got)
+		}
+	}
+}
+
+// TestSubscriberSurvivesServerRestart takes the server away entirely and
+// brings a new one up on the same address; the subscriber reconnects.
+func TestSubscriberSurvivesServerRestart(t *testing.T) {
+	blocks := testChain(t, 4)
+	serveAll := func(upTo int) func(*Conn) {
+		return func(c *Conn) {
+			typ, payload, err := c.Recv()
+			if err != nil || typ != wire.MsgSubscribe {
+				return
+			}
+			sub, err := wire.DecodeSubscribe(payload)
+			if err != nil {
+				return
+			}
+			for next := sub.From + 1; next <= uint64(upTo); next++ {
+				if err := c.Send(wire.MsgBlock, wire.EncodeBlock(blocks[next-1])); err != nil {
+					return
+				}
+			}
+			// Keep the conn open; nothing more will ever arrive.
+			for {
+				if _, _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		}
+	}
+	srv, err := Listen("127.0.0.1:0", serveAll(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	var mu sync.Mutex
+	height := uint64(0)
+	done := make(chan struct{})
+	sub := &Subscriber{
+		Addr:   addr,
+		Height: func() uint64 { mu.Lock(); defer mu.Unlock(); return height },
+		Deliver: DeliveryFunc(func(blk *ledger.Block) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if blk.Header.Number > height {
+				height = blk.Header.Number
+				if height == 4 {
+					close(done)
+				}
+			}
+			return nil
+		}),
+	}
+	sub.Start()
+	defer sub.Close()
+
+	// Let the subscriber drain the first two blocks, then restart the
+	// server on the same address with the full chain.
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return height == 2 })
+	srv.Close()
+	srv2, err := Listen(addr, serveAll(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		mu.Lock()
+		t.Fatalf("stuck at height %d after server restart", height)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — boot a real 3-OS-process EOV cluster (1 orderer +
+# 2 peers), drive SmallBank traffic through it with the sharpnet wire
+# client, and assert every peer converges to bit-identical chain tip hashes
+# and state fingerprints. Runs once per requested system. CI runs this as
+# the cluster-smoke job; node logs land in $LOGDIR for artifact upload.
+#
+# Environment knobs:
+#   SYSTEMS   systems to exercise              (default: "fabric# focc-l")
+#   CLIENTS   concurrent load clients          (default: 4)
+#   TXS       transactions per client          (default: 118)
+#   ACCOUNTS  SmallBank account pool           (default: 28; total tx =
+#             ACCOUNTS + CLIENTS*TXS = 500 with the defaults)
+#   PORT_BASE first TCP port                   (default: 27050)
+#   LOGDIR    where node logs go               (default: ./cluster-logs)
+set -euo pipefail
+
+SYSTEMS=${SYSTEMS:-"fabric# focc-l"}
+CLIENTS=${CLIENTS:-4}
+TXS=${TXS:-118}
+ACCOUNTS=${ACCOUNTS:-28}
+PORT_BASE=${PORT_BASE:-27050}
+LOGDIR=${LOGDIR:-cluster-logs}
+BIN=$(mktemp -d)
+
+mkdir -p "$LOGDIR"
+go build -o "$BIN" ./cmd/fabricnode ./cmd/sharpnet
+
+PIDS=()
+teardown() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  PIDS=()
+}
+trap teardown EXIT
+
+port=$PORT_BASE
+for system in $SYSTEMS; do
+  slug=$(printf '%s' "$system" | tr -c 'a-z0-9' '-')
+  orderer_port=$port; peer0_port=$((port+1)); peer1_port=$((port+2))
+  port=$((port+3))
+  echo "=== cluster smoke: $system (orderer :$orderer_port, peers :$peer0_port :$peer1_port) ==="
+
+  "$BIN/fabricnode" -role orderer -listen "127.0.0.1:$orderer_port" \
+      -peers peer0,peer1 -system "$system" -block-size 50 -block-timeout 50ms \
+      > "$LOGDIR/orderer-$slug.log" 2>&1 &
+  PIDS+=($!)
+  "$BIN/fabricnode" -role peer -name peer0 -listen "127.0.0.1:$peer0_port" \
+      -orderer "127.0.0.1:$orderer_port" -peers peer0,peer1 -system "$system" \
+      > "$LOGDIR/peer0-$slug.log" 2>&1 &
+  PIDS+=($!)
+  "$BIN/fabricnode" -role peer -name peer1 -listen "127.0.0.1:$peer1_port" \
+      -orderer "127.0.0.1:$orderer_port" -peers peer0,peer1 -system "$system" \
+      > "$LOGDIR/peer1-$slug.log" 2>&1 &
+  PIDS+=($!)
+
+  # The wire client retries dials, so no explicit readiness wait is needed.
+  "$BIN/sharpnet" -mode load -orderer "127.0.0.1:$orderer_port" \
+      -peer-addrs "127.0.0.1:$peer0_port,127.0.0.1:$peer1_port" \
+      -clients "$CLIENTS" -txs "$TXS" -accounts "$ACCOUNTS" \
+      | tee "$LOGDIR/load-$slug.log"
+
+  teardown
+  echo "=== $system: OK ==="
+done
+echo "cluster smoke passed for: $SYSTEMS"
