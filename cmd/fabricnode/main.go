@@ -41,6 +41,7 @@ func main() {
 	dedupHorizon := flag.Uint64("dedup-horizon", 0, "duplicate-suppression horizon in blocks (0 = default)")
 	dataDir := flag.String("data-dir", "", "persist ledger+state under this directory (role peer)")
 	workers := flag.Int("workers", 0, "validation workers (role peer; 0 = GOMAXPROCS)")
+	rescue := flag.Bool("rescue", false, "post-order re-execution of MVCC-aborted transactions (must match cluster-wide)")
 	flag.Parse()
 
 	names := splitNonEmpty(*peerNames)
@@ -61,6 +62,7 @@ func main() {
 			MaxSpan:      *maxSpan,
 			CompactEvery: *compactEvery,
 			DedupHorizon: *dedupHorizon,
+			Rescue:       *rescue,
 		})
 		if err != nil {
 			fatal(err)
@@ -78,6 +80,7 @@ func main() {
 			PeerNames:         names,
 			DataDir:           *dataDir,
 			ValidationWorkers: *workers,
+			Rescue:            *rescue,
 		})
 		if err != nil {
 			fatal(err)

@@ -32,7 +32,6 @@ import (
 
 	"fabricsharp/internal/fabric"
 	"fabricsharp/internal/node"
-	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
 )
 
@@ -189,7 +188,7 @@ func load(ordererAddr string, peers []string, clients, txs, accounts int, seed i
 			fmt.Fprintf(os.Stderr, "seeding account %d: %v\n", i, err)
 			os.Exit(1)
 		}
-		if res.Code != protocol.Valid {
+		if !res.Code.Committed() {
 			fmt.Fprintf(os.Stderr, "seeding account %d aborted: %s\n", i, res.Code)
 			os.Exit(1)
 		}
@@ -218,7 +217,7 @@ func load(ordererAddr string, peers []string, clients, txs, accounts int, seed i
 				case err != nil:
 					atomic.AddInt64(&failed, 1)
 					fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
-				case res.Code == protocol.Valid:
+				case res.Code.Committed():
 					atomic.AddInt64(&committed, 1)
 				default:
 					atomic.AddInt64(&aborted, 1)

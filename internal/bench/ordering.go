@@ -8,7 +8,9 @@ import (
 	"runtime"
 	"time"
 
+	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/reexec"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/validation"
@@ -52,36 +54,42 @@ func OrderingShapes() []OrderingShape {
 	}
 }
 
-// Stream pre-generates n transactions of this shape. SnapshotBlock is filled
+// Stream pre-generates n transactions of this shape. Each carries a full
+// smallbank send_payment invocation (contract, function, args) so the
+// post-order rescue phase can re-execute it; the account ids are chosen so
+// chaincode.CheckingKey reproduces the historical key strings byte-for-byte
+// ("checking:h5", "checking:c17", "checking:g3:9"). SnapshotBlock is filled
 // in by the driver at submission time (it must track the scheduler's height).
 func (s OrderingShape) Stream(n int, seed int64) []*protocol.Transaction {
 	rng := rand.New(rand.NewSource(seed))
 	account := func(i int, slot int) string {
 		if s.Rotate > 0 {
 			// Churn: every generation is a fresh, disjoint key space.
-			return fmt.Sprintf("checking:g%d:%d", i/s.Rotate, rng.Intn(s.Accounts))
+			return fmt.Sprintf("g%d:%d", i/s.Rotate, rng.Intn(s.Accounts))
 		}
 		if s.Hot > 0 && rng.Float64() < s.HotProb {
-			return fmt.Sprintf("checking:h%d", rng.Intn(s.Hot))
+			return fmt.Sprintf("h%d", rng.Intn(s.Hot))
 		}
 		if s.Hot == 0 {
 			// Conflict-free: accounts derived from the transaction index.
-			return fmt.Sprintf("checking:c%d", 2*i+slot)
+			return fmt.Sprintf("c%d", 2*i+slot)
 		}
-		return fmt.Sprintf("checking:c%d", rng.Intn(s.Accounts))
+		return fmt.Sprintf("c%d", rng.Intn(s.Accounts))
 	}
 	txs := make([]*protocol.Transaction, n)
 	for i := range txs {
 		src, dst := account(i, 0), account(i, 1)
+		srcKey, dstKey := chaincode.CheckingKey(src), chaincode.CheckingKey(dst)
 		tx := &protocol.Transaction{
 			ID:       protocol.TxID(fmt.Sprintf("ord%d", i)),
 			Contract: "smallbank",
 			Function: "send_payment",
+			Args:     []string{src, dst, "1"},
 			RWSet: protocol.RWSet{
-				Reads: []protocol.ReadItem{{Key: src}, {Key: dst}},
+				Reads: []protocol.ReadItem{{Key: srcKey}, {Key: dstKey}},
 				Writes: []protocol.WriteItem{
-					{Key: src, Value: []byte("balance")},
-					{Key: dst, Value: []byte("balance")},
+					{Key: srcKey, Value: []byte("balance")},
+					{Key: dstKey, Value: []byte("balance")},
 				},
 			},
 		}
@@ -107,6 +115,11 @@ type OrderingResult struct {
 	Admitted  int `json:"admitted"`
 	Committed int `json:"committed"`
 	Valid     int `json:"valid,omitempty"`
+	// Rescue marks a run with the post-order re-execution phase enabled;
+	// Rescued counts MVCC casualties it returned to the committed set (they
+	// add to Valid in the effective-throughput numerator).
+	Rescue  bool `json:"rescue,omitempty"`
+	Rescued int  `json:"rescued,omitempty"`
 	// ArrivalUSPerTx is the scheduler-reported mean arrival latency (µs).
 	ArrivalUSPerTx float64 `json:"arrival_us_per_tx"`
 	// FormationMSPerBlock is the scheduler-reported mean formation latency.
@@ -118,6 +131,10 @@ type OrderingResult struct {
 	// TPS is submitted transactions per wall-clock second through the
 	// scheduler (ordering-phase ceiling, not end-to-end throughput).
 	TPS float64 `json:"tps"`
+	// Goodput is committed transactions (Valid + Rescued) per wall-clock
+	// second — the number the rescue phase exists to raise: it trades some
+	// raw TPS (re-execution work) for a larger committed numerator.
+	Goodput float64 `json:"goodput,omitempty"`
 	// MaxResidentKeys is the peak intern-table size observed across the run
 	// (sampled after every cut) — the memory-residency figure the churn
 	// shape exists to bound. omitempty keeps pre-PR-4 records intact.
@@ -137,16 +154,44 @@ type OrderingResult struct {
 // start, modelling the execution phase running concurrently with ordering
 // (a transaction can land in a block formed after its snapshot, which is
 // exactly what makes reads go stale under contention).
-func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize int, seed int64) (OrderingResult, error) {
+//
+// With rescue enabled the run models the full orderer cut path of the rescue
+// design: endorsement is a real chaincode simulation against a value-tracking
+// shadow (pre-seeded with every account at a large balance), and each cut
+// runs the post-order re-execution phase over the MVCC casualties before the
+// verdicts feed back into the scheduler.
+func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize int, seed int64, rescue bool) (OrderingResult, error) {
 	txs := shape.Stream(txCount, seed)
 	sc, err := sched.New(system, sched.Options{CompactEvery: shape.CompactEvery})
 	if err != nil {
 		return OrderingResult{}, err
 	}
-	res := OrderingResult{System: string(system), Shape: shape.Name, Txs: txCount}
+	res := OrderingResult{System: string(system), Shape: shape.Name, Txs: txCount, Rescue: rescue}
 	height := uint64(0)
 	shadow := validation.NewShadowState()
 	vopts := validation.Options{MVCC: sc.NeedsMVCCValidation()}
+
+	var registry *chaincode.Registry
+	var contract chaincode.Contract
+	if rescue {
+		// Value-tracking shadow plus the real contract: the rescue phase
+		// re-executes send_payment, so the stream's balances must be genuine
+		// decimal integers, not placeholder bytes. Seeding happens before the
+		// timed window; seed versions sit below every real block.
+		shadow = validation.NewValueShadowState()
+		registry = chaincode.NewRegistry(chaincode.Smallbank{})
+		contract, _ = registry.Get("smallbank")
+		seeded := map[string]bool{}
+		for _, tx := range txs {
+			for _, id := range tx.Args[:2] {
+				key := chaincode.CheckingKey(id)
+				if !seeded[key] {
+					seeded[key] = true
+					shadow.Seed(key, []byte("1000000"), seqno.Commit(0, 1))
+				}
+			}
+		}
+	}
 
 	endorsed := 0
 	endorse := func(upTo int) {
@@ -156,6 +201,18 @@ func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize in
 		for ; endorsed < upTo; endorsed++ {
 			tx := txs[endorsed]
 			tx.SnapshotBlock = height
+			if rescue {
+				// Real execution phase: simulate against the committed values
+				// as of the window's start. Key sets match the declared ones
+				// by construction (send_payment's keys are argument-derived).
+				rwset, err := chaincode.Simulate(contract, tx.Function, tx.Args, shadowReader{shadow})
+				if err != nil {
+					panic(fmt.Sprintf("bench: endorsement simulation failed: %v", err))
+				}
+				tx.RWSet = rwset
+				tx.RWSet.Precompute()
+				continue
+			}
 			reads := tx.RWSet.Reads
 			for j := range reads {
 				ver, ok := shadow.Version(reads[j].Key)
@@ -191,10 +248,20 @@ func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize in
 		res.Blocks++
 		res.Committed += len(fr.Ordered)
 		codes := validation.ComputeVerdicts(shadow, fr.Block, fr.Ordered, vopts)
-		shadow.Apply(fr.Block, fr.Ordered, codes)
+		var rescuedWrites [][]protocol.WriteItem
+		if rescue {
+			out := reexec.Run(shadow, fr.Block, fr.Ordered, codes,
+				reexec.Options{Registry: registry, Workers: runtime.GOMAXPROCS(0)})
+			codes = out.Codes
+			rescuedWrites = out.Writes
+		}
+		shadow.ApplyRescued(fr.Block, fr.Ordered, codes, rescuedWrites)
 		for _, c := range codes {
-			if c == protocol.Valid {
+			switch c {
+			case protocol.Valid:
 				res.Valid++
+			case protocol.Rescued:
+				res.Rescued++
 			}
 		}
 		sc.OnBlockCommitted(fr.Block, fr.Ordered, codes)
@@ -235,8 +302,18 @@ func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize in
 	res.BytesPerTx = float64(after.TotalAlloc-before.TotalAlloc) / float64(txCount)
 	if s := wall.Seconds(); s > 0 {
 		res.TPS = float64(txCount) / s
+		res.Goodput = float64(res.Valid+res.Rescued) / s
 	}
 	return res, nil
+}
+
+// shadowReader adapts a value-tracking ShadowState to chaincode.StateReader
+// for the benchmark's endorsement simulations.
+type shadowReader struct{ shadow *validation.ShadowState }
+
+func (r shadowReader) Read(key string) ([]byte, seqno.Seq, bool, error) {
+	v, ver, ok := r.shadow.Read(key)
+	return v, ver, ok, nil
 }
 
 // orderingTxCount sizes the drive loop: long enough to amortize warm-up and
@@ -248,32 +325,58 @@ func orderingTxCount(o Options) int {
 	return 100000
 }
 
+// rescueShapes are the shapes whose MVCC abort rate makes the rescue phase
+// worth measuring (conflict-free has nothing to rescue).
+var rescueShapes = map[string]bool{"contended": true, "churn": true}
+
 // Ordering runs the ordering-phase hot-path benchmark for every system and
-// shape and renders the table of the perf trajectory (PR 2 onwards).
+// shape and renders the table of the perf trajectory (PR 2 onwards). Systems
+// that validate with MVCC additionally run the contended and churn shapes
+// with the post-order rescue phase enabled ("+rescue" rows, PR 6).
 func Ordering(o Options) (*Table, []OrderingResult, error) {
 	t := &Table{
 		Title: "Ordering-phase hot path: scheduler cost per submitted transaction",
 		Columns: []string{"system", "shape", "arrival µs/tx", "formation ms/blk",
-			"allocs/tx", "bytes/tx", "admitted", "valid", "tps", "max keys"},
-		Comment: "schedulers driven directly with shadow-validator feedback (no consensus/commit around them); allocs amortize formations + verdicts; max keys = peak interned-key residency (the churn shape runs with epoch compaction on)",
+			"allocs/tx", "bytes/tx", "admitted", "valid", "rescued", "tps", "goodput", "max keys"},
+		Comment: "schedulers driven directly with shadow-validator feedback (no consensus/commit around them); allocs amortize formations + verdicts; goodput = committed (valid+rescued) tx/s; +rescue rows re-execute MVCC casualties post-order; max keys = peak interned-key residency (the churn shape runs with epoch compaction on)",
 	}
 	var all []OrderingResult
+	addRow := func(system sched.System, r OrderingResult) {
+		label := systemLabel(system)
+		if r.Rescue {
+			label += "+rescue"
+		}
+		t.AddRow(label, r.Shape,
+			fmt.Sprintf("%.2f", r.ArrivalUSPerTx),
+			fmt.Sprintf("%.3f", r.FormationMSPerBlock),
+			fmt.Sprintf("%.1f", r.AllocsPerTx),
+			fmt.Sprintf("%.0f", r.BytesPerTx),
+			fmt.Sprintf("%d/%d", r.Admitted, r.Txs),
+			fmt.Sprintf("%d", r.Valid),
+			fmt.Sprintf("%d", r.Rescued),
+			fmt.Sprintf("%.0f", r.TPS),
+			fmt.Sprintf("%.0f", r.Goodput),
+			fmt.Sprintf("%d", r.MaxResidentKeys))
+	}
 	for _, system := range sched.Systems() {
+		probe, err := sched.New(system, sched.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		mvcc := probe.NeedsMVCCValidation()
 		for _, shape := range OrderingShapes() {
-			r, err := RunOrdering(system, shape, orderingTxCount(o), Params.Defaults.BlockSize, o.Seed)
-			if err != nil {
-				return nil, nil, err
+			rescues := []bool{false}
+			if mvcc && rescueShapes[shape.Name] {
+				rescues = append(rescues, true)
 			}
-			all = append(all, r)
-			t.AddRow(systemLabel(system), r.Shape,
-				fmt.Sprintf("%.2f", r.ArrivalUSPerTx),
-				fmt.Sprintf("%.3f", r.FormationMSPerBlock),
-				fmt.Sprintf("%.1f", r.AllocsPerTx),
-				fmt.Sprintf("%.0f", r.BytesPerTx),
-				fmt.Sprintf("%d/%d", r.Admitted, r.Txs),
-				fmt.Sprintf("%d", r.Valid),
-				fmt.Sprintf("%.0f", r.TPS),
-				fmt.Sprintf("%d", r.MaxResidentKeys))
+			for _, rescue := range rescues {
+				r, err := RunOrdering(system, shape, orderingTxCount(o), Params.Defaults.BlockSize, o.Seed, rescue)
+				if err != nil {
+					return nil, nil, err
+				}
+				all = append(all, r)
+				addRow(system, r)
+			}
 		}
 	}
 	return t, all, nil

@@ -209,6 +209,23 @@ func SimulateFull(c Contract, function string, args []string, reader StateReader
 	return protocol.RWSet{Reads: stub.reads, Writes: stub.writes}, stub.result, nil
 }
 
+// SimulateAttempt is SimulateFull for speculative re-execution: when the
+// invocation fails it still returns the read/write set recorded up to the
+// failure point, so the caller can check whether the failure rests on reads
+// that are final (a deterministic abort) or on reads another speculative
+// execution may yet overwrite (retry). The returned error is the contract's.
+func SimulateAttempt(c Contract, function string, args []string, reader StateReader) (protocol.RWSet, error) {
+	stub := &recordingStub{
+		reader:    reader,
+		function:  function,
+		args:      args,
+		readCache: make(map[string]cachedRead),
+		writeIdx:  make(map[string]int),
+	}
+	err := c.Invoke(stub)
+	return protocol.RWSet{Reads: stub.reads, Writes: stub.writes}, err
+}
+
 // parseInt parses a decimal integer argument or stored balance.
 func parseInt(s string) (int64, error) {
 	v, err := strconv.ParseInt(s, 10, 64)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"fabricsharp/internal/conflict"
 	"fabricsharp/internal/identity"
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
@@ -191,7 +192,8 @@ func TestPartitionByConflict(t *testing.T) {
 	}
 	// f reads x and z, merging {a,c} and {b,d} into one group of 5, plus {e}.
 	codes := make([]protocol.ValidationCode, len(txs))
-	groups := partitionByConflict(txs, codes)
+	valid := func(i int) bool { return codes[i] == protocol.Valid }
+	groups := conflict.Partition(txs, valid)
 	if len(groups) != 2 {
 		t.Fatalf("groups = %d (%v)", len(groups), groups)
 	}
@@ -208,7 +210,7 @@ func TestPartitionByConflict(t *testing.T) {
 	}
 	// An endorsement-failed transaction leaves the partition entirely.
 	codes[5] = protocol.EndorsementFailure
-	groups = partitionByConflict(txs, codes)
+	groups = conflict.Partition(txs, valid)
 	if len(groups) != 3 {
 		t.Fatalf("groups after exclusion = %d (%v)", len(groups), groups)
 	}
@@ -229,13 +231,14 @@ func TestPartitionHotReadOnlyKey(t *testing.T) {
 			},
 		}
 	}
-	groups := partitionByConflict(txs, make([]protocol.ValidationCode, n))
+	all := func(int) bool { return true }
+	groups := conflict.Partition(txs, all)
 	if len(groups) != n {
 		t.Fatalf("hot read-only key collapsed partition to %d groups, want %d", len(groups), n)
 	}
 	// But one writer of the hot key couples every reader.
 	txs[0].RWSet.Writes = append(txs[0].RWSet.Writes, protocol.WriteItem{Key: "config", Value: []byte("v2")})
-	groups = partitionByConflict(txs, make([]protocol.ValidationCode, n))
+	groups = conflict.Partition(txs, all)
 	if len(groups) != 1 {
 		t.Fatalf("written hot key split into %d groups, want 1", len(groups))
 	}

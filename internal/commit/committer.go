@@ -1,14 +1,17 @@
 package commit
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/metrics"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/reexec"
 	"fabricsharp/internal/statedb"
 )
 
@@ -59,6 +62,16 @@ type Stats struct {
 	// CommitLatencyMS samples per-block commit latency (validate + apply),
 	// in milliseconds.
 	CommitLatencyMS metrics.SyncHistogram
+	// RescueAttempts counts MVCC-aborted transactions the post-order rescue
+	// phase re-executed; RescueCommitted those it flipped to Rescued and
+	// RescueStillAborted those it deterministically left aborted.
+	RescueAttempts     metrics.Counter
+	RescueCommitted    metrics.Counter
+	RescueStillAborted metrics.Counter
+	// RescueRoundsPerBlock samples the speculative round count of blocks
+	// whose rescue phase had candidates — the retry cost of optimistic
+	// re-execution.
+	RescueRoundsPerBlock metrics.SyncHistogram
 }
 
 // Committer is one peer's pipelined validation/commit stage: a goroutine
@@ -167,8 +180,14 @@ func (c *Committer) commit(blk *ledger.Block) error {
 		if err := assertVerdictsEqual(blk.Header.Number, blk.Validation, res.Codes); err != nil {
 			return err
 		}
+		// The rescue digest is part of the same agreement contract: the
+		// peer's re-derived write sets must byte-match the orderer's.
+		if !bytes.Equal(blk.RescueDigest, res.Rescue.Digest) {
+			return fmt.Errorf("block %d: peer rescue digest %x diverges from sealed digest %x",
+				blk.Header.Number, res.Rescue.Digest, blk.RescueDigest)
+		}
 	}
-	if err := c.cfg.Chain.SetValidation(peerBlk.Header.Number, res.Codes); err != nil {
+	if err := c.cfg.Chain.SetValidationRescued(peerBlk.Header.Number, res.Codes, res.Rescue.Digest); err != nil {
 		return fmt.Errorf("record validation for block %d: %w", peerBlk.Header.Number, err)
 	}
 	if err := c.apply(peerBlk, res.Writes); err != nil {
@@ -178,6 +197,12 @@ func (c *Committer) commit(blk *ledger.Block) error {
 	if res.Groups > 0 {
 		c.stats.ValidationGroups.Add(uint64(res.Groups))
 		c.stats.GroupsPerBlock.Add(float64(res.Groups))
+	}
+	if res.Rescue.Attempted > 0 {
+		c.stats.RescueAttempts.Add(uint64(res.Rescue.Attempted))
+		c.stats.RescueCommitted.Add(uint64(res.Rescue.Rescued))
+		c.stats.RescueStillAborted.Add(uint64(res.Rescue.StillAborted()))
+		c.stats.RescueRoundsPerBlock.Add(float64(res.Rescue.Rounds))
 	}
 	if c.cfg.OnCommit != nil {
 		c.cfg.OnCommit(peerBlk, res.Codes)
@@ -203,16 +228,64 @@ func assertVerdictsEqual(block uint64, precomputed, derived []protocol.Validatio
 // ReplayStored is the restart path: re-adopt a block persisted with its
 // validation codes, applying exactly the writes the original commit did. It
 // shares WritesFor/apply with the live path, so replay and live commit
-// cannot drift.
+// cannot drift. Rescued verdicts carry no write sets in the block — replay
+// re-derives them by re-running the deterministic rescue phase against the
+// replayed state and asserts the outcome matches what was sealed.
 func (c *Committer) ReplayStored(b *ledger.Block) error {
 	if len(b.Validation) != len(b.Transactions) {
 		return fmt.Errorf("commit: stored block %d missing validation metadata", b.Header.Number)
 	}
-	blk := &ledger.Block{Header: b.Header, Transactions: b.Transactions, Validation: b.Validation}
+	blk := &ledger.Block{Header: b.Header, Transactions: b.Transactions, Validation: b.Validation, RescueDigest: b.RescueDigest}
 	if err := c.cfg.Chain.Append(blk); err != nil {
 		return fmt.Errorf("commit: replay block %d: %w", blk.Header.Number, err)
 	}
-	return c.apply(blk, WritesFor(blk, blk.Validation))
+	out, err := ReplayRescue(reexec.DBSource(c.cfg.State), blk, c.cfg.Validation.Registry)
+	if err != nil {
+		return fmt.Errorf("commit: replay block %d: %w", blk.Header.Number, err)
+	}
+	return c.apply(blk, WritesForRescued(blk, blk.Validation, out.Writes))
+}
+
+// ReplayRescue re-derives a stored block's rescue outcome: the Rescued
+// verdicts are reset to their pre-rescue MVCCConflict state, the
+// deterministic rescue phase re-runs against base (the state as of the
+// block's parent), and the re-derived codes and digest are asserted against
+// the sealed ones. Blocks without Rescued verdicts return a zero Outcome
+// without running anything.
+func ReplayRescue(base reexec.StateSource, blk *ledger.Block, registry *chaincode.Registry) (reexec.Outcome, error) {
+	hasRescued := false
+	for _, code := range blk.Validation {
+		if code == protocol.Rescued {
+			hasRescued = true
+			break
+		}
+	}
+	if !hasRescued {
+		if blk.RescueDigest != nil {
+			return reexec.Outcome{}, fmt.Errorf("stored block %d carries a rescue digest but no rescued verdict", blk.Header.Number)
+		}
+		return reexec.Outcome{}, nil
+	}
+	if registry == nil {
+		return reexec.Outcome{}, fmt.Errorf("stored block %d has rescued verdicts but no contract registry to replay them", blk.Header.Number)
+	}
+	pre := make([]protocol.ValidationCode, len(blk.Validation))
+	for i, code := range blk.Validation {
+		if code == protocol.Rescued {
+			pre[i] = protocol.MVCCConflict
+		} else {
+			pre[i] = code
+		}
+	}
+	out := reexec.Run(base, blk.Header.Number, blk.Transactions, pre, reexec.Options{Registry: registry})
+	if err := assertVerdictsEqual(blk.Header.Number, blk.Validation, out.Codes); err != nil {
+		return reexec.Outcome{}, fmt.Errorf("rescue replay: %w", err)
+	}
+	if !bytes.Equal(blk.RescueDigest, out.Digest) {
+		return reexec.Outcome{}, fmt.Errorf("rescue replay: block %d digest %x diverges from sealed %x",
+			blk.Header.Number, out.Digest, blk.RescueDigest)
+	}
+	return out, nil
 }
 
 // apply batch-commits a block's valid writes — the single state-mutation

@@ -6,21 +6,30 @@
 // ordering and with each other.
 //
 // Inside a block, validation itself is parallel: transactions are
-// partitioned into key-disjoint conflict groups (union-find over read/write
-// keys), each group validates sequentially in block order against its own
-// overlay, and independent groups run on a worker pool sized by GOMAXPROCS.
-// Systems whose ordering phase already guarantees serializability (Sharp,
-// Focc-s) skip the MVCC partition entirely and go straight from parallel
-// endorsement-signature checks to one batched statedb.ApplyBlock.
+// partitioned into key-disjoint conflict groups (internal/conflict's
+// union-find over read/write keys), each group validates sequentially in
+// block order against its own overlay, and independent groups run on a
+// worker pool sized by GOMAXPROCS. Systems whose ordering phase already
+// guarantees serializability (Sharp, Focc-s) skip the MVCC partition
+// entirely and go straight from parallel endorsement-signature checks to one
+// batched statedb.ApplyBlock.
+//
+// When rescue is enabled, a third phase follows MVCC: the post-order
+// speculative re-execution of internal/reexec flips recoverable
+// MVCCConflict verdicts to Rescued, replacing their declared write sets
+// with re-executed ones. Peers re-derive the rescue outcome locally and
+// byte-assert its digest against the sealed block, the same agreement
+// contract the verdict codes already follow.
 package commit
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"fabricsharp/internal/chaincode"
+	"fabricsharp/internal/conflict"
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/reexec"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/statedb"
 	"fabricsharp/internal/validation"
@@ -28,11 +37,17 @@ import (
 
 // Options configures parallel block validation: the shared validation
 // switches (MVCC, MSP, Policy — one struct with the sequential reference,
-// so the two paths cannot drift apart) plus the parallelism cap.
+// so the two paths cannot drift apart) plus the parallelism cap and the
+// post-order rescue switch.
 type Options struct {
 	validation.Options
 	// Workers caps validation parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Rescue enables post-order speculative re-execution of MVCC-aborted
+	// transactions (requires Registry; only meaningful with MVCC).
+	Rescue bool
+	// Registry resolves contracts for the rescue phase's re-execution.
+	Registry *chaincode.Registry
 }
 
 func (o Options) workers() int {
@@ -42,22 +57,30 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func (o Options) rescueEnabled() bool { return o.Rescue && o.MVCC && o.Registry != nil }
+
 // BlockResult is the outcome of validating one block.
 type BlockResult struct {
 	// Codes are the per-transaction validation codes, in block order.
 	Codes []protocol.ValidationCode
-	// Writes are the valid transactions' write sets, in block order, ready
-	// for one batched statedb.ApplyBlock.
+	// Writes are the committed transactions' write sets (declared for Valid,
+	// re-executed for Rescued), in block order, ready for one batched
+	// statedb.ApplyBlock.
 	Writes []statedb.BlockWrites
 	// Groups is the number of key-disjoint conflict groups the MVCC phase
 	// validated concurrently (0 when MVCC was skipped).
 	Groups int
+	// Rescue is the post-order re-execution outcome (zero value when the
+	// rescue phase did not run). Its Digest must byte-match the sealed
+	// block's RescueDigest.
+	Rescue reexec.Outcome
 }
 
 // ValidateBlock validates every transaction of blk against db and returns
 // the codes and the batched writes — it does not apply them. The result is
-// byte-identical to the sequential validation.ValidateAndCommit: endorsement
-// checks are embarrassingly parallel, and the MVCC overlay rule only couples
+// byte-identical to the sequential validation.ValidateAndCommit (plus the
+// deterministic rescue phase when enabled): endorsement checks are
+// embarrassingly parallel, and the MVCC overlay rule only couples
 // transactions that share a key, so key-disjoint groups validate
 // independently without changing any verdict.
 func ValidateBlock(db *statedb.DB, blk *ledger.Block, opts Options) BlockResult {
@@ -68,7 +91,7 @@ func ValidateBlock(db *statedb.DB, blk *ledger.Block, opts Options) BlockResult 
 	// Phase 1: endorsement-signature checks — per-transaction, stateless,
 	// and the dominant CPU cost (ed25519 verification) — across all workers.
 	if opts.MSP != nil && opts.Policy != nil {
-		parallelFor(n, workers, func(i int) {
+		conflict.ParallelFor(n, workers, func(i int) {
 			if err := opts.MSP.CheckEndorsements(blk.Transactions[i], opts.Policy); err != nil {
 				codes[i] = protocol.EndorsementFailure
 			}
@@ -80,10 +103,12 @@ func ValidateBlock(db *statedb.DB, blk *ledger.Block, opts Options) BlockResult 
 	// they stay out of the partition.
 	groups := 0
 	if opts.MVCC {
-		groupList := partitionByConflict(blk.Transactions, codes)
+		groupList := conflict.Partition(blk.Transactions, func(i int) bool {
+			return codes[i] == protocol.Valid
+		})
 		groups = len(groupList)
 		base := validation.DBVersions(db)
-		runGroups(groupList, workers, func(group []int) {
+		conflict.RunGroups(groupList, workers, func(group []int) {
 			overlay := validation.NewOverlay()
 			current := func(key string) (seqno.Seq, bool) {
 				return overlay.Version(base, key)
@@ -99,140 +124,53 @@ func ValidateBlock(db *statedb.DB, blk *ledger.Block, opts Options) BlockResult 
 		})
 	}
 
-	return BlockResult{Codes: codes, Writes: WritesFor(blk, codes), Groups: groups}
+	// Phase 3: post-order rescue — re-execute MVCC casualties against the
+	// committed state under the block's valid writes. db still sits at the
+	// pre-block height here (writes apply after validation), matching the
+	// orderer's shadow view at cut time.
+	res := BlockResult{Groups: groups}
+	if opts.rescueEnabled() {
+		res.Rescue = reexec.Run(reexec.DBSource(db), blk.Header.Number, blk.Transactions, codes,
+			reexec.Options{Registry: opts.Registry, Workers: workers})
+		codes = res.Rescue.Codes
+	}
+	res.Codes = codes
+	res.Writes = WritesForRescued(blk, codes, res.Rescue.Writes)
+	return res
 }
 
 // WritesFor assembles the batched ApplyBlock input from a block and its
-// final validation codes — the one code path live commit and stored-chain
-// replay share.
+// final validation codes — the code path live commit and stored-chain
+// replay share. Blocks carrying Rescued verdicts need the re-executed write
+// sets too: use WritesForRescued.
 func WritesFor(blk *ledger.Block, codes []protocol.ValidationCode) []statedb.BlockWrites {
+	return WritesForRescued(blk, codes, nil)
+}
+
+// WritesForRescued is WritesFor plus the rescue outcome: rescued[i], when
+// the slice is non-nil, holds the re-executed write set applied for each
+// Rescued transaction. Positions follow protocol.CommitPositions: valid
+// writes at their in-block position, rescued writes after the whole block
+// (post-order), emitted in ascending position order so the state database's
+// per-key history stays version-sorted.
+func WritesForRescued(blk *ledger.Block, codes []protocol.ValidationCode, rescued [][]protocol.WriteItem) []statedb.BlockWrites {
+	pos := protocol.CommitPositions(codes)
 	var writes []statedb.BlockWrites
 	for i, tx := range blk.Transactions {
 		if codes[i] == protocol.Valid && len(tx.RWSet.Writes) > 0 {
-			writes = append(writes, statedb.BlockWrites{Pos: uint32(i + 1), Writes: tx.RWSet.Writes})
+			writes = append(writes, statedb.BlockWrites{Pos: pos[i], Writes: tx.RWSet.Writes})
+		}
+	}
+	for i := range blk.Transactions {
+		if codes[i] != protocol.Rescued {
+			continue
+		}
+		if rescued == nil {
+			panic("commit: WritesFor on a block with Rescued verdicts (use WritesForRescued)")
+		}
+		if len(rescued[i]) > 0 {
+			writes = append(writes, statedb.BlockWrites{Pos: pos[i], Writes: rescued[i]})
 		}
 	}
 	return writes
-}
-
-// partitionByConflict groups transaction indices by transitive read/write
-// key overlap (union-find). Within a group, indices stay in block order, so
-// group-sequential validation observes exactly the overlay the sequential
-// whole-block pass would. Transactions with a non-Valid code are excluded.
-//
-// Reads only couple through keys some in-block transaction writes: a key
-// nobody writes keeps its committed version for the whole block, so a hot
-// read-only key (a config record every transaction consults) does not
-// collapse the block into one serial group.
-func partitionByConflict(txs []*protocol.Transaction, codes []protocol.ValidationCode) [][]int {
-	written := map[string]bool{}
-	for i, tx := range txs {
-		if codes[i] != protocol.Valid {
-			continue
-		}
-		for _, w := range tx.RWSet.Writes {
-			written[w.Key] = true
-		}
-	}
-	parent := make([]int, len(txs))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(i int) int {
-		for parent[i] != i {
-			parent[i] = parent[parent[i]] // path halving
-			i = parent[i]
-		}
-		return i
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			// Root at the smaller index so group identity is deterministic.
-			if ra > rb {
-				ra, rb = rb, ra
-			}
-			parent[rb] = ra
-		}
-	}
-
-	keyOwner := map[string]int{}
-	claim := func(i int, key string) {
-		if o, ok := keyOwner[key]; ok {
-			union(o, i)
-		} else {
-			keyOwner[key] = i
-		}
-	}
-	for i, tx := range txs {
-		if codes[i] != protocol.Valid {
-			continue
-		}
-		for _, r := range tx.RWSet.Reads {
-			if written[r.Key] {
-				claim(i, r.Key)
-			}
-		}
-		for _, w := range tx.RWSet.Writes {
-			claim(i, w.Key)
-		}
-	}
-
-	byRoot := map[int][]int{}
-	var roots []int
-	for i := range txs {
-		if codes[i] != protocol.Valid {
-			continue
-		}
-		r := find(i)
-		if _, seen := byRoot[r]; !seen {
-			roots = append(roots, r)
-		}
-		byRoot[r] = append(byRoot[r], i) // ascending i: block order
-	}
-	out := make([][]int, 0, len(roots))
-	for _, r := range roots {
-		out = append(out, byRoot[r])
-	}
-	return out
-}
-
-// parallelFor runs fn(i) for i in [0, n) on up to `workers` goroutines.
-func parallelFor(n, workers int, fn func(i int)) {
-	if n == 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// runGroups dispatches conflict groups to up to `workers` goroutines. Groups
-// touch disjoint key sets, so their overlays never interact and the shared
-// statedb is only read (its RWMutex covers that).
-func runGroups(groups [][]int, workers int, fn func(group []int)) {
-	parallelFor(len(groups), workers, func(i int) { fn(groups[i]) })
 }

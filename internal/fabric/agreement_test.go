@@ -3,10 +3,12 @@ package fabric
 import (
 	"bytes"
 	"fmt"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
 
+	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
@@ -195,6 +197,12 @@ func assertOrderersAgree(t *testing.T, n *Network) {
 			if !bytes.Equal(fb.Hash(), lb.Hash()) {
 				t.Fatalf("orderer %d block %d hash diverged", i, lb.Header.Number)
 			}
+			// The rescue digest is block metadata (outside the header hash),
+			// so agreement on it must be asserted separately.
+			if !bytes.Equal(fb.RescueDigest, lb.RescueDigest) {
+				t.Fatalf("orderer %d block %d rescue digest diverged: %x vs lead %x",
+					i, lb.Header.Number, fb.RescueDigest, lb.RescueDigest)
+			}
 			for j := range lb.Transactions {
 				if fb.Transactions[j].ID != lb.Transactions[j].ID {
 					t.Fatalf("orderer %d block %d position %d: tx %s vs lead %s",
@@ -206,6 +214,120 @@ func assertOrderersAgree(t *testing.T, n *Network) {
 				}
 			}
 			return true
+		})
+	}
+}
+
+// TestRescueLeadFollowerAgreement pins the determinism of the post-order
+// rescue phase: with Rescue enabled, every orderer replica re-executes the
+// block's MVCC casualties against its own shadow state and must seal
+// bit-identical verdicts AND bit-identical rescue write-set digests — the
+// digest is a hash of the re-executed values themselves, so agreement means
+// the speculative parallel executor converged to the same bytes on every
+// replica. Peers re-derive the same digest during commit (a mismatch would
+// surface through n.Err()), and their chains must carry the same Rescued
+// verdicts the orderers sealed.
+func TestRescueLeadFollowerAgreement(t *testing.T) {
+	for _, system := range []sched.System{sched.SystemFabric, sched.SystemFoccL} {
+		system := system
+		t.Run(string(system), func(t *testing.T) {
+			n := newNet(t, Options{System: system, Orderers: 3, BlockSize: 8, Rescue: true})
+			client, err := n.NewClient("bank")
+			if err != nil {
+				t.Fatal(err)
+			}
+			const hot = 4
+			const seedBal = 100000
+			for i := 0; i < hot; i++ {
+				if _, err := client.MustSubmit("smallbank", "create_account", fmt.Sprintf("h%d", i), fmt.Sprint(seedBal), fmt.Sprint(seedBal)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 6; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 15; i++ {
+						src := fmt.Sprintf("h%d", (w+i)%hot)
+						dst := fmt.Sprintf("h%d", (w+i+1)%hot)
+						client.Submit("smallbank", "send_payment", src, dst, fmt.Sprint(1+i%7))
+					}
+				}(w)
+			}
+			wg.Wait()
+			if !n.WaitIdle(10 * time.Second) {
+				t.Fatalf("network did not go idle (err=%v)", n.Err())
+			}
+			if err := n.Err(); err != nil {
+				t.Fatal(err)
+			}
+			awaitFollowers(n, 5*time.Second)
+
+			// The contended stream must actually have exercised the rescue
+			// path, or the agreement below says nothing about it.
+			rescued, digests := 0, 0
+			lead := n.OrdererChain(0)
+			lead.ForEach(func(lb *ledger.Block) bool {
+				for _, c := range lb.Validation {
+					if c == protocol.Rescued {
+						rescued++
+					}
+				}
+				if lb.RescueDigest != nil {
+					digests++
+				}
+				return true
+			})
+			if rescued == 0 {
+				t.Fatal("no Rescued verdicts sealed — workload not contended enough")
+			}
+			if digests == 0 {
+				t.Fatal("Rescued verdicts present but no block carries a rescue digest")
+			}
+
+			assertOrderersAgree(t, n)
+
+			// Peers derived the same verdicts (including Rescued) from the
+			// sealed blocks.
+			peer := n.Peer(0)
+			peer.Chain().ForEach(func(pb *ledger.Block) bool {
+				ob, ok := lead.Get(pb.Header.Number)
+				if !ok {
+					t.Fatalf("orderer chain missing block %d", pb.Header.Number)
+				}
+				for i := range pb.Validation {
+					if ob.Validation[i] != pb.Validation[i] {
+						t.Fatalf("block %d tx %d: orderer sealed %v, peer derived %v",
+							pb.Header.Number, i, ob.Validation[i], pb.Validation[i])
+					}
+				}
+				if !bytes.Equal(ob.RescueDigest, pb.RescueDigest) {
+					t.Fatalf("block %d: peer rescue digest diverged from orderer", pb.Header.Number)
+				}
+				return true
+			})
+
+			// Money conservation: send_payment moves value between checking
+			// accounts; rescued re-executions must preserve the invariant
+			// exactly. Any double-applied or stale-value rescue breaks this.
+			total := 0
+			for i := 0; i < hot; i++ {
+				for _, key := range []string{chaincode.CheckingKey(fmt.Sprintf("h%d", i)), chaincode.SavingsKey(fmt.Sprintf("h%d", i))} {
+					vv, ok := peer.State().Get(key)
+					if !ok {
+						t.Fatalf("account key %s missing from peer state", key)
+					}
+					bal, err := strconv.Atoi(string(vv.Value))
+					if err != nil {
+						t.Fatalf("account key %s holds %q: %v", key, vv.Value, err)
+					}
+					total += bal
+				}
+			}
+			if want := hot * 2 * seedBal; total != want {
+				t.Fatalf("money not conserved across rescues: accounts sum to %d, want %d", total, want)
+			}
 		})
 	}
 }

@@ -123,6 +123,14 @@ type Options struct {
 	// Called from pipeline goroutines; implementations must be fast and
 	// thread-safe.
 	OnResult func(TxResult)
+	// Rescue enables post-order speculative re-execution: MVCC-aborted
+	// transactions re-run against the block's committed prefix at every
+	// replica (orderer shadow and peer committers alike), and the rescued
+	// write sets commit under the Rescued verdict. A no-op for systems whose
+	// ordering phase already guarantees serializability (they never produce
+	// MVCC aborts). Orderers running with rescue keep a value-tracking
+	// shadow, trading memory for the re-execution capability.
+	Rescue bool
 }
 
 func (o Options) withDefaults() Options {
@@ -178,8 +186,9 @@ type TxResult struct {
 	Block uint64 // 0 when dropped before the ledger
 }
 
-// Committed reports whether the transaction made it into the state.
-func (r TxResult) Committed() bool { return r.Code == protocol.Valid }
+// Committed reports whether the transaction made it into the state —
+// validated cleanly or rescued by post-order re-execution.
+func (r TxResult) Committed() bool { return r.Code.Committed() }
 
 // Network is a running blockchain network.
 type Network struct {
@@ -343,13 +352,20 @@ func NewNetwork(opts Options) (*Network, error) {
 		if err != nil {
 			return nil, err
 		}
+		shadow := validation.NewShadowState()
+		if opts.Rescue {
+			// Rescue re-executes chaincode at the orderer, which needs the
+			// committed values, not just versions.
+			shadow = validation.NewValueShadowState()
+		}
 		o := &orderer{
 			net:       n,
 			name:      name,
 			scheduler: scheduler,
 			chain:     chain,
 			deliver:   i == 0, // the lead orderer delivers to peers
-			shadow:    validation.NewShadowState(),
+			shadow:    shadow,
+			rescue:    opts.Rescue && scheduler.NeedsMVCCValidation(),
 			vopts: validation.Options{
 				MVCC:   scheduler.NeedsMVCCValidation(),
 				MSP:    n.msp,
@@ -384,8 +400,10 @@ func NewNetwork(opts Options) (*Network, error) {
 			State: p.state,
 			Chain: p.chain,
 			Validation: commit.Options{
-				Options: validation.Options{MVCC: mvcc, MSP: n.msp, Policy: n.policy},
-				Workers: workers,
+				Options:  validation.Options{MVCC: mvcc, MSP: n.msp, Policy: n.policy},
+				Workers:  workers,
+				Rescue:   opts.Rescue,
+				Registry: n.registry,
 			},
 			QueueDepth: opts.CommitQueueDepth,
 			OnCommit: func(blk *ledger.Block, codes []protocol.ValidationCode) {
@@ -545,7 +563,23 @@ func (n *Network) replayStoredChain() error {
 			if walkErr = o.chain.Append(&blk); walkErr != nil {
 				return false
 			}
-			o.shadow.Apply(b.Header.Number, b.Transactions, b.Validation)
+			// Rescued verdicts carry no write sets in the block: re-derive
+			// them by re-running the deterministic rescue phase against the
+			// shadow's replayed state, asserting the sealed digest.
+			var rescueWrites [][]protocol.WriteItem
+			if blockHasRescued(b) {
+				if !o.shadow.TracksValues() {
+					walkErr = fmt.Errorf("fabric: stored block %d carries rescued verdicts; the network must boot with Rescue enabled to replay it", b.Header.Number)
+					return false
+				}
+				out, err := commit.ReplayRescue(o.shadow, b, n.registry)
+				if err != nil {
+					walkErr = fmt.Errorf("fabric: %w", err)
+					return false
+				}
+				rescueWrites = out.Writes
+			}
+			o.shadow.ApplyRescued(b.Header.Number, b.Transactions, b.Validation, rescueWrites)
 		}
 		return true
 	})
@@ -562,6 +596,16 @@ func (n *Network) replayStoredChain() error {
 		}
 	}
 	return nil
+}
+
+// blockHasRescued reports whether any stored verdict is Rescued.
+func blockHasRescued(b *ledger.Block) bool {
+	for _, c := range b.Validation {
+		if c == protocol.Rescued {
+			return true
+		}
+	}
+	return false
 }
 
 // Close shuts the network down: the orderers stop consuming consensus, the

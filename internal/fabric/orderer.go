@@ -8,6 +8,7 @@ import (
 	"fabricsharp/internal/consensus"
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/reexec"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/validation"
 )
@@ -38,11 +39,14 @@ type orderer struct {
 	scheduler sched.Scheduler
 	chain     *ledger.Chain
 	deliver   bool
-	// shadow is the replica's value-free version state; vopts carries the
-	// same validation switches the peers run, so ComputeVerdicts here and
-	// ValidateBlock there are the same function over the same inputs.
+	// shadow is the replica's version state (value-tracking when rescue is
+	// on); vopts carries the same validation switches the peers run, so
+	// ComputeVerdicts here and ValidateBlock there are the same function
+	// over the same inputs. rescue enables the post-order re-execution pass
+	// at cut time, mirroring the peers' committer phase 3.
 	shadow *validation.ShadowState
 	vopts  validation.Options
+	rescue bool
 	// seen dedups TxIDs. Entries are bucketed by the block being assembled
 	// when they were first seen and evicted DedupHorizon sealed blocks
 	// later — eviction happens at cut time, a stream-determined position, so
@@ -252,12 +256,25 @@ func (o *orderer) cut() {
 	// the overlay-coupled MVCC pass is serial.
 	endorseFailed := validation.PrecheckEndorsements(res.Ordered, o.vopts, runtime.GOMAXPROCS(0))
 	codes := validation.ComputeVerdictsPrechecked(o.shadow, num, res.Ordered, o.vopts, endorseFailed)
-	blk, err := o.chain.Seal(res.Ordered, codes)
+	// The post-order rescue pass: re-execute the MVCC casualties against the
+	// value shadow (still at height num-1) under the block's valid writes —
+	// the same deterministic phase the peer committers run, so the rescued
+	// codes and digest sealed here are exactly what every peer re-derives.
+	var rescueWrites [][]protocol.WriteItem
+	var rescueDigest []byte
+	if o.rescue {
+		out := reexec.Run(o.shadow, num, res.Ordered, codes,
+			reexec.Options{Registry: o.net.registry, Workers: runtime.GOMAXPROCS(0)})
+		codes = out.Codes
+		rescueWrites = out.Writes
+		rescueDigest = out.Digest
+	}
+	blk, err := o.chain.SealRescued(res.Ordered, codes, rescueDigest)
 	if err != nil {
 		o.net.fail(fmt.Errorf("fabric: orderer %s seal: %w", o.name, err))
 		return
 	}
-	o.shadow.Apply(num, res.Ordered, codes)
+	o.shadow.ApplyRescued(num, res.Ordered, codes, rescueWrites)
 	o.scheduler.OnBlockCommitted(num, res.Ordered, codes)
 	o.evictSeen(num)
 	if !o.deliver {

@@ -37,6 +37,12 @@ type Block struct {
 	Header       Header
 	Transactions []*protocol.Transaction
 	Validation   []protocol.ValidationCode
+	// RescueDigest commits to the post-order rescue outcome
+	// (reexec.WriteSetDigest over the Rescued positions' re-executed write
+	// sets); nil when no transaction was rescued. Like Validation it is
+	// metadata, not part of DataHash: every replica re-derives it
+	// deterministically and byte-asserts against the sealed value.
+	RescueDigest []byte
 }
 
 // Hash returns the block's header hash.
@@ -88,11 +94,24 @@ func merkleRoot(level [][]byte) []byte {
 	return level[0]
 }
 
-// ValidCount returns the number of committed (valid) transactions.
+// ValidCount returns the number of transactions that validated cleanly
+// (code Valid; rescued transactions are counted by CommittedCount).
 func (b *Block) ValidCount() int {
 	n := 0
 	for _, c := range b.Validation {
 		if c == protocol.Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CommittedCount returns the number of transactions whose effects reached
+// the state database: valid plus rescued.
+func (b *Block) CommittedCount() int {
+	n := 0
+	for _, c := range b.Validation {
+		if c.Committed() {
 			n++
 		}
 	}
@@ -184,6 +203,12 @@ func (c *Chain) Tip() (*Block, bool) {
 // Seal assembles a block from ordered transactions, linking it to the
 // current tip, and appends it. It returns the sealed block.
 func (c *Chain) Seal(txs []*protocol.Transaction, validation []protocol.ValidationCode) (*Block, error) {
+	return c.SealRescued(txs, validation, nil)
+}
+
+// SealRescued is Seal plus the post-order rescue digest committed alongside
+// the validation codes (nil when no transaction was rescued).
+func (c *Chain) SealRescued(txs []*protocol.Transaction, validation []protocol.ValidationCode, rescueDigest []byte) (*Block, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var number uint64 = 1
@@ -200,6 +225,7 @@ func (c *Chain) Seal(txs []*protocol.Transaction, validation []protocol.Validati
 		Header:       Header{Number: number, PrevHash: prev, DataHash: DataHash(txs)},
 		Transactions: txs,
 		Validation:   validation,
+		RescueDigest: rescueDigest,
 	}
 	if err := c.appendLocked(blk); err != nil {
 		return nil, err
@@ -245,8 +271,19 @@ func (c *Chain) appendLocked(blk *Block) error {
 }
 
 // SetValidation records validation codes on an already appended block (the
-// validation phase runs after delivery) and re-persists it.
+// validation phase runs after delivery) and re-persists it. The block's
+// rescue digest, if any, is left untouched.
 func (c *Chain) SetValidation(number uint64, codes []protocol.ValidationCode) error {
+	return c.setValidation(number, codes, false, nil)
+}
+
+// SetValidationRescued is SetValidation plus the re-derived rescue digest
+// (nil when no transaction was rescued).
+func (c *Chain) SetValidationRescued(number uint64, codes []protocol.ValidationCode, rescueDigest []byte) error {
+	return c.setValidation(number, codes, true, rescueDigest)
+}
+
+func (c *Chain) setValidation(number uint64, codes []protocol.ValidationCode, setDigest bool, rescueDigest []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.blocks) == 0 {
@@ -262,6 +299,9 @@ func (c *Chain) SetValidation(number uint64, codes []protocol.ValidationCode) er
 		return fmt.Errorf("ledger: validation metadata length mismatch")
 	}
 	blk.Validation = codes
+	if setDigest {
+		blk.RescueDigest = rescueDigest
+	}
 	if c.store != nil {
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(blk); err != nil {

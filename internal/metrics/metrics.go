@@ -181,11 +181,11 @@ type AbortTally map[protocol.ValidationCode]uint64
 // Inc bumps a code.
 func (t AbortTally) Inc(c protocol.ValidationCode) { t[c]++ }
 
-// Total sums every non-valid count.
+// Total sums every non-committed count (Valid and Rescued are not aborts).
 func (t AbortTally) Total() uint64 {
 	var sum uint64
 	for c, n := range t {
-		if c != protocol.Valid {
+		if !c.Committed() {
 			sum += n
 		}
 	}

@@ -381,7 +381,7 @@ func (p *pipeline) commit(proc *sim.Proc, blk *ledger.Block) {
 		if inWindow {
 			p.windowInLedger++
 		}
-		if codes[i] == protocol.Valid {
+		if codes[i].Committed() {
 			p.res.Committed++
 			if inWindow {
 				p.windowCommitted++

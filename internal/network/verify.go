@@ -23,10 +23,21 @@ import (
 // For the strongly serializable systems (fabric, fabric++, focc-l) the
 // ledger order itself is the serial order, which the topological sort
 // reproduces because every dependency there follows commit order.
+//
+// Rescued transactions (post-order re-execution) are committed too, at their
+// protocol.CommitPositions version — after the whole block. Their recorded
+// read set describes the endorsement-time simulation, NOT the re-execution,
+// so no precedence edges are derived from it; instead a rescued transaction
+// is pinned into version order against every committed writer of a key in
+// its declared read/write sets (a superset of what the re-execution touched,
+// by the rescue phase's containment rule). Rescue only runs on the strongly
+// serializable systems, where every dependency follows version order, so
+// these extra order-following edges can never create a cycle.
 func VerifySerializability(res *Result) error {
 	type committedTx struct {
-		tx  *protocol.Transaction
-		ver seqno.Seq
+		tx      *protocol.Transaction
+		ver     seqno.Seq
+		rescued bool
 	}
 	var committed []committedTx
 	var walkErr error
@@ -35,9 +46,14 @@ func VerifySerializability(res *Result) error {
 			walkErr = fmt.Errorf("network: block %d missing validation metadata", b.Header.Number)
 			return false
 		}
+		pos := protocol.CommitPositions(b.Validation)
 		for i, tx := range b.Transactions {
-			if b.Validation[i] == protocol.Valid {
-				committed = append(committed, committedTx{tx: tx, ver: seqno.Commit(b.Header.Number, uint32(i+1))})
+			if b.Validation[i].Committed() {
+				committed = append(committed, committedTx{
+					tx:      tx,
+					ver:     seqno.Commit(b.Header.Number, pos[i]),
+					rescued: b.Validation[i] == protocol.Rescued,
+				})
 			}
 		}
 		return true
@@ -45,6 +61,10 @@ func VerifySerializability(res *Result) error {
 	if walkErr != nil {
 		return walkErr
 	}
+	// Rescued commit positions sit above the in-block positions, so the walk
+	// order above is not version order; the graph construction below (ww
+	// edges, ledger-order tie-breaks) relies on index order == version order.
+	sort.Slice(committed, func(i, j int) bool { return committed[i].ver.Less(committed[j].ver) })
 	n := len(committed)
 	byVersion := map[seqno.Seq]int{}
 	writersOf := map[string][]int{} // ledger order == version order
@@ -70,6 +90,21 @@ func VerifySerializability(res *Result) error {
 		}
 	}
 	for i, c := range committed {
+		if c.rescued {
+			// The recorded reads are pre-rescue; pin the transaction into
+			// version order against every committed writer of its declared
+			// keys instead (see the function comment).
+			for _, k := range append(c.tx.RWSet.ReadKeys(), c.tx.RWSet.WriteKeys()...) {
+				for _, w := range writersOf[k] {
+					if w < i {
+						addEdge(w, i)
+					} else if w > i {
+						addEdge(i, w)
+					}
+				}
+			}
+			continue
+		}
 		for _, r := range c.tx.RWSet.Reads {
 			// wr: the writer of the version read precedes the reader.
 			// Genesis versions (block 0) and absent reads have no writer.

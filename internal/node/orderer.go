@@ -35,6 +35,10 @@ type OrdererConfig struct {
 	DedupHorizon uint64
 	// ResultHorizon bounds the result map (default DefaultResultHorizon).
 	ResultHorizon int
+	// Rescue enables post-order speculative re-execution of MVCC-aborted
+	// transactions; must match the peers' setting (the rescue digest is
+	// byte-asserted across the cluster).
+	Rescue bool
 }
 
 // Orderer is a running ordering process: an ordering-only fabric.Network
@@ -73,6 +77,7 @@ func StartOrderer(cfg OrdererConfig) (*Orderer, error) {
 		MaxSpan:      cfg.MaxSpan,
 		CompactEvery: cfg.CompactEvery,
 		DedupHorizon: cfg.DedupHorizon,
+		Rescue:       cfg.Rescue,
 		OnResult:     func(res fabric.TxResult) { o.results.put(res) },
 	})
 	if err != nil {

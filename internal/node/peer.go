@@ -45,6 +45,10 @@ type PeerConfig struct {
 	ValidationWorkers int
 	// QueueDepth buffers the committer's delivery channel.
 	QueueDepth int
+	// Rescue enables post-order speculative re-execution of MVCC-aborted
+	// transactions; must match the orderer's setting (the rescue digest is
+	// byte-asserted across the cluster).
+	Rescue bool
 }
 
 // Peer is a running validating-peer process: endorsement and status over
@@ -147,7 +151,9 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 				MSP:    p.msp,
 				Policy: identity.AnyPeerOf(cfg.PeerNames...),
 			},
-			Workers: workers,
+			Workers:  workers,
+			Rescue:   cfg.Rescue,
+			Registry: p.registry,
 		},
 		QueueDepth: cfg.QueueDepth,
 		OnError:    func(err error) { p.errs.set(err) },

@@ -191,6 +191,13 @@ const (
 	AbortReorderCycle
 	// AbortDuplicate marks a replayed transaction identifier.
 	AbortDuplicate
+	// Rescued marks a transaction that failed the MVCC check but was
+	// deterministically re-executed by the post-order rescue phase
+	// (internal/reexec) against the block's committed prefix and committed
+	// with its re-executed write set. New codes must be appended here: the
+	// numeric values are sealed into blocks and asserted byte-equal across
+	// replicas.
+	Rescued
 )
 
 // String renders the code using the evaluation's vocabulary.
@@ -216,9 +223,41 @@ func (c ValidationCode) String() string {
 		return "reorder-cycle"
 	case AbortDuplicate:
 		return "duplicate"
+	case Rescued:
+		return "rescued"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
+}
+
+// Committed reports whether the transaction's effects reach the state
+// database: either it validated cleanly (Valid, declared write set applied)
+// or the post-order rescue phase re-executed it (Rescued, re-executed write
+// set applied).
+func (c ValidationCode) Committed() bool { return c == Valid || c == Rescued }
+
+// CommitPositions maps one block's verdicts to the 1-based positions its
+// committed write sets apply at — the block's serial order. Valid
+// transactions commit at their in-block position i+1; Rescued ones serialize
+// after the whole block (post-order re-execution), at N+1..N+R in block
+// order for a block of N transactions; every other code yields 0 (nothing
+// applied). Every layer that assigns versions to a sealed block's writes
+// (state database application, shadow state, scheduler feedback) derives
+// them from this one function, so the version a key carries is
+// replica-independent by construction.
+func CommitPositions(codes []ValidationCode) []uint32 {
+	out := make([]uint32, len(codes))
+	rank := uint32(len(codes))
+	for i, c := range codes {
+		switch c {
+		case Valid:
+			out[i] = uint32(i + 1)
+		case Rescued:
+			rank++
+			out[i] = rank
+		}
+	}
+	return out
 }
 
 // IsEarlyAbort reports whether the code is decided before the transaction

@@ -1,0 +1,283 @@
+package reexec
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fabricsharp/internal/chaincode"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
+)
+
+// mapSource is an in-memory StateSource: the committed state below the block
+// under rescue.
+type mapSource map[string]mapEntry
+
+type mapEntry struct {
+	value string
+	ver   seqno.Seq
+}
+
+func (m mapSource) Read(key string) ([]byte, seqno.Seq, bool) {
+	e, ok := m[key]
+	if !ok {
+		return nil, seqno.Seq{}, false
+	}
+	return []byte(e.value), e.ver, true
+}
+
+// payment builds a send_payment transaction with the declared (stale)
+// read/write set the endorsement phase would have produced.
+func payment(id, from, to, amount string, readVer seqno.Seq) *protocol.Transaction {
+	fromKey, toKey := chaincode.CheckingKey(from), chaincode.CheckingKey(to)
+	tx := &protocol.Transaction{
+		ID:       protocol.TxID(id),
+		Contract: "smallbank",
+		Function: "send_payment",
+		Args:     []string{from, to, amount},
+		RWSet: protocol.RWSet{
+			Reads: []protocol.ReadItem{
+				{Key: fromKey, Version: readVer},
+				{Key: toKey, Version: readVer},
+			},
+			Writes: []protocol.WriteItem{
+				{Key: fromKey, Value: []byte("stale")},
+				{Key: toKey, Value: []byte("stale")},
+			},
+		},
+	}
+	tx.RWSet.Precompute()
+	return tx
+}
+
+func registry() *chaincode.Registry {
+	return chaincode.NewRegistry(chaincode.Smallbank{})
+}
+
+// TestRescueReadsFinalValidState: a rescued transaction serializes after the
+// whole block — its re-execution must observe the block's final valid
+// writes, including ones at higher in-block positions.
+func TestRescueReadsFinalValidState(t *testing.T) {
+	base := mapSource{
+		chaincode.CheckingKey("a"): {value: "100", ver: seqno.Commit(1, 1)},
+		chaincode.CheckingKey("b"): {value: "100", ver: seqno.Commit(1, 2)},
+		chaincode.CheckingKey("c"): {value: "100", ver: seqno.Commit(1, 3)},
+	}
+	// Position 1: the candidate (aborted at ordering). Position 2: a valid
+	// transaction writing one of the candidate's read keys AFTER it in block
+	// order — post-order, the candidate must still see its value.
+	cand := payment("t1", "a", "b", "10", seqno.Commit(1, 1))
+	valid := payment("t2", "b", "c", "5", seqno.Commit(1, 2))
+	valid.RWSet.Writes = []protocol.WriteItem{
+		{Key: chaincode.CheckingKey("b"), Value: []byte("95")},
+		{Key: chaincode.CheckingKey("c"), Value: []byte("105")},
+	}
+	valid.RWSet.Precompute()
+	txs := []*protocol.Transaction{cand, valid}
+	codes := []protocol.ValidationCode{protocol.MVCCConflict, protocol.Valid}
+
+	out := Run(base, 2, txs, codes, Options{Registry: registry()})
+	if out.Attempted != 1 || out.Rescued != 1 {
+		t.Fatalf("attempted %d rescued %d, want 1/1", out.Attempted, out.Rescued)
+	}
+	if out.Codes[0] != protocol.Rescued || out.Codes[1] != protocol.Valid {
+		t.Fatalf("codes = %v", out.Codes)
+	}
+	// a: 100-10=90; b: the VALID write 95 is what the rescue reads, +10=105.
+	want := []protocol.WriteItem{
+		{Key: chaincode.CheckingKey("a"), Value: []byte("90")},
+		{Key: chaincode.CheckingKey("b"), Value: []byte("105")},
+	}
+	if !reflect.DeepEqual(out.Writes[0], want) {
+		t.Fatalf("rescued writes = %v, want %v", out.Writes[0], want)
+	}
+	if out.Digest == nil {
+		t.Fatal("digest nil despite a rescue")
+	}
+}
+
+// TestRescueChainWithinGroup: two candidates over the same hot key rescue in
+// block order, the second reading the first's re-executed write.
+func TestRescueChainWithinGroup(t *testing.T) {
+	base := mapSource{
+		chaincode.CheckingKey("a"): {value: "100", ver: seqno.Commit(1, 1)},
+		chaincode.CheckingKey("b"): {value: "100", ver: seqno.Commit(1, 2)},
+		chaincode.CheckingKey("c"): {value: "100", ver: seqno.Commit(1, 3)},
+	}
+	txs := []*protocol.Transaction{
+		payment("t1", "a", "b", "10", seqno.Commit(1, 1)),
+		payment("t2", "b", "c", "20", seqno.Commit(1, 1)),
+	}
+	codes := []protocol.ValidationCode{protocol.MVCCConflict, protocol.MVCCConflict}
+	out := Run(base, 2, txs, codes, Options{Registry: registry()})
+	if out.Rescued != 2 {
+		t.Fatalf("rescued %d, want 2 (codes %v)", out.Rescued, out.Codes)
+	}
+	if out.Groups != 1 {
+		t.Fatalf("groups = %d, want 1 (b couples both)", out.Groups)
+	}
+	// t1: a=90, b=110. t2 reads t1's b=110: b=90, c=120.
+	wantT2 := []protocol.WriteItem{
+		{Key: chaincode.CheckingKey("b"), Value: []byte("90")},
+		{Key: chaincode.CheckingKey("c"), Value: []byte("120")},
+	}
+	if !reflect.DeepEqual(out.Writes[1], wantT2) {
+		t.Fatalf("t2 writes = %v, want %v", out.Writes[1], wantT2)
+	}
+}
+
+// TestRescueDeterministicAcrossWorkers: the outcome is a pure function of
+// (base, block, txs, codes) regardless of parallelism.
+func TestRescueDeterministicAcrossWorkers(t *testing.T) {
+	base := mapSource{}
+	for i := 0; i < 8; i++ {
+		base[chaincode.CheckingKey(fmt.Sprintf("h%d", i))] = mapEntry{value: "1000", ver: seqno.Commit(3, uint32(i+1))}
+	}
+	var txs []*protocol.Transaction
+	var codes []protocol.ValidationCode
+	for i := 0; i < 40; i++ {
+		from := fmt.Sprintf("h%d", i%8)
+		to := fmt.Sprintf("h%d", (i*3+1)%8)
+		if from == to {
+			to = fmt.Sprintf("h%d", (i*3+2)%8)
+		}
+		tx := payment(fmt.Sprintf("t%d", i), from, to, fmt.Sprint(i+1), seqno.Commit(3, 1))
+		if i%3 == 0 {
+			// Valid txs seed the scratch with their declared writes, which the
+			// rescues then read — so they must carry real balances.
+			tx.RWSet.Writes = []protocol.WriteItem{
+				{Key: chaincode.CheckingKey(from), Value: []byte(fmt.Sprint(900 + i))},
+				{Key: chaincode.CheckingKey(to), Value: []byte(fmt.Sprint(1100 - i))},
+			}
+			tx.RWSet.Precompute()
+			codes = append(codes, protocol.Valid)
+		} else {
+			codes = append(codes, protocol.MVCCConflict)
+		}
+		txs = append(txs, tx)
+	}
+	var ref Outcome
+	for _, workers := range []int{1, 2, 4, 13} {
+		out := Run(base, 4, txs, codes, Options{Registry: registry(), Workers: workers})
+		if workers == 1 {
+			ref = out
+			if out.Rescued == 0 {
+				t.Fatal("nothing rescued — the fixture is not exercising the phase")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(out.Codes, ref.Codes) {
+			t.Errorf("workers=%d: codes diverged", workers)
+		}
+		if !reflect.DeepEqual(out.Writes, ref.Writes) {
+			t.Errorf("workers=%d: writes diverged", workers)
+		}
+		if !bytes.Equal(out.Digest, ref.Digest) {
+			t.Errorf("workers=%d: digest diverged", workers)
+		}
+	}
+}
+
+// TestRescueErrorStaysAborted: a re-execution that fails on final reads (a
+// transfer touching an account that does not exist) is a deterministic
+// abort, and candidates after it in the group still rescue.
+func TestRescueErrorStaysAborted(t *testing.T) {
+	base := mapSource{
+		chaincode.CheckingKey("a"): {value: "100", ver: seqno.Commit(1, 1)},
+		chaincode.CheckingKey("b"): {value: "100", ver: seqno.Commit(1, 2)},
+	}
+	txs := []*protocol.Transaction{
+		payment("t1", "a", "ghost", "10", seqno.Commit(1, 1)), // ghost: never created
+		payment("t2", "a", "b", "10", seqno.Commit(1, 1)),
+	}
+	codes := []protocol.ValidationCode{protocol.MVCCConflict, protocol.MVCCConflict}
+	out := Run(base, 2, txs, codes, Options{Registry: registry()})
+	if out.Codes[0] != protocol.MVCCConflict {
+		t.Errorf("ghost transfer code = %v, want it to stay aborted", out.Codes[0])
+	}
+	if out.Codes[1] != protocol.Rescued {
+		t.Errorf("t2 code = %v, want rescued", out.Codes[1])
+	}
+	if out.StillAborted() != 1 || out.Rescued != 1 {
+		t.Errorf("attempted %d rescued %d stillAborted %d", out.Attempted, out.Rescued, out.StillAborted())
+	}
+}
+
+// escapeContract writes a key outside its declared write set.
+type escapeContract struct{}
+
+func (escapeContract) Name() string { return "escape" }
+func (escapeContract) Invoke(stub chaincode.Stub) error {
+	return stub.PutState("undeclared", []byte("x"))
+}
+
+// TestRescueContainmentViolationStaysAborted: a re-execution escaping its
+// declared key set would break group disjointness, so it stays aborted.
+func TestRescueContainmentViolationStaysAborted(t *testing.T) {
+	tx := &protocol.Transaction{
+		ID:       "esc",
+		Contract: "escape",
+		Function: "go",
+		Args:     []string{},
+		RWSet: protocol.RWSet{
+			Writes: []protocol.WriteItem{{Key: "declared", Value: []byte("v")}},
+		},
+	}
+	tx.RWSet.Precompute()
+	out := Run(mapSource{}, 2, []*protocol.Transaction{tx},
+		[]protocol.ValidationCode{protocol.MVCCConflict},
+		Options{Registry: chaincode.NewRegistry(escapeContract{})})
+	if out.Codes[0] != protocol.MVCCConflict {
+		t.Errorf("escaping execution code = %v, want it to stay aborted", out.Codes[0])
+	}
+	if out.Digest != nil {
+		t.Error("digest must be nil when nothing was rescued")
+	}
+}
+
+// TestRescueNoCandidates: blocks without MVCC casualties (or without carried
+// invocations) pass through untouched with a nil digest, keeping their wire
+// encoding byte-identical to the pre-rescue format.
+func TestRescueNoCandidates(t *testing.T) {
+	txs := []*protocol.Transaction{payment("t1", "a", "b", "1", seqno.Seq{})}
+	out := Run(mapSource{}, 2, txs, []protocol.ValidationCode{protocol.Valid}, Options{Registry: registry()})
+	if out.Attempted != 0 || out.Digest != nil || out.Codes[0] != protocol.Valid {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// No invocation carried: an MVCC casualty without Function stays aborted.
+	bare := &protocol.Transaction{ID: "bare"}
+	bare.RWSet.Precompute()
+	out = Run(mapSource{}, 2, []*protocol.Transaction{bare}, []protocol.ValidationCode{protocol.MVCCConflict}, Options{Registry: registry()})
+	if out.Attempted != 0 || out.Digest != nil {
+		t.Fatalf("bare outcome = %+v", out)
+	}
+}
+
+// TestWriteSetDigestSensitivity: the digest must commit to positions, keys,
+// values, and delete flags.
+func TestWriteSetDigestSensitivity(t *testing.T) {
+	codes := []protocol.ValidationCode{protocol.Rescued, protocol.Valid}
+	writes := [][]protocol.WriteItem{{{Key: "k", Value: []byte("v")}}, nil}
+	d1 := WriteSetDigest(codes, writes)
+	if d1 == nil {
+		t.Fatal("digest nil")
+	}
+	if !bytes.Equal(d1, WriteSetDigest(codes, writes)) {
+		t.Error("digest not stable")
+	}
+	writes2 := [][]protocol.WriteItem{{{Key: "k", Value: []byte("w")}}, nil}
+	if bytes.Equal(d1, WriteSetDigest(codes, writes2)) {
+		t.Error("digest ignores values")
+	}
+	writes3 := [][]protocol.WriteItem{{{Key: "k", Value: []byte("v"), Delete: true}}, nil}
+	if bytes.Equal(d1, WriteSetDigest(codes, writes3)) {
+		t.Error("digest ignores delete flags")
+	}
+	codes4 := []protocol.ValidationCode{protocol.Valid, protocol.Rescued}
+	writes4 := [][]protocol.WriteItem{nil, {{Key: "k", Value: []byte("v")}}}
+	if bytes.Equal(d1, WriteSetDigest(codes4, writes4)) {
+		t.Error("digest ignores positions")
+	}
+}

@@ -148,14 +148,21 @@ func (f *FoccL) staleAgainstCommitted(tx *protocol.Transaction) bool {
 	return false
 }
 
-// OnBlockCommitted implements Scheduler: track latest valid versions so the
-// next formation knows which pending transactions are already doomed.
+// OnBlockCommitted implements Scheduler: track latest committed versions so
+// the next formation knows which pending transactions are already doomed.
+// Rescued transactions committed too — their re-executed writes land on the
+// declared write keys (key sets are argument-determined for every shipped
+// contract, and the rescue phase's containment rule deterministically drops
+// any execution that escapes them), so the declared keys are the right
+// version bump; the version itself comes from protocol.CommitPositions
+// (rescued writes serialize after the whole block).
 func (f *FoccL) OnBlockCommitted(block uint64, txs []*protocol.Transaction, codes []protocol.ValidationCode) {
+	pos := protocol.CommitPositions(codes)
 	for i, tx := range txs {
-		if codes[i] != protocol.Valid {
+		if !codes[i].Committed() {
 			continue
 		}
-		seq := seqno.Commit(block, uint32(i+1))
+		seq := seqno.Commit(block, pos[i])
 		for _, s := range tx.RWSet.WriteKeys() {
 			k := f.keys.Intern(s)
 			for int(k) >= len(f.committed) {

@@ -42,20 +42,63 @@ func (s dbVersions) Version(key string) (seqno.Seq, bool) {
 // pure function of the consensus stream — no peer, no timing, no values.
 //
 // A ShadowState is confined to its orderer goroutine; it is not safe for
-// concurrent use.
+// concurrent mutation (the read-only fan-out of a rescue run is fine — see
+// Read).
 type ShadowState struct {
 	entries map[string]shadowEntry
 	height  uint64
+	// values enables value tracking (NewValueShadowState): the post-order
+	// rescue phase re-executes chaincode at the orderer, which needs the
+	// committed values, not just their versions. Values still come purely
+	// from the consensus stream (declared write sets of valid transactions
+	// plus re-executed write sets of rescued ones), so the shadow remains a
+	// deterministic function of the stream.
+	values bool
 }
 
 type shadowEntry struct {
 	version seqno.Seq
+	value   []byte
 	deleted bool
 }
 
-// NewShadowState returns an empty shadow (the genesis version state).
+// NewShadowState returns an empty value-free shadow (the genesis version
+// state).
 func NewShadowState() *ShadowState {
 	return &ShadowState{entries: map[string]shadowEntry{}}
+}
+
+// NewValueShadowState returns an empty shadow that also tracks committed
+// values, as required to re-execute chaincode at the orderer (reexec's
+// StateSource).
+func NewValueShadowState() *ShadowState {
+	return &ShadowState{entries: map[string]shadowEntry{}, values: true}
+}
+
+// TracksValues reports whether the shadow stores committed values.
+func (s *ShadowState) TracksValues() bool { return s.values }
+
+// Read resolves key to its committed value and version (reexec.StateSource).
+// Only value-tracking shadows (NewValueShadowState) support it. Read never
+// mutates the shadow, so the concurrent readers of a rescue run are safe as
+// long as nothing applies a block mid-run (the orderer's cut path is
+// serial). Callers must not mutate the returned value.
+func (s *ShadowState) Read(key string) ([]byte, seqno.Seq, bool) {
+	if !s.values {
+		panic("validation: Read on a value-free ShadowState (use NewValueShadowState)")
+	}
+	e, ok := s.entries[key]
+	if !ok || e.deleted {
+		return nil, seqno.Seq{}, false
+	}
+	return e.value, e.version, true
+}
+
+// Seed installs a committed key directly, bypassing block application —
+// benchmark and test initialization for value shadows. ver must be from a
+// block at or below the shadow's height.
+func (s *ShadowState) Seed(key string, value []byte, ver seqno.Seq) {
+	s.entries[key] = shadowEntry{version: ver, value: value}
 }
 
 // Version implements VersionSource.
@@ -70,16 +113,47 @@ func (s *ShadowState) Version(key string) (seqno.Seq, bool) {
 // Apply folds one sealed block's verdicts into the shadow: the writes of
 // every valid transaction land at version (block, position), deletes as
 // tombstones — mirroring what statedb.ApplyBlock will do on the peers with
-// the same codes. codes[i] corresponds to txs[i].
+// the same codes. codes[i] corresponds to txs[i]. Blocks carrying Rescued
+// verdicts must go through ApplyRescued instead (the rescued write sets are
+// not derivable from the transactions alone).
 func (s *ShadowState) Apply(block uint64, txs []*protocol.Transaction, codes []protocol.ValidationCode) {
+	s.ApplyRescued(block, txs, codes, nil)
+}
+
+// ApplyRescued is Apply plus the post-order rescue outcome: rescued[i], when
+// the slice is non-nil, holds the re-executed write set of each Rescued
+// transaction. Valid transactions commit their declared writes at their
+// in-block position; Rescued ones commit their re-executed writes after the
+// whole block (protocol.CommitPositions) — the valid pass runs first so a
+// rescued write of the same key lands last, exactly like the state
+// database's version-ordered history.
+func (s *ShadowState) ApplyRescued(block uint64, txs []*protocol.Transaction, codes []protocol.ValidationCode, rescued [][]protocol.WriteItem) {
+	pos := protocol.CommitPositions(codes)
+	apply := func(i int, writes []protocol.WriteItem) {
+		ver := seqno.Commit(block, pos[i])
+		for _, w := range writes {
+			e := shadowEntry{version: ver, deleted: w.Delete}
+			if s.values {
+				e.value = w.Value
+			}
+			s.entries[w.Key] = e
+		}
+	}
 	for i, tx := range txs {
-		if codes[i] != protocol.Valid {
+		if codes[i] == protocol.Valid {
+			apply(i, tx.RWSet.Writes)
+		}
+	}
+	for i := range txs {
+		if codes[i] != protocol.Rescued {
 			continue
 		}
-		ver := seqno.Commit(block, uint32(i+1))
-		for _, w := range tx.RWSet.Writes {
-			s.entries[w.Key] = shadowEntry{version: ver, deleted: w.Delete}
+		if rescued == nil {
+			// Applying a rescued block without its write sets would
+			// silently desynchronize the shadow from the peers.
+			panic("validation: Apply on a block with Rescued verdicts (use ApplyRescued)")
 		}
+		apply(i, rescued[i])
 	}
 	s.height = block
 }

@@ -17,6 +17,9 @@ func FuzzDecodeTransaction(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeTransaction(&protocol.Transaction{}))
 	f.Add(EncodeTransaction(fuzzSampleTx()))
+	for _, tx := range fuzzInvocationTxs() {
+		f.Add(EncodeTransaction(tx))
+	}
 	trunc := EncodeTransaction(fuzzSampleTx())
 	f.Add(trunc[:len(trunc)/2])
 	f.Fuzz(func(t *testing.T, b []byte) {
@@ -39,6 +42,12 @@ func FuzzDecodeBlock(f *testing.F) {
 		Transactions: []*protocol.Transaction{fuzzSampleTx(), {}},
 		Validation:   []protocol.ValidationCode{protocol.Valid, protocol.AbortCycle},
 	}))
+	f.Add(EncodeBlock(&ledger.Block{
+		Header:       ledger.Header{Number: 9, PrevHash: []byte{7}, DataHash: []byte{8}},
+		Transactions: fuzzInvocationTxs(),
+		Validation:   []protocol.ValidationCode{protocol.Rescued, protocol.MVCCConflict},
+		RescueDigest: bytes.Repeat([]byte{0xab}, 32),
+	}))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		blk, err := DecodeBlock(b)
 		if err != nil {
@@ -49,6 +58,33 @@ func FuzzDecodeBlock(f *testing.F) {
 			t.Fatalf("decode∘encode not identity:\n in  %x\n out %x", b, re)
 		}
 	})
+}
+
+// fuzzInvocationTxs seeds invocation-bearing shapes: a SmallBank transfer
+// with full args (what the rescue phase re-executes) and an invocation with
+// no args at all.
+func fuzzInvocationTxs() []*protocol.Transaction {
+	return []*protocol.Transaction{
+		{
+			ID:            "fuzz-pay",
+			ClientID:      "c1",
+			Contract:      "smallbank",
+			Function:      "send_payment",
+			Args:          []string{"alice", "bob", "25"},
+			SnapshotBlock: 12,
+			RWSet: protocol.RWSet{
+				Reads: []protocol.ReadItem{
+					{Key: "checking:alice", Version: protocol.Version{Block: 3, Pos: 1}},
+					{Key: "checking:bob", Version: protocol.Version{Block: 7, Pos: 4}},
+				},
+				Writes: []protocol.WriteItem{
+					{Key: "checking:alice", Value: []byte("75")},
+					{Key: "checking:bob", Value: []byte("125")},
+				},
+			},
+		},
+		{ID: "fuzz-noargs", Contract: "kv", Function: "noop"},
+	}
 }
 
 func fuzzSampleTx() *protocol.Transaction {

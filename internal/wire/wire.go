@@ -40,7 +40,8 @@ import (
 )
 
 // Version is the wire-format version carried in every frame header.
-const Version = 1
+// History: v1 original; v2 added the block rescue-digest field.
+const Version = 2
 
 // MaxFrameSize bounds a frame's payload (64 MiB): far above any realistic
 // block, small enough that a corrupt length prefix cannot OOM a node.
@@ -420,14 +421,17 @@ func AppendBlock(dst []byte, blk *ledger.Block) []byte {
 		dst = appendBytes(dst, EncodeTransaction(tx))
 	}
 	if blk.Validation == nil {
-		return appendBool(dst, false)
+		dst = appendBool(dst, false)
+	} else {
+		dst = appendBool(dst, true)
+		dst = appendU32(dst, uint32(len(blk.Validation)))
+		for _, c := range blk.Validation {
+			dst = appendU8(dst, uint8(c))
+		}
 	}
-	dst = appendBool(dst, true)
-	dst = appendU32(dst, uint32(len(blk.Validation)))
-	for _, c := range blk.Validation {
-		dst = appendU8(dst, uint8(c))
-	}
-	return dst
+	// The rescue digest is always present (length 0 encodes nil), keeping
+	// the encoding canonical: one layout, one byte string per block.
+	return appendBytes(dst, blk.RescueDigest)
 }
 
 // EncodeBlock renders blk in the canonical encoding.
@@ -468,6 +472,7 @@ func DecodeBlock(b []byte) (*ledger.Block, error) {
 			blk.Validation[i] = protocol.ValidationCode(d.u8())
 		}
 	}
+	blk.RescueDigest = d.bytes()
 	if err := d.finish(); err != nil {
 		return nil, fmt.Errorf("block: %w", err)
 	}

@@ -149,6 +149,38 @@ func TestBlockWithoutValidationRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBlockRescueDigestRoundTrip(t *testing.T) {
+	digest := bytes.Repeat([]byte{0x5c}, 32)
+	blk := &ledger.Block{
+		Header:       ledger.Header{Number: 9, PrevHash: []byte{1}, DataHash: []byte{2}},
+		Transactions: []*protocol.Transaction{sampleTx(0), sampleTx(1)},
+		Validation:   []protocol.ValidationCode{protocol.Valid, protocol.Rescued},
+		RescueDigest: digest,
+	}
+	got, err := DecodeBlock(EncodeBlock(blk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.RescueDigest, digest) {
+		t.Fatalf("rescue digest round-trip: %x != %x", got.RescueDigest, digest)
+	}
+	if !reflect.DeepEqual(got.Validation, blk.Validation) {
+		t.Fatalf("verdicts diverged: %v", got.Validation)
+	}
+	// nil and empty must both decode to nil — the digest's presence is the
+	// "block had rescues" signal, so a phantom empty slice would desync the
+	// replicas' nil checks.
+	blk.RescueDigest = nil
+	blk.Validation = []protocol.ValidationCode{protocol.Valid, protocol.MVCCConflict}
+	got, err = DecodeBlock(EncodeBlock(blk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RescueDigest != nil {
+		t.Fatalf("nil rescue digest decoded as %v", got.RescueDigest)
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payloads := [][]byte{[]byte("hello"), nil, bytes.Repeat([]byte{7}, 1000)}

@@ -13,6 +13,7 @@
 #             ACCOUNTS + CLIENTS*TXS = 500 with the defaults)
 #   PORT_BASE first TCP port                   (default: 27050)
 #   LOGDIR    where node logs go               (default: ./cluster-logs)
+#   RESCUE    1 = post-order re-execution on   (default: 1; set 0 to disable)
 set -euo pipefail
 
 SYSTEMS=${SYSTEMS:-"fabric# focc-l"}
@@ -21,7 +22,13 @@ TXS=${TXS:-118}
 ACCOUNTS=${ACCOUNTS:-28}
 PORT_BASE=${PORT_BASE:-27050}
 LOGDIR=${LOGDIR:-cluster-logs}
+RESCUE=${RESCUE:-1}
 BIN=$(mktemp -d)
+
+RESCUE_FLAG=""
+if [ "$RESCUE" = "1" ]; then
+  RESCUE_FLAG="-rescue"
+fi
 
 mkdir -p "$LOGDIR"
 go build -o "$BIN" ./cmd/fabricnode ./cmd/sharpnet
@@ -47,14 +54,17 @@ for system in $SYSTEMS; do
 
   "$BIN/fabricnode" -role orderer -listen "127.0.0.1:$orderer_port" \
       -peers peer0,peer1 -system "$system" -block-size 50 -block-timeout 50ms \
+      $RESCUE_FLAG \
       > "$LOGDIR/orderer-$slug.log" 2>&1 &
   PIDS+=($!)
   "$BIN/fabricnode" -role peer -name peer0 -listen "127.0.0.1:$peer0_port" \
       -orderer "127.0.0.1:$orderer_port" -peers peer0,peer1 -system "$system" \
+      $RESCUE_FLAG \
       > "$LOGDIR/peer0-$slug.log" 2>&1 &
   PIDS+=($!)
   "$BIN/fabricnode" -role peer -name peer1 -listen "127.0.0.1:$peer1_port" \
       -orderer "127.0.0.1:$orderer_port" -peers peer0,peer1 -system "$system" \
+      $RESCUE_FLAG \
       > "$LOGDIR/peer1-$slug.log" 2>&1 &
   PIDS+=($!)
 
