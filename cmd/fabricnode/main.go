@@ -30,7 +30,7 @@ func main() {
 	role := flag.String("role", "", "orderer | peer")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	name := flag.String("name", "", "peer identity (role peer; must appear in -peers)")
-	ordererAddr := flag.String("orderer", "", "orderer address (role peer)")
+	ordererAddr := flag.String("orderer", "", "comma-separated orderer addresses (role peer; the subscription fails over across them)")
 	peerNames := flag.String("peers", "peer0,peer1", "comma-separated validating peer names (cluster-wide, identical on every node)")
 	system := flag.String("system", "fabric#", "fabric | fabric++ | fabric# | focc-s | focc-l")
 	blockSize := flag.Int("block-size", 100, "transactions per block (orderer)")
@@ -42,6 +42,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist ledger+state under this directory (role peer)")
 	workers := flag.Int("workers", 0, "validation workers (role peer; 0 = GOMAXPROCS)")
 	rescue := flag.Bool("rescue", false, "post-order re-execution of MVCC-aborted transactions (must match cluster-wide)")
+	raftID := flag.String("raft-id", "", "this orderer's raft address (role orderer; must appear in -raft-cluster)")
+	raftCluster := flag.String("raft-cluster", "", "comma-separated raft addresses of every ordering member (empty = standalone orderer)")
+	raftRedirects := flag.String("raft-redirects", "", "comma-separated raftAddr=clientAddr pairs for NotLeader redirect hints")
+	raftDir := flag.String("raft-dir", "", "persist raft term+vote under this directory (role orderer)")
+	raftElection := flag.Duration("raft-election-timeout", 0, "base raft election timeout (0 = default)")
 	flag.Parse()
 
 	names := splitNonEmpty(*peerNames)
@@ -52,17 +57,26 @@ func main() {
 	)
 	switch *role {
 	case "orderer":
+		redirects, err := parseRedirects(*raftRedirects)
+		if err != nil {
+			fatal(err)
+		}
 		ord, err := node.StartOrderer(node.OrdererConfig{
-			Listen:       *listen,
-			System:       sched.System(*system),
-			PeerNames:    names,
-			Orderers:     *orderers,
-			BlockSize:    *blockSize,
-			BlockTimeout: *blockTimeout,
-			MaxSpan:      *maxSpan,
-			CompactEvery: *compactEvery,
-			DedupHorizon: *dedupHorizon,
-			Rescue:       *rescue,
+			Listen:              *listen,
+			System:              sched.System(*system),
+			PeerNames:           names,
+			Orderers:            *orderers,
+			BlockSize:           *blockSize,
+			BlockTimeout:        *blockTimeout,
+			MaxSpan:             *maxSpan,
+			CompactEvery:        *compactEvery,
+			DedupHorizon:        *dedupHorizon,
+			Rescue:              *rescue,
+			RaftID:              *raftID,
+			RaftCluster:         splitNonEmpty(*raftCluster),
+			RaftRedirects:       redirects,
+			RaftDir:             *raftDir,
+			RaftElectionTimeout: *raftElection,
 		})
 		if err != nil {
 			fatal(err)
@@ -75,7 +89,7 @@ func main() {
 		p, err := node.StartPeer(node.PeerConfig{
 			Name:              *name,
 			Listen:            *listen,
-			OrdererAddr:       *ordererAddr,
+			OrdererAddrs:      splitNonEmpty(*ordererAddr),
 			System:            sched.System(*system),
 			PeerNames:         names,
 			DataDir:           *dataDir,
@@ -116,6 +130,23 @@ func main() {
 			}
 		}
 	}
+}
+
+// parseRedirects parses "raftAddr=clientAddr,raftAddr=clientAddr" pairs.
+func parseRedirects(s string) (map[string]string, error) {
+	pairs := splitNonEmpty(s)
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		raftAddr, clientAddr, ok := strings.Cut(p, "=")
+		if !ok || raftAddr == "" || clientAddr == "" {
+			return nil, fmt.Errorf("malformed -raft-redirects entry %q (want raftAddr=clientAddr)", p)
+		}
+		out[raftAddr] = clientAddr
+	}
+	return out, nil
 }
 
 func splitNonEmpty(s string) []string {

@@ -12,12 +12,22 @@
 //     failed run. This is what the CI cluster-smoke job runs against three
 //     separate OS processes.
 //
+// Two auxiliary modes support the chaos smoke against a Raft ordering
+// cluster:
+//
+//   - -mode status: prints one machine-readable line per orderer and peer
+//     (role, name, term, leader, blocks, tip, committed count).
+//   - -mode check: polls until every live orderer and every peer agree on a
+//     bit-identical chain tip and state fingerprint, then asserts the
+//     ledger's committed-transaction tally covers -expect-committed.
+//
 // Usage:
 //
 //	sharpnet [-system fabric#] [-clients 4] [-txs 200]
-//	sharpnet -mode load -orderer 127.0.0.1:7050 \
+//	sharpnet -mode load -orderer 127.0.0.1:7050,127.0.0.1:7060 \
 //	         -peer-addrs 127.0.0.1:7051,127.0.0.1:7052 \
 //	         [-clients 4] [-txs 125] [-accounts 32] [-seed 42]
+//	sharpnet -mode check -orderer ... -peer-addrs ... -expect-committed 500
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"fabricsharp/internal/fabric"
 	"fabricsharp/internal/node"
 	"fabricsharp/internal/sched"
+	"fabricsharp/internal/wire"
 )
 
 func main() {
@@ -41,18 +52,25 @@ func main() {
 	clients := flag.Int("clients", 4, "concurrent clients")
 	txs := flag.Int("txs", 200, "transactions per client")
 	hotKeys := flag.Int("hot", 8, "number of contended counters (demo mode)")
-	ordererAddr := flag.String("orderer", "", "orderer address (load mode)")
-	peerAddrs := flag.String("peer-addrs", "", "comma-separated peer addresses (load mode)")
+	ordererAddr := flag.String("orderer", "", "comma-separated orderer addresses (load/status/check modes)")
+	peerAddrs := flag.String("peer-addrs", "", "comma-separated peer addresses (load/status/check modes)")
 	accounts := flag.Int("accounts", 32, "SmallBank account pool (load mode)")
 	seed := flag.Int64("seed", 42, "base seed; client i draws from an explicit rand.Rand seeded with seed+i (load mode)")
 	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "how long to retry dialing the cluster (load mode)")
+	expectCommitted := flag.Uint64("expect-committed", 0, "minimum committed-transaction tally the ledger must hold (check mode)")
+	convergeTimeout := flag.Duration("converge-timeout", 60*time.Second, "how long check mode waits for the cluster to agree")
 	flag.Parse()
 
+	orderers := splitAddrs(*ordererAddr)
 	switch *mode {
 	case "demo":
 		demo(*system, *clients, *txs, *hotKeys)
 	case "load":
-		load(*ordererAddr, splitAddrs(*peerAddrs), *clients, *txs, *accounts, *seed, *dialTimeout)
+		load(orderers, splitAddrs(*peerAddrs), *clients, *txs, *accounts, *seed, *dialTimeout)
+	case "status":
+		statusMode(orderers, splitAddrs(*peerAddrs), *dialTimeout)
+	case "check":
+		check(orderers, splitAddrs(*peerAddrs), *expectCommitted, *convergeTimeout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -169,15 +187,15 @@ func smallbankOp(rng *rand.Rand, accounts int) (string, []string) {
 	}
 }
 
-func load(ordererAddr string, peers []string, clients, txs, accounts int, seed int64, dialTimeout time.Duration) {
-	if ordererAddr == "" || len(peers) == 0 {
+func load(orderers, peers []string, clients, txs, accounts int, seed int64, dialTimeout time.Duration) {
+	if len(orderers) == 0 || len(peers) == 0 {
 		fmt.Fprintln(os.Stderr, "load mode requires -orderer and -peer-addrs")
 		os.Exit(2)
 	}
 	start := time.Now()
 
 	// Phase 0: seed the account pool (blind writes, contention-free).
-	seeder, err := node.DialClient("seeder", ordererAddr, peers, dialTimeout)
+	seeder, err := node.DialClient("seeder", orderers, peers, dialTimeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -203,7 +221,7 @@ func load(ordererAddr string, peers []string, clients, txs, accounts int, seed i
 		go func(c int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(c)))
-			client, err := node.DialClient(fmt.Sprintf("load%d", c), ordererAddr, peers, dialTimeout)
+			client, err := node.DialClient(fmt.Sprintf("load%d", c), orderers, peers, dialTimeout)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				atomic.AddInt64(&failed, int64(txs))
@@ -230,7 +248,7 @@ func load(ordererAddr string, peers []string, clients, txs, accounts int, seed i
 
 	// Phase 2: convergence. Every peer must reach the orderer's sealed
 	// chain and agree bit for bit.
-	checker, err := node.DialClient("checker", ordererAddr, peers, dialTimeout)
+	checker, err := node.DialClient("checker", orderers, peers, dialTimeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -247,42 +265,144 @@ func load(ordererAddr string, peers []string, clients, txs, accounts int, seed i
 	fmt.Printf("throughput %.0f tx/s end-to-end over TCP\n",
 		(float64(accounts)+float64(committed+aborted))/elapsed.Seconds())
 
+	// The probe retries until every live orderer (a freshly restarted
+	// replica may still be catching up the replicated log) and every peer
+	// agree bit for bit.
 	deadline := time.Now().Add(60 * time.Second)
-	converged := true
-	var refState string
-	for i := range peers {
-		for {
-			st, err := checker.PeerStatus(i)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if st.Blocks >= ordStatus.Blocks {
-				match := string(st.TipHash) == string(ordStatus.TipHash)
-				if i == 0 {
-					refState = st.StateHash
-				}
-				fmt.Printf("peer %-8s %d blocks, height %d, tip %x, state %.16s… match=%v\n",
-					st.Name, st.Blocks, st.Height, st.TipHash, st.StateHash, match)
-				if !match || st.StateHash != refState {
-					converged = false
-				}
-				break
-			}
-			if time.Now().After(deadline) {
-				fmt.Fprintf(os.Stderr, "peer %d stuck at %d/%d blocks\n", i, st.Blocks, ordStatus.Blocks)
-				os.Exit(1)
-			}
-			time.Sleep(10 * time.Millisecond)
+	for {
+		why := agreementProbe(orderers, peers, 0, 2*time.Second)
+		if why == "" {
+			break
 		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "CONVERGENCE FAILED: %s\n", why)
+			os.Exit(1)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := range peers {
+		st, err := checker.PeerStatus(i)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("peer %-8s %d blocks, height %d, tip %x, state %.16s…\n",
+			st.Name, st.Blocks, st.Height, st.TipHash, st.StateHash)
 	}
 	if failed > 0 {
 		fmt.Fprintln(os.Stderr, "LOAD FAILED: some submissions errored")
 		os.Exit(1)
 	}
-	if !converged {
-		fmt.Fprintln(os.Stderr, "CONVERGENCE FAILED: peers disagree on chain or state")
-		os.Exit(1)
-	}
+	// Machine-readable tally for the chaos smoke: every one of these
+	// transactions was acked committed to a client, so the surviving
+	// cluster's ledger must account for all of them (check mode asserts it).
+	fmt.Printf("COMMITTED_TOTAL %d\n", int64(accounts)+committed)
 	fmt.Println("CONVERGED: all peers at bit-identical chain tips and state fingerprints")
+}
+
+// ---------------------------------------------------------------------------
+// status / check modes: cluster-wide agreement probes for the chaos smoke
+// ---------------------------------------------------------------------------
+
+// statusMode prints one line per reachable cluster member; unreachable
+// members are reported but not fatal (the chaos smoke probes mid-kill).
+func statusMode(orderers, peers []string, dialTimeout time.Duration) {
+	for _, addr := range orderers {
+		st, err := node.StatusAt(addr, dialTimeout)
+		if err != nil {
+			fmt.Printf("orderer %s down (%v)\n", addr, err)
+			continue
+		}
+		fmt.Printf("orderer %s name=%s term=%d leader=%s blocks=%d height=%d committed=%d tip=%x\n",
+			addr, st.Name, st.Term, st.Leader, st.Blocks, st.Height, st.CommittedTx, st.TipHash)
+	}
+	for _, addr := range peers {
+		st, err := node.StatusAt(addr, dialTimeout)
+		if err != nil {
+			fmt.Printf("peer %s down (%v)\n", addr, err)
+			continue
+		}
+		fmt.Printf("peer %s name=%s blocks=%d height=%d committed=%d tip=%x state=%s\n",
+			addr, st.Name, st.Blocks, st.Height, st.CommittedTx, st.TipHash, st.StateHash)
+	}
+}
+
+// check polls until every live orderer and every peer agree on a
+// bit-identical chain tip (peers additionally on the state fingerprint),
+// then asserts the replicated ledger's committed tally covers
+// expectCommitted. Unreachable orderers are skipped — the chaos smoke runs
+// this with a member killed — but at least one must answer; peers must all
+// answer (none are killed).
+func check(orderers, peers []string, expectCommitted uint64, timeout time.Duration) {
+	if len(orderers) == 0 || len(peers) == 0 {
+		fmt.Fprintln(os.Stderr, "check mode requires -orderer and -peer-addrs")
+		os.Exit(2)
+	}
+	deadline := time.Now().Add(timeout)
+	probe := 2 * time.Second
+	var lastWhy string
+	for {
+		why := agreementProbe(orderers, peers, expectCommitted, probe)
+		if why == "" {
+			fmt.Println("CHECK OK: survivors agree bit for bit and no committed transaction was lost")
+			return
+		}
+		lastWhy = why
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "CHECK FAILED after %v: %s\n", timeout, lastWhy)
+			os.Exit(1)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// agreementProbe takes one cluster snapshot and returns "" when the
+// agreement invariants hold, else a reason to keep waiting.
+func agreementProbe(orderers, peers []string, expectCommitted uint64, dialTimeout time.Duration) string {
+	type member struct {
+		addr string
+		st   wire.Status
+	}
+	var live []member
+	for _, addr := range orderers {
+		st, err := node.StatusAt(addr, dialTimeout)
+		if err != nil {
+			continue // killed member: survivors carry the invariant
+		}
+		live = append(live, member{addr, st})
+	}
+	if len(live) == 0 {
+		return "no orderer reachable"
+	}
+	ref := live[0].st
+	for _, m := range live[1:] {
+		if m.st.Blocks != ref.Blocks || string(m.st.TipHash) != string(ref.TipHash) {
+			return fmt.Sprintf("orderers %s and %s disagree (%d/%x vs %d/%x)",
+				live[0].addr, m.addr, ref.Blocks, ref.TipHash, m.st.Blocks, m.st.TipHash)
+		}
+	}
+	if ref.CommittedTx < expectCommitted {
+		return fmt.Sprintf("ledger holds %d committed transactions, clients observed %d",
+			ref.CommittedTx, expectCommitted)
+	}
+	var refState string
+	for i, addr := range peers {
+		st, err := node.StatusAt(addr, dialTimeout)
+		if err != nil {
+			return fmt.Sprintf("peer %s unreachable (%v)", addr, err)
+		}
+		if st.Blocks != ref.Blocks || string(st.TipHash) != string(ref.TipHash) {
+			return fmt.Sprintf("peer %s at %d/%x, orderers at %d/%x",
+				addr, st.Blocks, st.TipHash, ref.Blocks, ref.TipHash)
+		}
+		if st.CommittedTx != ref.CommittedTx {
+			return fmt.Sprintf("peer %s counts %d committed, orderers %d", addr, st.CommittedTx, ref.CommittedTx)
+		}
+		if i == 0 {
+			refState = st.StateHash
+		} else if st.StateHash != refState {
+			return fmt.Sprintf("peer state fingerprints diverge (%s: %.16s… vs %.16s…)", addr, st.StateHash, refState)
+		}
+	}
+	return ""
 }

@@ -83,10 +83,18 @@ type Options struct {
 	// directory resumes from the stored chain (crash recovery is inherited
 	// from the kvstore WAL).
 	DataDir string
+	// Ordering, when set, injects an externally built consensus service —
+	// typically a transport.RaftService joining this process to a Raft
+	// ordering cluster over TCP — instead of constructing an in-process one
+	// from Consensus/RaftNodes. Every process consuming the same replicated
+	// stream seals byte-identical blocks, which is what makes a multi-process
+	// ordering cluster interchangeable with the in-process backends. The
+	// network takes ownership: Close closes it.
+	Ordering consensus.Service
 	// Consensus selects the ordering service backend: "kafka" (default,
 	// the paper's setup) or "raft" (the crash-fault replicated log that
 	// replaced Kafka in later Fabric versions). The schedulers are
-	// oblivious to the choice.
+	// oblivious to the choice. Ignored when Ordering is set.
 	Consensus string
 	// RaftNodes sizes the raft cluster (default 3; kafka ignores it).
 	RaftNodes int
@@ -270,10 +278,12 @@ func NewNetwork(opts Options) (*Network, error) {
 	}
 	opts = opts.withDefaults()
 	var ordering consensus.Service
-	switch opts.Consensus {
-	case "kafka":
+	switch {
+	case opts.Ordering != nil:
+		ordering = opts.Ordering
+	case opts.Consensus == "kafka":
 		ordering = consensus.NewKafka()
-	case "raft":
+	case opts.Consensus == "raft":
 		ordering = consensus.NewRaft(opts.RaftNodes)
 	default:
 		return nil, fmt.Errorf("fabric: unknown consensus backend %q", opts.Consensus)

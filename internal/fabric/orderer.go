@@ -102,8 +102,14 @@ func (o *orderer) run() {
 			if o.scheduler.PendingCount() > 0 {
 				// Do not cut locally: post a time-to-cut marker through
 				// consensus so every replica cuts at the same stream
-				// position (deterministic block boundaries).
+				// position (deterministic block boundaries). The submit is
+				// best-effort — on a Raft follower it fails with ErrNotLeader
+				// by design (the leader's replica proposes the marker) — so
+				// re-arm and keep proposing until the cut lands. Without the
+				// retry a replica that fired as a follower and later won an
+				// election would sit on pending transactions forever.
 				_ = o.net.kafka.Submit(consensusCutMarker(o.name, o.nextCutBlock()))
+				arm()
 			}
 		case seq, ok := <-stream:
 			if !ok {

@@ -4,40 +4,67 @@ import (
 	"fmt"
 	"time"
 
+	"fabricsharp/internal/metrics"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/transport"
 	"fabricsharp/internal/wire"
 )
 
+// clientDialBudget bounds one reconnect attempt at one orderer address
+// before the client rotates to the next — failover should move on quickly,
+// not wait out a dead address.
+const clientDialBudget = 500 * time.Millisecond
+
 // Client drives a process-per-node cluster over TCP: proposals to peers
-// (round-robin), submits to the orderer, result polling by TxID. A Client
-// is single-goroutine (use one per worker); Dial absorbs cluster startup
-// with bounded retry.
+// (round-robin), submits to the ordering cluster, result polling by TxID. A
+// Client is single-goroutine (use one per worker); Dial absorbs cluster
+// startup with bounded retry.
+//
+// Submission survives orderer failover: a connection failure rotates to the
+// next orderer address with jittered exponential backoff, and a NotLeader
+// ack follows the redirect hint to the current leader. Retried submissions
+// reuse the transaction ID, so the orderer's dedup horizon absorbs any
+// duplicate that slips through (at most one verdict per ID is ever sealed).
 type Client struct {
-	name    string
-	orderer *transport.Conn
-	peers   []*transport.Conn
-	rr      uint64
-	seq     uint64
+	name         string
+	ordererAddrs []string
+	ordIdx       int
+	orderer      *transport.Conn
+	peers        []*transport.Conn
+	bo           *transport.Backoff
+	rr           uint64
+	seq          uint64
 	// PollInterval is the result-poll cadence (default 2ms).
 	PollInterval time.Duration
-	// SubmitTimeout bounds Submit waiting for a result (default 30s).
+	// SubmitTimeout bounds Submit waiting for a result, and SubmitTx/poll
+	// retrying across failovers (default 30s).
 	SubmitTimeout time.Duration
+	// Redirects counts NotLeader redirects this client followed.
+	Redirects metrics.Counter
 }
 
-// DialClient connects to an orderer and at least one peer, retrying each
-// address for up to dialTimeout.
-func DialClient(name, ordererAddr string, peerAddrs []string, dialTimeout time.Duration) (*Client, error) {
+// DialClient connects to at least one orderer of the given cluster and
+// every peer, retrying for up to dialTimeout.
+func DialClient(name string, ordererAddrs, peerAddrs []string, dialTimeout time.Duration) (*Client, error) {
+	if err := nonEmpty(ordererAddrs, "orderer addresses"); err != nil {
+		return nil, err
+	}
 	if err := nonEmpty(peerAddrs, "peer addresses"); err != nil {
 		return nil, err
 	}
-	c := &Client{name: name, PollInterval: 2 * time.Millisecond, SubmitTimeout: 30 * time.Second}
-	var err error
-	if c.orderer, err = transport.DialRetry(ordererAddr, dialTimeout); err != nil {
+	c := &Client{
+		name:          name,
+		ordererAddrs:  ordererAddrs,
+		bo:            transport.NewBackoff(10*time.Millisecond, time.Second, 0),
+		PollInterval:  2 * time.Millisecond,
+		SubmitTimeout: 30 * time.Second,
+	}
+	deadline := time.Now().Add(dialTimeout)
+	if _, err := c.ordererConn(deadline); err != nil {
 		return nil, err
 	}
 	for _, addr := range peerAddrs {
-		conn, err := transport.DialRetry(addr, dialTimeout)
+		conn, err := transport.DialRetry(addr, deadline)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -54,6 +81,69 @@ func (c *Client) Close() {
 	}
 	for _, p := range c.peers {
 		_ = p.Close()
+	}
+}
+
+// ordererConn returns the live orderer connection, dialing through the
+// address rotation until one answers or the deadline passes.
+func (c *Client) ordererConn(deadline time.Time) (*transport.Conn, error) {
+	if c.orderer != nil {
+		return c.orderer, nil
+	}
+	var lastErr error
+	for {
+		addr := c.ordererAddrs[c.ordIdx%len(c.ordererAddrs)]
+		budget := time.Now().Add(clientDialBudget)
+		if budget.After(deadline) {
+			budget = deadline
+		}
+		conn, err := transport.DialRetry(addr, budget)
+		if err == nil {
+			c.orderer = conn
+			c.bo.Reset()
+			return conn, nil
+		}
+		lastErr = err
+		c.ordIdx++
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("node: no reachable orderer in %v: %w", c.ordererAddrs, lastErr)
+		}
+	}
+}
+
+// dropOrderer abandons the current connection; rotate moves to the next
+// address (connection errors), while a redirect picks the hinted leader
+// instead.
+func (c *Client) dropOrderer(rotate bool) {
+	if c.orderer != nil {
+		_ = c.orderer.Close()
+		c.orderer = nil
+	}
+	if rotate {
+		c.ordIdx++
+	}
+}
+
+// preferOrderer points the rotation at addr if it is a known cluster
+// address (a NotLeader redirect hint); unknown hints fall back to rotation.
+func (c *Client) preferOrderer(addr string) bool {
+	for i, a := range c.ordererAddrs {
+		if a == addr {
+			c.ordIdx = i
+			return true
+		}
+	}
+	return false
+}
+
+// pause sleeps one jittered backoff step, bounded by the deadline.
+func (c *Client) pause(deadline time.Time) {
+	d := c.bo.Next()
+	if r := time.Until(deadline); d > r {
+		d = r
+	}
+	if d > 0 {
+		time.Sleep(d)
 	}
 }
 
@@ -92,39 +182,90 @@ func (c *Client) Endorse(contract, function string, args ...string) (*protocol.T
 	return pr.Tx, nil
 }
 
-// SubmitTx broadcasts an endorsed transaction to the ordering service.
+// SubmitTx broadcasts an endorsed transaction to the ordering cluster,
+// surviving leader failover: connection errors rotate to the next orderer,
+// NotLeader acks follow the redirect hint, and every retry backs off with
+// jitter. A nil return means the ordering service durably accepted the
+// transaction (Raft clusters ack only after quorum commit).
 func (c *Client) SubmitTx(tx *protocol.Transaction) error {
-	typ, resp, err := c.orderer.Call(wire.MsgSubmit, wire.EncodeTransaction(tx))
-	if err != nil {
-		return fmt.Errorf("node: submit: %w", err)
+	payload := wire.EncodeTransaction(tx)
+	deadline := time.Now().Add(c.SubmitTimeout)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && !time.Now().Before(deadline) {
+			return fmt.Errorf("node: submit %s: gave up after %s: %w", tx.ID, c.SubmitTimeout, lastErr)
+		}
+		conn, err := c.ordererConn(deadline)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		typ, resp, err := conn.Call(wire.MsgSubmit, payload)
+		if err != nil {
+			// Connection died (possibly the leader we were talking to):
+			// rotate and retry. The transaction may or may not have been
+			// accepted; resubmission is dedup-safe.
+			lastErr = fmt.Errorf("node: submit: %w", err)
+			c.dropOrderer(true)
+			c.pause(deadline)
+			continue
+		}
+		if typ != wire.MsgAck {
+			return fmt.Errorf("node: submit answered with %v", typ)
+		}
+		ack, err := wire.DecodeAck(resp)
+		if err != nil {
+			return err
+		}
+		switch {
+		case ack.OK:
+			return nil
+		case ack.NotLeader:
+			// Redirect: reconnect to the hinted leader (or rotate while the
+			// cluster is mid-election).
+			c.Redirects.Inc()
+			lastErr = fmt.Errorf("node: submit: not leader (hint %q)", ack.Leader)
+			followed := ack.Leader != "" && c.preferOrderer(ack.Leader)
+			c.dropOrderer(!followed)
+			c.pause(deadline)
+		default:
+			return fmt.Errorf("node: submit rejected: %s", ack.Err)
+		}
 	}
-	if typ != wire.MsgAck {
-		return fmt.Errorf("node: submit answered with %v", typ)
-	}
-	ack, err := wire.DecodeAck(resp)
-	if err != nil {
-		return err
-	}
-	if !ack.OK {
-		return fmt.Errorf("node: submit rejected: %s", ack.Err)
-	}
-	return nil
 }
 
-// PollResult asks the orderer once for a transaction's fate.
+// PollResult asks the ordering cluster once for a transaction's fate; a
+// broken connection fails over to the next orderer (every replica resolves
+// identical results, so any of them can answer).
 func (c *Client) PollResult(txID string) (wire.Result, error) {
-	typ, resp, err := c.orderer.Call(wire.MsgResultPoll, []byte(txID))
-	if err != nil {
-		return wire.Result{}, fmt.Errorf("node: poll: %w", err)
+	deadline := time.Now().Add(c.SubmitTimeout)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && !time.Now().Before(deadline) {
+			return wire.Result{}, fmt.Errorf("node: poll %s: %w", txID, lastErr)
+		}
+		conn, err := c.ordererConn(deadline)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		typ, resp, err := conn.Call(wire.MsgResultPoll, []byte(txID))
+		if err != nil {
+			lastErr = fmt.Errorf("node: poll: %w", err)
+			c.dropOrderer(true)
+			c.pause(deadline)
+			continue
+		}
+		if typ != wire.MsgResult {
+			return wire.Result{}, fmt.Errorf("node: poll answered with %v", typ)
+		}
+		return wire.DecodeResult(resp)
 	}
-	if typ != wire.MsgResult {
-		return wire.Result{}, fmt.Errorf("node: poll answered with %v", typ)
-	}
-	return wire.DecodeResult(resp)
 }
 
 // Submit is the full client lifecycle: endorse on a peer, submit to the
-// orderer, poll until the transaction resolves (committed or aborted).
+// ordering cluster, poll until the transaction resolves (committed or
+// aborted).
 func (c *Client) Submit(contract, function string, args ...string) (wire.Result, error) {
 	tx, err := c.Endorse(contract, function, args...)
 	if err != nil {
@@ -149,9 +290,29 @@ func (c *Client) Submit(contract, function string, args ...string) (wire.Result,
 	}
 }
 
-// OrdererStatus fetches the orderer's chain position.
+// OrdererStatus fetches the connected orderer's chain position, failing
+// over on a dead connection.
 func (c *Client) OrdererStatus() (wire.Status, error) {
-	return status(c.orderer)
+	deadline := time.Now().Add(c.SubmitTimeout)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && !time.Now().Before(deadline) {
+			return wire.Status{}, fmt.Errorf("node: status: %w", lastErr)
+		}
+		conn, err := c.ordererConn(deadline)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st, err := status(conn)
+		if err != nil {
+			lastErr = err
+			c.dropOrderer(true)
+			c.pause(deadline)
+			continue
+		}
+		return st, nil
+	}
 }
 
 // PeerStatus fetches peer i's chain/state position.
@@ -161,6 +322,19 @@ func (c *Client) PeerStatus(i int) (wire.Status, error) {
 
 // Peers returns how many peers the client is connected to.
 func (c *Client) Peers() int { return len(c.peers) }
+
+// StatusAt fetches a single node's status directly — any orderer or peer
+// address — without the Client's failover machinery. Tools use it to probe
+// cluster members individually (e.g. to find the Raft leader or compare
+// replica tips during a chaos run).
+func StatusAt(addr string, timeout time.Duration) (wire.Status, error) {
+	conn, err := transport.DialRetry(addr, time.Now().Add(timeout))
+	if err != nil {
+		return wire.Status{}, err
+	}
+	defer conn.Close()
+	return status(conn)
+}
 
 func status(conn *transport.Conn) (wire.Status, error) {
 	typ, resp, err := conn.Call(wire.MsgStatusReq, nil)

@@ -35,11 +35,11 @@ func bootCluster(t *testing.T, system sched.System, n int) (*Orderer, []*Peer) {
 	peers := make([]*Peer, n)
 	for i := range peers {
 		p, err := StartPeer(PeerConfig{
-			Name:        names[i],
-			Listen:      "127.0.0.1:0",
-			OrdererAddr: ord.Addr(),
-			System:      system,
-			PeerNames:   names,
+			Name:         names[i],
+			Listen:       "127.0.0.1:0",
+			OrdererAddrs: []string{ord.Addr()},
+			System:       system,
+			PeerNames:    names,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -155,7 +155,7 @@ func TestClusterConvergenceAllSystems(t *testing.T) {
 		system := system
 		t.Run(string(system), func(t *testing.T) {
 			ord, peers := bootCluster(t, system, 3)
-			client, err := DialClient("loadgen", ord.Addr(), peerAddrs(peers), dialTimeout)
+			client, err := DialClient("loadgen", []string{ord.Addr()}, peerAddrs(peers), dialTimeout)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -184,7 +184,7 @@ func TestClusterConvergenceAllSystems(t *testing.T) {
 // ends with every peer's stored validation codes equal to the orderer's.
 func TestClusterSealedVerdictsTravel(t *testing.T) {
 	ord, peers := bootCluster(t, sched.SystemSharp, 2)
-	client, err := DialClient("verdicts", ord.Addr(), peerAddrs(peers), dialTimeout)
+	client, err := DialClient("verdicts", []string{ord.Addr()}, peerAddrs(peers), dialTimeout)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,7 @@ import (
 // path) and land bit-identical with the surviving peer.
 func TestPeerRestartCatchesUp(t *testing.T) {
 	ord, peers := bootCluster(t, sched.SystemSharp, 2)
-	client, err := DialClient("restart", ord.Addr(), []string{peers[0].Addr()}, dialTimeout)
+	client, err := DialClient("restart", []string{ord.Addr()}, []string{peers[0].Addr()}, dialTimeout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,18 +30,18 @@ func TestPeerRestartCatchesUp(t *testing.T) {
 
 	// A replacement peer1 starts empty and must catch up from block 1.
 	reborn, err := StartPeer(PeerConfig{
-		Name:        "peer1",
-		Listen:      "127.0.0.1:0",
-		OrdererAddr: ord.Addr(),
-		System:      sched.SystemSharp,
-		PeerNames:   []string{"peer0", "peer1"},
+		Name:         "peer1",
+		Listen:       "127.0.0.1:0",
+		OrdererAddrs: []string{ord.Addr()},
+		System:       sched.SystemSharp,
+		PeerNames:    []string{"peer0", "peer1"},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { reborn.Close() })
 
-	checker, err := DialClient("checker", ord.Addr(), []string{peers[0].Addr(), reborn.Addr()}, dialTimeout)
+	checker, err := DialClient("checker", []string{ord.Addr()}, []string{peers[0].Addr(), reborn.Addr()}, dialTimeout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,14 +56,17 @@ func TestPeerRestartCatchesUp(t *testing.T) {
 }
 
 // TestOrdererCloseFailsInFlightSubmits pins the listener-shutdown contract:
-// clients with submits in flight get errors promptly — never a hang.
+// clients with submits in flight get errors within their retry budget —
+// never a hang. (SubmitTx retries across failovers, so with the only
+// orderer gone the error arrives when SubmitTimeout expires.)
 func TestOrdererCloseFailsInFlightSubmits(t *testing.T) {
 	ord, peers := bootCluster(t, sched.SystemSharp, 2)
-	client, err := DialClient("inflight", ord.Addr(), peerAddrs(peers), dialTimeout)
+	client, err := DialClient("inflight", []string{ord.Addr()}, peerAddrs(peers), dialTimeout)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer client.Close()
+	client.SubmitTimeout = 2 * time.Second
 
 	// Pre-endorse so the submit loop needs only the orderer.
 	tx, err := client.Endorse("kv", "put", "k", "v")
@@ -98,7 +101,7 @@ func TestOrdererCloseFailsInFlightSubmits(t *testing.T) {
 // safe and returns promptly.
 func TestNodeDoubleCloseIdempotence(t *testing.T) {
 	ord, peers := bootCluster(t, sched.SystemFabric, 2)
-	client, err := DialClient("dc", ord.Addr(), peerAddrs(peers), dialTimeout)
+	client, err := DialClient("dc", []string{ord.Addr()}, peerAddrs(peers), dialTimeout)
 	if err != nil {
 		t.Fatal(err)
 	}

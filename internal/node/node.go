@@ -26,6 +26,7 @@ import (
 
 	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/fabric"
+	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
 )
@@ -72,8 +73,14 @@ func newResultStore(horizon int) *resultStore {
 func (r *resultStore) put(res fabric.TxResult) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.results[res.TxID]; !dup {
+	if prev, dup := r.results[res.TxID]; !dup {
 		r.order = append(r.order, res.TxID)
+	} else if res.Code == protocol.AbortDuplicate && prev.Code != protocol.AbortDuplicate {
+		// A client that resubmitted across an orderer failover can race its
+		// own first submission: the replay resolves AbortDuplicate *after*
+		// the original's real verdict. The first real verdict wins — it is
+		// what the sealed block records.
+		return
 	}
 	r.results[res.TxID] = res
 	for len(r.order) > r.horizon {
@@ -87,6 +94,19 @@ func (r *resultStore) get(id protocol.TxID) (fabric.TxResult, bool) {
 	defer r.mu.Unlock()
 	res, ok := r.results[id]
 	return res, ok
+}
+
+// committedTxCount walks the chain tallying committed verdicts — the
+// ledger-side count the chaos smoke compares against the client-side one
+// (each TxID is sealed with exactly one verdict, so the tally is immune to
+// client retries).
+func committedTxCount(chain *ledger.Chain) uint64 {
+	var total uint64
+	chain.ForEach(func(blk *ledger.Block) bool {
+		total += uint64(blk.CommittedCount())
+		return true
+	})
+	return total
 }
 
 // errOnce records a node's first fatal error.

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"fabricsharp/internal/consensus"
 	"fabricsharp/internal/fabric"
 	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/metrics"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/transport"
@@ -39,6 +41,26 @@ type OrdererConfig struct {
 	// transactions; must match the peers' setting (the rescue digest is
 	// byte-asserted across the cluster).
 	Rescue bool
+
+	// RaftCluster, when non-empty, joins this process to a wire Raft
+	// ordering cluster: submissions go through the replicated log, every
+	// member seals byte-identical blocks, and followers answer submits with
+	// a NotLeader redirect. Each entry is a member's raft address; RaftID
+	// must be one of them (this process's own).
+	RaftCluster []string
+	// RaftID is this member's raft address within RaftCluster.
+	RaftID string
+	// RaftRedirects maps raft addresses to the matching member's
+	// client-facing Listen address — the redirect hint followers attach to
+	// NotLeader acks. Missing entries degrade to hint-less redirects
+	// (clients rotate instead of jumping straight to the leader).
+	RaftRedirects map[string]string
+	// RaftDir, when non-empty, persists this member's term and vote so a
+	// restart cannot double-vote within a term.
+	RaftDir string
+	// RaftElectionTimeout overrides the base election timeout (default
+	// 250ms, randomized per member).
+	RaftElectionTimeout time.Duration
 }
 
 // Orderer is a running ordering process: an ordering-only fabric.Network
@@ -47,6 +69,15 @@ type Orderer struct {
 	net     *fabric.Network
 	srv     *transport.Server
 	results *resultStore
+
+	// raft is the wire consensus service when RaftCluster is configured;
+	// nil for a standalone orderer. The fabric network owns its lifecycle
+	// (Network.Close closes it), but the node keeps the handle for redirect
+	// hints and status reporting.
+	raft      *transport.RaftService
+	redirects map[string]string
+	name      string
+	consensus metrics.ConsensusMetrics
 
 	// sealed broadcasts "a block was sealed" to delivery streams: each
 	// waiter grabs the current channel and blocks until it closes.
@@ -64,11 +95,13 @@ func StartOrderer(cfg OrdererConfig) (*Orderer, error) {
 		return nil, err
 	}
 	o := &Orderer{
-		results: newResultStore(cfg.ResultHorizon),
-		sealed:  make(chan struct{}),
-		done:    make(chan struct{}),
+		results:   newResultStore(cfg.ResultHorizon),
+		redirects: cfg.RaftRedirects,
+		name:      "orderer0",
+		sealed:    make(chan struct{}),
+		done:      make(chan struct{}),
 	}
-	net, err := fabric.NewNetwork(fabric.Options{
+	opts := fabric.Options{
 		System:       cfg.System,
 		RemotePeers:  cfg.PeerNames,
 		Orderers:     cfg.Orderers,
@@ -79,8 +112,27 @@ func StartOrderer(cfg OrdererConfig) (*Orderer, error) {
 		DedupHorizon: cfg.DedupHorizon,
 		Rescue:       cfg.Rescue,
 		OnResult:     func(res fabric.TxResult) { o.results.put(res) },
-	})
+	}
+	if len(cfg.RaftCluster) > 0 {
+		raft, err := transport.StartRaft(transport.RaftConfig{
+			ID:              cfg.RaftID,
+			Cluster:         cfg.RaftCluster,
+			Dir:             cfg.RaftDir,
+			ElectionTimeout: cfg.RaftElectionTimeout,
+			Metrics:         &o.consensus,
+		})
+		if err != nil {
+			return nil, err
+		}
+		o.raft = raft
+		o.name = cfg.RaftID
+		opts.Ordering = raft
+	}
+	net, err := fabric.NewNetwork(opts)
 	if err != nil {
+		if o.raft != nil {
+			o.raft.Close()
+		}
 		return nil, err
 	}
 	o.net = net
@@ -108,6 +160,12 @@ func (o *Orderer) Addr() string { return o.srv.Addr() }
 
 // Network exposes the underlying ordering network (tests, metrics).
 func (o *Orderer) Network() *fabric.Network { return o.net }
+
+// Raft exposes the wire consensus service; nil for a standalone orderer.
+func (o *Orderer) Raft() *transport.RaftService { return o.raft }
+
+// ConsensusMetrics exposes this member's election/replication counters.
+func (o *Orderer) ConsensusMetrics() *metrics.ConsensusMetrics { return &o.consensus }
 
 // Err returns the node's first fatal error, nil while healthy.
 func (o *Orderer) Err() error {
@@ -162,13 +220,19 @@ func (o *Orderer) handle(c *transport.Conn) {
 		case wire.MsgStatusReq:
 			chain := o.net.OrdererChain(0)
 			height, _ := chain.Height()
-			_ = c.Send(wire.MsgStatus, wire.EncodeStatus(wire.Status{
-				Role:    "orderer",
-				Name:    "orderer0",
-				Height:  height,
-				Blocks:  uint64(chain.Len()),
-				TipHash: chain.TipHash(),
-			}))
+			st := wire.Status{
+				Role:        "orderer",
+				Name:        o.name,
+				Height:      height,
+				Blocks:      uint64(chain.Len()),
+				TipHash:     chain.TipHash(),
+				CommittedTx: committedTxCount(chain),
+			}
+			if o.raft != nil {
+				st.Term = o.raft.Term()
+				st.Leader = o.leaderHint()
+			}
+			_ = c.Send(wire.MsgStatus, wire.EncodeStatus(st))
 		default:
 			// Unknown request: answer with an error rather than going mute,
 			// then drop the conn (the peer is confused or newer than us).
@@ -187,10 +251,35 @@ func (o *Orderer) handleSubmit(c *transport.Conn, payload []byte) {
 	// DecodeTransaction precomputed the key caches, so the schedulers see
 	// exactly what an in-process submit would hand them.
 	if err := o.net.SubmitEnvelope(consensus.Envelope{Tx: tx, SubmittedBy: tx.ClientID}); err != nil {
+		var nl consensus.ErrNotLeader
+		if errors.As(err, &nl) {
+			// Not this member's job: redirect the client to the leader's
+			// client-facing address (empty while an election is in flight —
+			// the client rotates until a leader emerges).
+			_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{
+				NotLeader: true,
+				Leader:    o.redirects[nl.LeaderID],
+				Err:       err.Error(),
+			}))
+			return
+		}
 		_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Err: err.Error()}))
 		return
 	}
 	_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{OK: true}))
+}
+
+// leaderHint maps the raft leader's member address to its client-facing
+// address, falling back to the raw raft address when no redirect is known.
+func (o *Orderer) leaderHint() string {
+	leader := o.raft.Leader()
+	if leader == "" {
+		return ""
+	}
+	if addr, ok := o.redirects[leader]; ok {
+		return addr
+	}
+	return leader
 }
 
 // streamBlocks walks the lead orderer's sealed chain from block from+1,

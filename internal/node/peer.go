@@ -11,6 +11,7 @@ import (
 	"fabricsharp/internal/identity"
 	"fabricsharp/internal/kvstore"
 	"fabricsharp/internal/ledger"
+	"fabricsharp/internal/metrics"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/seqno"
@@ -26,8 +27,10 @@ type PeerConfig struct {
 	Name string
 	// Listen is the TCP address for proposals and status requests.
 	Listen string
-	// OrdererAddr is the ordering service's address (block subscription).
-	OrdererAddr string
+	// OrdererAddrs lists the ordering service's delivery addresses. With a
+	// Raft ordering cluster every replica serves the identical chain, so
+	// the subscription fails over across them freely.
+	OrdererAddrs []string
 	// System must match the orderer's (it decides the MVCC switch).
 	System sched.System
 	// PeerNames is the cluster's full validating set — every name's
@@ -70,6 +73,9 @@ type Peer struct {
 	// the resubscription cursor. Monotonic; duplicates the orderer replays
 	// after a reconnect are dropped before they can double-commit.
 	delivered atomic.Uint64
+
+	// failovers counts delivery-subscription moves to a different orderer.
+	failovers metrics.Counter
 
 	closed chan struct{}
 	errs   errOnce
@@ -160,7 +166,7 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 	})
 	p.committer.Start()
 	p.sub = &transport.Subscriber{
-		Addr:   cfg.OrdererAddr,
+		Addrs:  cfg.OrdererAddrs,
 		Height: p.delivered.Load,
 		Deliver: transport.DeliveryFunc(func(blk *ledger.Block) error {
 			// Drop a block the orderer replays after a reconnect (the
@@ -175,7 +181,8 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 			p.delivered.Store(blk.Header.Number)
 			return nil
 		}),
-		OnError: func(err error) { p.errs.set(err) },
+		OnError:    func(err error) { p.errs.set(err) },
+		OnFailover: p.failovers.Inc,
 	}
 	p.sub.Start()
 	srv, err := transport.Listen(cfg.Listen, p.handle)
@@ -203,6 +210,10 @@ func (p *Peer) Err() error { return p.errs.get() }
 
 // Chain exposes the peer's ledger (tests, tools).
 func (p *Peer) Chain() *ledger.Chain { return p.chain }
+
+// Failovers reports how many times the block subscription moved to a
+// different orderer.
+func (p *Peer) Failovers() uint64 { return p.failovers.Value() }
 
 // State exposes the peer's state database (tests, tools).
 func (p *Peer) State() *statedb.DB { return p.state }
@@ -235,12 +246,13 @@ func (p *Peer) handle(c *transport.Conn) {
 			p.handleProposal(c, payload)
 		case wire.MsgStatusReq:
 			_ = c.Send(wire.MsgStatus, wire.EncodeStatus(wire.Status{
-				Role:      "peer",
-				Name:      p.name,
-				Height:    p.state.Height(),
-				Blocks:    uint64(p.chain.Len()),
-				TipHash:   p.chain.TipHash(),
-				StateHash: p.state.StateFingerprint(),
+				Role:        "peer",
+				Name:        p.name,
+				Height:      p.state.Height(),
+				Blocks:      uint64(p.chain.Len()),
+				TipHash:     p.chain.TipHash(),
+				StateHash:   p.state.StateFingerprint(),
+				CommittedTx: committedTxCount(p.chain),
 			}))
 		default:
 			_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Err: fmt.Sprintf("unexpected %v", typ)}))

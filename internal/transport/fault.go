@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"fabricsharp/internal/wire"
+)
+
+// FrameConn is the frame-level surface shared by *Conn and test doubles:
+// what the Raft driver actually needs from a connection. *Conn satisfies it.
+type FrameConn interface {
+	Send(t wire.MsgType, payload []byte) error
+	Recv() (wire.MsgType, []byte, error)
+	Close() error
+}
+
+var _ FrameConn = (*Conn)(nil)
+
+// FaultConn wraps a FrameConn and injects transmission faults on Send:
+// frames are dropped, duplicated, or delayed with the configured
+// probabilities. It models the failure surface a message-passing Raft must
+// absorb — every protocol message is idempotent and term-guarded, so a
+// dropped frame costs at most a retransmission interval and a duplicated or
+// late frame is a no-op. Recv and Close pass through untouched.
+//
+// A dropped or delayed frame still reports success to the caller, exactly
+// like a datagram handed to a congested network. The rng is owned
+// exclusively (explicit seed, own lock), so fault sequences are reproducible
+// per connection regardless of goroutine scheduling of other connections.
+type FaultConn struct {
+	inner FrameConn
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// DropProb is the probability a Send is silently discarded.
+	DropProb float64
+	// DupProb is the probability a Send is transmitted twice.
+	DupProb float64
+	// MaxDelay, when non-zero, delays each transmitted frame uniformly in
+	// [0, MaxDelay] (reordering frames relative to other connections).
+	MaxDelay time.Duration
+}
+
+// NewFaultConn wraps inner with fault injection driven by the given seed.
+func NewFaultConn(inner FrameConn, seed int64) *FaultConn {
+	return &FaultConn{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Send transmits the frame subject to the configured faults.
+func (f *FaultConn) Send(t wire.MsgType, payload []byte) error {
+	f.mu.Lock()
+	drop := f.rng.Float64() < f.DropProb
+	dup := !drop && f.rng.Float64() < f.DupProb
+	var delay time.Duration
+	if !drop && f.MaxDelay > 0 {
+		delay = time.Duration(f.rng.Int63n(int64(f.MaxDelay) + 1))
+	}
+	f.mu.Unlock()
+	if drop {
+		return nil
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err := f.inner.Send(t, payload); err != nil {
+		return err
+	}
+	if dup {
+		return f.inner.Send(t, payload)
+	}
+	return nil
+}
+
+// Recv passes through to the wrapped connection.
+func (f *FaultConn) Recv() (wire.MsgType, []byte, error) { return f.inner.Recv() }
+
+// Close passes through to the wrapped connection.
+func (f *FaultConn) Close() error { return f.inner.Close() }

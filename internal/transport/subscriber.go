@@ -11,15 +11,28 @@ import (
 // reconnectBackoffMax bounds the delay between subscriber redial attempts.
 const reconnectBackoffMax = 2 * time.Second
 
-// Subscriber maintains a block-delivery stream from an orderer: dial,
-// subscribe from the current height, deliver each received block in order,
-// and — on any connection failure — redial with backoff and resubscribe
-// from wherever delivery had progressed to. The server replays history from
-// the requested height, so a subscriber that was down for a thousand blocks
+// subscriberDialBudget bounds one DialRetry attempt at one address before
+// the subscriber rotates to the next — short, because with a cluster of
+// orderers the fastest path to fresh blocks is usually a different address,
+// not patience with a dead one.
+const subscriberDialBudget = 300 * time.Millisecond
+
+// Subscriber maintains a block-delivery stream from the ordering service:
+// dial, subscribe from the current height, deliver each received block in
+// order, and — on any connection failure — reconnect and resubscribe from
+// wherever delivery had progressed to. The server replays history from the
+// requested height, so a subscriber that was down for a thousand blocks
 // catches up through exactly the same code path as a live one.
+//
+// With multiple addresses the subscriber fails over: every replica of a
+// Raft-ordered cluster seals the identical chain, so after losing one
+// orderer the stream resumes from any other, still gap-free and
+// byte-identical. Reconnect dialing reuses DialRetry's jittered backoff,
+// with an outer jittered ramp between full rotations so a dead cluster is
+// probed gently.
 type Subscriber struct {
-	// Addr is the orderer's delivery address.
-	Addr string
+	// Addrs lists ordering-service delivery addresses, tried in rotation.
+	Addrs []string
 	// Height reports the highest block already delivered; resubscription
 	// starts just above it.
 	Height func() uint64
@@ -28,6 +41,9 @@ type Subscriber struct {
 	Deliver Delivery
 	// OnError, when set, observes the fatal delivery error.
 	OnError func(error)
+	// OnFailover, when set, is called each time the subscriber abandons one
+	// address and connects to a different one (metrics hook).
+	OnFailover func()
 
 	done      chan struct{}
 	wg        sync.WaitGroup
@@ -74,21 +90,33 @@ func (s *Subscriber) closedNow() bool {
 
 func (s *Subscriber) run() {
 	defer s.wg.Done()
-	backoff := 10 * time.Millisecond
+	bo := NewBackoff(10*time.Millisecond, reconnectBackoffMax, 0)
+	next := 0      // rotation cursor into Addrs
+	lastAddr := "" // address of the last established stream
+	failures := 0  // consecutive addresses that failed to connect
 	for !s.closedNow() {
-		conn, err := Dial(s.Addr)
+		addr := s.Addrs[next%len(s.Addrs)]
+		next++
+		conn, err := DialRetry(addr, time.Now().Add(subscriberDialBudget))
 		if err != nil {
-			// Orderer unreachable: back off and retry until Close.
-			select {
-			case <-s.done:
-				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > reconnectBackoffMax {
-				backoff = reconnectBackoffMax
+			failures++
+			if failures%len(s.Addrs) == 0 {
+				// Full rotation without a connection: the whole cluster is
+				// unreachable — ramp up the pause between probes.
+				select {
+				case <-s.done:
+					return
+				case <-time.After(bo.Next()):
+				}
 			}
 			continue
 		}
+		failures = 0
+		bo.Reset()
+		if lastAddr != "" && lastAddr != addr && s.OnFailover != nil {
+			s.OnFailover()
+		}
+		lastAddr = addr
 		s.mu.Lock()
 		if s.closedNow() {
 			s.mu.Unlock()
@@ -97,20 +125,22 @@ func (s *Subscriber) run() {
 		}
 		s.conn = conn
 		s.mu.Unlock()
-		if s.stream(conn) {
+		if s.stream(conn, addr) {
 			return // fatal delivery error; loop ends
 		}
 		_ = conn.Close()
 		s.mu.Lock()
 		s.conn = nil
 		s.mu.Unlock()
-		backoff = 10 * time.Millisecond
+		// Resume preference: stay on the address that was just streaming
+		// (it may have only hiccuped) before rotating onward.
+		next--
 	}
 }
 
 // stream subscribes and consumes blocks until the connection breaks
-// (returns false: redial) or delivery fails fatally (returns true: stop).
-func (s *Subscriber) stream(conn *Conn) bool {
+// (returns false: reconnect) or delivery fails fatally (returns true: stop).
+func (s *Subscriber) stream(conn *Conn, addr string) bool {
 	if err := conn.Send(wire.MsgSubscribe, wire.EncodeSubscribe(wire.Subscribe{From: s.Height()})); err != nil {
 		return false
 	}
@@ -128,7 +158,7 @@ func (s *Subscriber) stream(conn *Conn) bool {
 		}
 		if err := s.Deliver.Deliver(blk); err != nil {
 			if s.OnError != nil {
-				s.OnError(fmt.Errorf("transport: subscriber %s: %w", s.Addr, err))
+				s.OnError(fmt.Errorf("transport: subscriber %s: %w", addr, err))
 			}
 			return true
 		}

@@ -222,23 +222,23 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(nc), nil
 }
 
-// DialRetry dials with exponential backoff until it connects or the timeout
-// elapses — how nodes absorb cluster startup order (a peer may come up
-// before its orderer).
-func DialRetry(addr string, timeout time.Duration) (*Conn, error) {
-	deadline := time.Now().Add(timeout)
-	backoff := 10 * time.Millisecond
+// DialRetry dials with jittered exponential backoff until it connects or
+// the caller's deadline passes — how nodes absorb cluster startup order (a
+// peer may come up before its orderer) without a reconnect stampede when
+// many nodes chase the same address.
+func DialRetry(addr string, deadline time.Time) (*Conn, error) {
+	bo := NewBackoff(10*time.Millisecond, 500*time.Millisecond, 0)
 	for {
 		c, err := Dial(addr)
 		if err == nil {
 			return c, nil
 		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("transport: dial %s: gave up after %s: %w", addr, timeout, err)
+		d := bo.Next()
+		if remaining := time.Until(deadline); remaining <= 0 {
+			return nil, fmt.Errorf("transport: dial %s: deadline passed: %w", addr, err)
+		} else if d > remaining {
+			d = remaining
 		}
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > 500*time.Millisecond {
-			backoff = 500 * time.Millisecond
-		}
+		time.Sleep(d)
 	}
 }

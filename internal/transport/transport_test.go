@@ -91,7 +91,7 @@ func TestDoubleCloseIdempotence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := &Subscriber{Addr: s.Addr(), Height: func() uint64 { return 0 },
+	sub := &Subscriber{Addrs: []string{s.Addr()}, Height: func() uint64 { return 0 },
 		Deliver: DeliveryFunc(func(*ledger.Block) error { return nil })}
 	sub.Start()
 	for i := 0; i < 2; i++ {
@@ -106,7 +106,7 @@ func TestDoubleCloseIdempotence(t *testing.T) {
 func TestDialRetryGivesUp(t *testing.T) {
 	start := time.Now()
 	// A port from the dynamic range with (almost certainly) no listener.
-	if _, err := DialRetry("127.0.0.1:1", 200*time.Millisecond); err == nil {
+	if _, err := DialRetry("127.0.0.1:1", time.Now().Add(200*time.Millisecond)); err == nil {
 		t.Fatal("dial to closed port succeeded")
 	}
 	if time.Since(start) > 5*time.Second {
@@ -169,7 +169,7 @@ func TestSubscriberReconnectAndCatchUp(t *testing.T) {
 	height := uint64(0)
 	done := make(chan struct{})
 	sub := &Subscriber{
-		Addr:   srv.Addr(),
+		Addrs:  []string{srv.Addr()},
 		Height: func() uint64 { mu.Lock(); defer mu.Unlock(); return height },
 		Deliver: DeliveryFunc(func(blk *ledger.Block) error {
 			mu.Lock()
@@ -243,7 +243,7 @@ func TestSubscriberSurvivesServerRestart(t *testing.T) {
 	height := uint64(0)
 	done := make(chan struct{})
 	sub := &Subscriber{
-		Addr:   addr,
+		Addrs:  []string{addr},
 		Height: func() uint64 { mu.Lock(); defer mu.Unlock(); return height },
 		Deliver: DeliveryFunc(func(blk *ledger.Block) error {
 			mu.Lock()

@@ -40,8 +40,10 @@ import (
 )
 
 // Version is the wire-format version carried in every frame header.
-// History: v1 original; v2 added the block rescue-digest field.
-const Version = 2
+// History: v1 original; v2 added the block rescue-digest field; v3 added the
+// Raft consensus messages, the Ack leader-redirect fields, and the Status
+// term/leader/committed-tx fields.
+const Version = 3
 
 // MaxFrameSize bounds a frame's payload (64 MiB): far above any realistic
 // block, small enough that a corrupt length prefix cannot OOM a node.
@@ -73,6 +75,15 @@ const (
 	MsgStatusReq MsgType = 9
 	// MsgStatus answers MsgStatusReq.
 	MsgStatus MsgType = 10
+	// MsgRaftAppend carries a Raft AppendEntries request (replication and,
+	// with no entries, the leader heartbeat) between orderer replicas.
+	MsgRaftAppend MsgType = 11
+	// MsgRaftAppendResp answers MsgRaftAppend.
+	MsgRaftAppendResp MsgType = 12
+	// MsgRaftVote carries a Raft RequestVote between orderer replicas.
+	MsgRaftVote MsgType = 13
+	// MsgRaftVoteResp answers MsgRaftVote.
+	MsgRaftVoteResp MsgType = 14
 )
 
 // String names the message type for diagnostics.
@@ -98,6 +109,14 @@ func (t MsgType) String() string {
 		return "status-req"
 	case MsgStatus:
 		return "status"
+	case MsgRaftAppend:
+		return "raft-append"
+	case MsgRaftAppendResp:
+		return "raft-append-resp"
+	case MsgRaftVote:
+		return "raft-vote"
+	case MsgRaftVoteResp:
+		return "raft-vote-resp"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -564,22 +583,31 @@ func DecodeProposalResp(b []byte) (*ProposalResp, error) {
 	return r, nil
 }
 
-// Ack is a generic success/error response.
+// Ack is a generic success/error response. NotLeader distinguishes the one
+// retryable refusal in the vocabulary: the contacted orderer is a Raft
+// follower, and Leader (when known) is the address the client should submit
+// to instead. Clients treat it as a redirect, not a failure.
 type Ack struct {
-	OK  bool
-	Err string
+	OK        bool
+	Err       string
+	NotLeader bool
+	// Leader is the advertised client address of the last known leader; ""
+	// when the cluster is mid-election.
+	Leader string
 }
 
 // EncodeAck renders a canonically.
 func EncodeAck(a Ack) []byte {
 	dst := appendBool(nil, a.OK)
-	return appendString(dst, a.Err)
+	dst = appendString(dst, a.Err)
+	dst = appendBool(dst, a.NotLeader)
+	return appendString(dst, a.Leader)
 }
 
 // DecodeAck decodes an Ack.
 func DecodeAck(b []byte) (Ack, error) {
 	d := &decoder{buf: b}
-	a := Ack{OK: d.bool(), Err: d.string()}
+	a := Ack{OK: d.bool(), Err: d.string(), NotLeader: d.bool(), Leader: d.string()}
 	if err := d.finish(); err != nil {
 		return Ack{}, fmt.Errorf("ack: %w", err)
 	}
@@ -650,6 +678,15 @@ type Status struct {
 	TipHash []byte
 	// StateHash fingerprints every live (key, value) pair (peers only).
 	StateHash string
+	// Term is the node's current Raft term (orderers in cluster mode; 0
+	// otherwise).
+	Term uint64
+	// Leader is the advertised client address of the last known Raft leader
+	// ("" when unknown or not clustered).
+	Leader string
+	// CommittedTx counts committed transaction verdicts across the chain —
+	// the chaos smoke's zero-loss ledger-side tally.
+	CommittedTx uint64
 }
 
 // EncodeStatus renders s canonically.
@@ -659,7 +696,10 @@ func EncodeStatus(s Status) []byte {
 	dst = appendU64(dst, s.Height)
 	dst = appendU64(dst, s.Blocks)
 	dst = appendBytes(dst, s.TipHash)
-	return appendString(dst, s.StateHash)
+	dst = appendString(dst, s.StateHash)
+	dst = appendU64(dst, s.Term)
+	dst = appendString(dst, s.Leader)
+	return appendU64(dst, s.CommittedTx)
 }
 
 // DecodeStatus decodes a Status.
@@ -673,6 +713,9 @@ func DecodeStatus(b []byte) (Status, error) {
 	}
 	s.TipHash = d.bytes()
 	s.StateHash = d.string()
+	s.Term = d.u64()
+	s.Leader = d.string()
+	s.CommittedTx = d.u64()
 	if err := d.finish(); err != nil {
 		return Status{}, fmt.Errorf("status: %w", err)
 	}

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# cluster_smoke.sh — boot a real 3-OS-process EOV cluster (1 orderer +
-# 2 peers), drive SmallBank traffic through it with the sharpnet wire
-# client, and assert every peer converges to bit-identical chain tip hashes
-# and state fingerprints. Runs once per requested system. CI runs this as
-# the cluster-smoke job; node logs land in $LOGDIR for artifact upload.
+# cluster_smoke.sh — boot a real multi-OS-process EOV cluster, drive
+# SmallBank traffic through it with the sharpnet wire client, and assert
+# every replica converges to bit-identical chain tip hashes and state
+# fingerprints. Runs once per requested system. CI runs this as the
+# cluster-smoke job; node logs land in $LOGDIR for artifact upload.
+#
+# Two shapes:
+#   default   1 orderer + 2 peers, plain convergence.
+#   CHAOS=1   3 Raft orderers + 2 peers; the Raft leader is SIGKILLed
+#             mid-load, restarted, and the re-elected leader is killed
+#             too. Asserts zero lost committed transactions and
+#             bit-identical survivors (the fault-tolerance contract).
 #
 # Environment knobs:
-#   SYSTEMS   systems to exercise              (default: "fabric# focc-l")
+#   SYSTEMS   systems to exercise              (default: "fabric# focc-l";
+#             chaos uses the first one only)
 #   CLIENTS   concurrent load clients          (default: 4)
 #   TXS       transactions per client          (default: 118)
 #   ACCOUNTS  SmallBank account pool           (default: 28; total tx =
@@ -14,6 +22,7 @@
 #   PORT_BASE first TCP port                   (default: 27050)
 #   LOGDIR    where node logs go               (default: ./cluster-logs)
 #   RESCUE    1 = post-order re-execution on   (default: 1; set 0 to disable)
+#   CHAOS     1 = kill-the-leader failover run (default: 0)
 set -euo pipefail
 
 SYSTEMS=${SYSTEMS:-"fabric# focc-l"}
@@ -23,6 +32,7 @@ ACCOUNTS=${ACCOUNTS:-28}
 PORT_BASE=${PORT_BASE:-27050}
 LOGDIR=${LOGDIR:-cluster-logs}
 RESCUE=${RESCUE:-1}
+CHAOS=${CHAOS:-0}
 BIN=$(mktemp -d)
 
 RESCUE_FLAG=""
@@ -44,6 +54,118 @@ teardown() {
   PIDS=()
 }
 trap teardown EXIT
+
+# ---------------------------------------------------------------------------
+# Chaos shape: 3 Raft orderers + 2 peers, two leader kills mid-load.
+# ---------------------------------------------------------------------------
+if [ "$CHAOS" = "1" ]; then
+  system=$(printf '%s' "$SYSTEMS" | awk '{print $1}')
+  slug=chaos
+  RAFT_DIR=$(mktemp -d)
+  C0="127.0.0.1:$PORT_BASE";      C1="127.0.0.1:$((PORT_BASE+1))"; C2="127.0.0.1:$((PORT_BASE+2))"
+  R0="127.0.0.1:$((PORT_BASE+3))"; R1="127.0.0.1:$((PORT_BASE+4))"; R2="127.0.0.1:$((PORT_BASE+5))"
+  P0="127.0.0.1:$((PORT_BASE+6))"; P1="127.0.0.1:$((PORT_BASE+7))"
+  ORDS="$C0,$C1,$C2"
+  PEERS="$P0,$P1"
+  CLUSTER="$R0,$R1,$R2"
+  REDIRECTS="$R0=$C0,$R1=$C1,$R2=$C2"
+  declare -A ORD_PID=()
+
+  start_orderer() { # $1 = index (0..2)
+    local caddr raddr
+    case "$1" in
+      0) caddr=$C0; raddr=$R0 ;;
+      1) caddr=$C1; raddr=$R1 ;;
+      2) caddr=$C2; raddr=$R2 ;;
+    esac
+    "$BIN/fabricnode" -role orderer -listen "$caddr" \
+        -peers peer0,peer1 -system "$system" -block-size 50 -block-timeout 50ms \
+        -orderers 1 $RESCUE_FLAG \
+        -raft-id "$raddr" -raft-cluster "$CLUSTER" -raft-redirects "$REDIRECTS" \
+        -raft-dir "$RAFT_DIR/member$1" -raft-election-timeout 150ms \
+        >> "$LOGDIR/orderer$1-$slug.log" 2>&1 &
+    ORD_PID[$caddr]=$!
+    PIDS+=($!)
+  }
+
+  # current_leader prints the leader's client address ("" mid-election).
+  current_leader() {
+    "$BIN/sharpnet" -mode status -orderer "$ORDS" -dial-timeout 2s 2>/dev/null \
+      | sed -n 's/.* leader=\([^ ][^ ]*\) .*/\1/p' | head -1
+  }
+
+  # wait_leader polls until a leader differing from $1 emerges.
+  wait_leader() {
+    local avoid="${1:-}" leader deadline=$((SECONDS+60))
+    while [ "$SECONDS" -lt "$deadline" ]; do
+      leader=$(current_leader)
+      if [ -n "$leader" ] && [ "$leader" != "$avoid" ]; then
+        printf '%s' "$leader"
+        return 0
+      fi
+      sleep 0.3
+    done
+    echo "chaos: no leader (re-)elected within 60s" >&2
+    return 1
+  }
+
+  echo "=== chaos smoke: $system (orderers $ORDS, raft $CLUSTER, peers $PEERS) ==="
+  start_orderer 0; start_orderer 1; start_orderer 2
+  "$BIN/fabricnode" -role peer -name peer0 -listen "$P0" \
+      -orderer "$ORDS" -peers peer0,peer1 -system "$system" $RESCUE_FLAG \
+      > "$LOGDIR/peer0-$slug.log" 2>&1 &
+  PIDS+=($!)
+  "$BIN/fabricnode" -role peer -name peer1 -listen "$P1" \
+      -orderer "$ORDS" -peers peer0,peer1 -system "$system" $RESCUE_FLAG \
+      > "$LOGDIR/peer1-$slug.log" 2>&1 &
+  PIDS+=($!)
+
+  "$BIN/sharpnet" -mode load -orderer "$ORDS" -peer-addrs "$PEERS" \
+      -clients "$CLIENTS" -txs "$TXS" -accounts "$ACCOUNTS" \
+      > "$LOGDIR/load-$slug.log" 2>&1 &
+  LOAD_PID=$!
+  PIDS+=($LOAD_PID)
+
+  sleep 2  # let the load get going before the first kill
+  LEADER1=$(wait_leader)
+  echo "chaos: killing leader $LEADER1 (pid ${ORD_PID[$LEADER1]})"
+  kill -9 "${ORD_PID[$LEADER1]}" 2>/dev/null || true
+  LEADER2=$(wait_leader "$LEADER1")
+  echo "chaos: new leader $LEADER2; restarting the killed member"
+  case "$LEADER1" in
+    "$C0") start_orderer 0 ;;
+    "$C1") start_orderer 1 ;;
+    "$C2") start_orderer 2 ;;
+  esac
+
+  sleep 1  # more load under the new leader
+  LEADER2=$(wait_leader)  # re-read: leadership may have moved again
+  echo "chaos: killing re-elected leader $LEADER2 (pid ${ORD_PID[$LEADER2]})"
+  kill -9 "${ORD_PID[$LEADER2]}" 2>/dev/null || true
+
+  if ! wait "$LOAD_PID"; then
+    echo "chaos: load run failed (see $LOGDIR/load-$slug.log)" >&2
+    tail -20 "$LOGDIR/load-$slug.log" >&2
+    exit 1
+  fi
+  cat "$LOGDIR/load-$slug.log"
+  TOTAL=$((ACCOUNTS + CLIENTS * TXS))
+  if [ "$TOTAL" -lt 500 ]; then
+    echo "chaos: only $TOTAL transactions driven, need 500+ (raise CLIENTS/TXS/ACCOUNTS)" >&2
+    exit 1
+  fi
+  COMMITTED=$(sed -n 's/^COMMITTED_TOTAL //p' "$LOGDIR/load-$slug.log")
+  if [ -z "$COMMITTED" ] || [ "$COMMITTED" -le 0 ]; then
+    echo "chaos: no committed-transaction tally in the load log" >&2
+    exit 1
+  fi
+  "$BIN/sharpnet" -mode check -orderer "$ORDS" -peer-addrs "$PEERS" \
+      -expect-committed "$COMMITTED" | tee "$LOGDIR/check-$slug.log"
+
+  teardown
+  echo "=== chaos smoke: OK ($COMMITTED committed transactions, two leader kills) ==="
+  exit 0
+fi
 
 port=$PORT_BASE
 for system in $SYSTEMS; do
