@@ -50,6 +50,27 @@ func main() {
 	flag.Parse()
 
 	names := splitNonEmpty(*peerNames)
+	redirects, err := parseRedirects(*raftRedirects)
+	if err != nil {
+		fatal(err)
+	}
+	nf := nodeFlags{
+		Role:          *role,
+		Name:          *name,
+		OrdererAddrs:  splitNonEmpty(*ordererAddr),
+		PeerNames:     names,
+		RaftID:        *raftID,
+		RaftCluster:   splitNonEmpty(*raftCluster),
+		RaftRedirects: redirects,
+		RaftDir:       *raftDir,
+		RaftElection:  *raftElection,
+	}
+	if err := nf.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "fabricnode:", err)
+		fmt.Fprintln(os.Stderr, "usage: fabricnode -role orderer|peer [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
 	var (
 		addr     string
 		shutdown func() error
@@ -57,10 +78,6 @@ func main() {
 	)
 	switch *role {
 	case "orderer":
-		redirects, err := parseRedirects(*raftRedirects)
-		if err != nil {
-			fatal(err)
-		}
 		ord, err := node.StartOrderer(node.OrdererConfig{
 			Listen:              *listen,
 			System:              sched.System(*system),
@@ -73,7 +90,7 @@ func main() {
 			DedupHorizon:        *dedupHorizon,
 			Rescue:              *rescue,
 			RaftID:              *raftID,
-			RaftCluster:         splitNonEmpty(*raftCluster),
+			RaftCluster:         nf.RaftCluster,
 			RaftRedirects:       redirects,
 			RaftDir:             *raftDir,
 			RaftElectionTimeout: *raftElection,
@@ -83,13 +100,10 @@ func main() {
 		}
 		addr, shutdown, errFn = ord.Addr(), ord.Close, ord.Err
 	case "peer":
-		if *name == "" || *ordererAddr == "" {
-			fatal(fmt.Errorf("role peer requires -name and -orderer"))
-		}
 		p, err := node.StartPeer(node.PeerConfig{
 			Name:              *name,
 			Listen:            *listen,
-			OrdererAddrs:      splitNonEmpty(*ordererAddr),
+			OrdererAddrs:      nf.OrdererAddrs,
 			System:            sched.System(*system),
 			PeerNames:         names,
 			DataDir:           *dataDir,

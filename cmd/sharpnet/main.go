@@ -61,19 +61,29 @@ func main() {
 	convergeTimeout := flag.Duration("converge-timeout", 60*time.Second, "how long check mode waits for the cluster to agree")
 	flag.Parse()
 
-	orderers := splitAddrs(*ordererAddr)
-	switch *mode {
-	case "demo":
-		demo(*system, *clients, *txs, *hotKeys)
-	case "load":
-		load(orderers, splitAddrs(*peerAddrs), *clients, *txs, *accounts, *seed, *dialTimeout)
-	case "status":
-		statusMode(orderers, splitAddrs(*peerAddrs), *dialTimeout)
-	case "check":
-		check(orderers, splitAddrs(*peerAddrs), *expectCommitted, *convergeTimeout)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+	cf := clientFlags{
+		Mode:            *mode,
+		Orderers:        splitAddrs(*ordererAddr),
+		Peers:           splitAddrs(*peerAddrs),
+		Clients:         *clients,
+		Txs:             *txs,
+		Accounts:        *accounts,
+		ExpectCommitted: *expectCommitted,
+	}
+	if err := cf.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "sharpnet:", err)
+		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	switch cf.Mode {
+	case "demo":
+		demo(*system, cf.Clients, cf.Txs, *hotKeys)
+	case "load":
+		load(cf.Orderers, cf.Peers, cf.Clients, cf.Txs, cf.Accounts, *seed, *dialTimeout)
+	case "status":
+		statusMode(cf.Orderers, cf.Peers, *dialTimeout)
+	case "check":
+		check(cf.Orderers, cf.Peers, cf.ExpectCommitted, *convergeTimeout)
 	}
 }
 

@@ -1,0 +1,65 @@
+package main
+
+import "fmt"
+
+// clientFlags is the cross-validated subset of sharpnet's flags. Each mode
+// accepts a specific flag shape; anything else is a misuse worth refusing
+// loudly — a demo run silently ignoring -orderer, or a load run silently
+// ignoring -expect-committed, reads as a passing check that never ran.
+type clientFlags struct {
+	Mode            string
+	Orderers        []string
+	Peers           []string
+	Clients         int
+	Txs             int
+	Accounts        int
+	ExpectCommitted uint64
+}
+
+func (f clientFlags) validate() error {
+	switch f.Mode {
+	case "demo":
+		if len(f.Orderers) != 0 || len(f.Peers) != 0 {
+			return fmt.Errorf("demo mode runs an in-process network and ignores -orderer/-peer-addrs; use -mode load to drive a cluster")
+		}
+		if f.ExpectCommitted != 0 {
+			return fmt.Errorf("-expect-committed is a check-mode flag")
+		}
+		return f.validateWorkload()
+	case "load":
+		if len(f.Orderers) == 0 || len(f.Peers) == 0 {
+			return fmt.Errorf("load mode requires -orderer and -peer-addrs")
+		}
+		if f.ExpectCommitted != 0 {
+			return fmt.Errorf("-expect-committed is a check-mode flag; load mode prints COMMITTED_TOTAL for check to assert")
+		}
+		return f.validateWorkload()
+	case "status":
+		if len(f.Orderers) == 0 && len(f.Peers) == 0 {
+			return fmt.Errorf("status mode needs -orderer and/or -peer-addrs to probe")
+		}
+		return nil
+	case "check":
+		if len(f.Orderers) == 0 || len(f.Peers) == 0 {
+			return fmt.Errorf("check mode requires -orderer and -peer-addrs")
+		}
+		return nil
+	case "":
+		return fmt.Errorf("-mode is required (demo | load | status | check)")
+	default:
+		return fmt.Errorf("unknown mode %q (want demo, load, status, or check)", f.Mode)
+	}
+}
+
+func (f clientFlags) validateWorkload() error {
+	if f.Clients <= 0 {
+		return fmt.Errorf("-clients must be positive, got %d", f.Clients)
+	}
+	if f.Txs <= 0 {
+		return fmt.Errorf("-txs must be positive, got %d", f.Txs)
+	}
+	if f.Mode == "load" && f.Accounts <= 0 {
+		return fmt.Errorf("-accounts must be positive, got %d", f.Accounts)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsWellFormedModes(t *testing.T) {
+	cluster := []string{"127.0.0.1:7050"}
+	peers := []string{"127.0.0.1:7051", "127.0.0.1:7052"}
+	for name, f := range map[string]clientFlags{
+		"demo":            {Mode: "demo", Clients: 4, Txs: 200},
+		"load":            {Mode: "load", Orderers: cluster, Peers: peers, Clients: 4, Txs: 125, Accounts: 32},
+		"status both":     {Mode: "status", Orderers: cluster, Peers: peers},
+		"status orderers": {Mode: "status", Orderers: cluster},
+		"check":           {Mode: "check", Orderers: cluster, Peers: peers, ExpectCommitted: 500},
+		"check no tally":  {Mode: "check", Orderers: cluster, Peers: peers},
+	} {
+		if err := f.validate(); err != nil {
+			t.Errorf("%s: unexpected error: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsMisuse(t *testing.T) {
+	cluster := []string{"127.0.0.1:7050"}
+	peers := []string{"127.0.0.1:7051"}
+	cases := map[string]struct {
+		flags   clientFlags
+		wantErr string
+	}{
+		"empty mode":             {clientFlags{}, "-mode is required"},
+		"unknown mode":           {clientFlags{Mode: "bench"}, "unknown mode"},
+		"demo with cluster":      {clientFlags{Mode: "demo", Orderers: cluster, Clients: 1, Txs: 1}, "ignores -orderer"},
+		"demo with tally":        {clientFlags{Mode: "demo", Clients: 1, Txs: 1, ExpectCommitted: 5}, "check-mode flag"},
+		"demo zero clients":      {clientFlags{Mode: "demo", Txs: 1}, "-clients must be positive"},
+		"demo zero txs":          {clientFlags{Mode: "demo", Clients: 1}, "-txs must be positive"},
+		"load without orderers":  {clientFlags{Mode: "load", Peers: peers, Clients: 1, Txs: 1, Accounts: 1}, "requires -orderer"},
+		"load without peers":     {clientFlags{Mode: "load", Orderers: cluster, Clients: 1, Txs: 1, Accounts: 1}, "requires -orderer and -peer-addrs"},
+		"load with tally":        {clientFlags{Mode: "load", Orderers: cluster, Peers: peers, Clients: 1, Txs: 1, Accounts: 1, ExpectCommitted: 5}, "check-mode flag"},
+		"load zero accounts":     {clientFlags{Mode: "load", Orderers: cluster, Peers: peers, Clients: 1, Txs: 1}, "-accounts must be positive"},
+		"status with no targets": {clientFlags{Mode: "status"}, "needs -orderer and/or -peer-addrs"},
+		"check without peers":    {clientFlags{Mode: "check", Orderers: cluster}, "requires -orderer and -peer-addrs"},
+	}
+	for name, c := range cases {
+		err := c.flags.validate()
+		if err == nil {
+			t.Errorf("%s: want error containing %q, got nil", name, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", name, err, c.wantErr)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command sharpvet mechanically enforces the replica-identical determinism
+// contract (docs/determinism.md): it loads the whole module with the pure
+// stdlib toolchain (go/parser + go/types), resolves types, and runs the
+// determinism & concurrency analyzer suite from internal/analysis over the
+// consensus-critical packages.
+//
+// Usage:
+//
+//	go run ./cmd/sharpvet ./...              # gate: exit 0 iff clean
+//	go run ./cmd/sharpvet -list ./...        # also print the suppression inventory
+//	go run ./cmd/sharpvet -write-inventory ./...  # regenerate sharpvet.inventory
+//
+// Exit status 0 requires all of: zero unsuppressed diagnostics, no
+// malformed or stale //sharp: directives, no type errors, and the
+// checked-in suppression inventory byte-agreeing with the tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fabricsharp/internal/analysis"
+)
+
+func main() {
+	inventory := flag.String("inventory", "sharpvet.inventory", "suppression inventory path, relative to the module root")
+	write := flag.Bool("write-inventory", false, "regenerate the inventory from the tree's //sharp: directives and exit")
+	list := flag.Bool("list", false, "print the suppression inventory after a clean run")
+	contract := flag.Bool("contract", false, "print the deterministic package contract and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *contract {
+		fmt.Println("replica-identical contract covers:")
+		for _, p := range analysis.DeterministicPackages() {
+			fmt.Println("  ", p)
+		}
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	res := analysis.Run(mod, analysis.Analyzers())
+	invPath := filepath.Join(root, *inventory)
+
+	if *write {
+		if err := analysis.WriteInventory(invPath, res.Directives); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sharpvet: wrote %d suppressions to %s\n", len(res.Directives), invPath)
+		// Fall through: a regenerated inventory doesn't excuse live
+		// findings, so the gate below still applies.
+	}
+
+	failed := false
+	for _, err := range res.Errors {
+		fmt.Fprintln(os.Stderr, "sharpvet:", err)
+		failed = true
+	}
+	unsuppressed := res.Unsuppressed()
+	for _, d := range unsuppressed {
+		fmt.Fprintln(os.Stderr, d)
+		failed = true
+	}
+	diffs, err := analysis.DiffInventory(invPath, res.Directives)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diffs {
+		fmt.Fprintf(os.Stderr, "sharpvet: inventory out of sync (%s): run `go run ./cmd/sharpvet -write-inventory ./...`\n", d)
+		failed = true
+	}
+
+	if failed {
+		fmt.Fprintf(os.Stderr, "sharpvet: %d unsuppressed finding(s), %d machinery error(s), %d inventory drift(s)\n",
+			len(unsuppressed), len(res.Errors), len(diffs))
+		os.Exit(1)
+	}
+	fmt.Printf("sharpvet: clean — %d suppressed finding(s) across %d package(s), 0 unsuppressed\n",
+		len(res.Suppressed()), len(mod.Packages))
+	if *list {
+		fmt.Print(analysis.FormatInventory(res.Directives))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sharpvet [flags] ./...")
+	fmt.Fprintln(os.Stderr, "enforces the replica-identical determinism contract (docs/determinism.md)")
+	fmt.Fprintln(os.Stderr, "analyzers:")
+	for _, a := range analysis.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sharpvet:", err)
+	os.Exit(1)
+}

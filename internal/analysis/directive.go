@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one //sharp: suppression comment. Two forms exist:
+//
+//	//sharp:orderinvariant <reason>   — silences maporder at this site
+//	//sharp:allow <analyzer> <reason> — silences the named analyzer
+//
+// A directive covers diagnostics on its own line (end-of-line comment) or,
+// when it stands alone, on the line immediately below (comment-above
+// style). The reason is mandatory prose — it is what lands in the
+// checked-in suppression inventory, so "temporary" or "" do not review
+// well. A directive that silences nothing is itself an error (stale
+// suppressions rot the inventory).
+type Directive struct {
+	Analyzer string // analyzer it silences
+	Reason   string
+	Pos      token.Position
+	File     string // module-relative path (set by the driver)
+
+	used bool
+}
+
+const (
+	orderInvariantPrefix = "//sharp:orderinvariant"
+	allowPrefix          = "//sharp:allow"
+	directivePrefix      = "//sharp:"
+)
+
+// collectDirectives extracts every //sharp: directive from the package's
+// comments. Malformed directives (unknown verb, missing analyzer, missing
+// reason) are returned as errors — a typo must not silently un-suppress.
+func collectDirectives(fset *token.FileSet, files []*ast.File) ([]*Directive, []error) {
+	var dirs []*Directive
+	var errs []error
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				d, err := parseDirective(text, fset.Position(c.Pos()))
+				if err != nil {
+					errs = append(errs, err)
+					continue
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, errs
+}
+
+func parseDirective(text string, pos token.Position) (*Directive, error) {
+	switch {
+	case strings.HasPrefix(text, orderInvariantPrefix):
+		reason := strings.TrimSpace(text[len(orderInvariantPrefix):])
+		if reason == "" {
+			return nil, fmt.Errorf("%s: //sharp:orderinvariant needs a reason", fmtPos(pos))
+		}
+		return &Directive{Analyzer: "maporder", Reason: reason, Pos: pos}, nil
+	case strings.HasPrefix(text, allowPrefix):
+		rest := strings.TrimSpace(text[len(allowPrefix):])
+		name, reason, _ := strings.Cut(rest, " ")
+		reason = strings.TrimSpace(reason)
+		if name == "" || reason == "" {
+			return nil, fmt.Errorf("%s: //sharp:allow needs an analyzer name and a reason", fmtPos(pos))
+		}
+		if AnalyzerByName(name) == nil {
+			return nil, fmt.Errorf("%s: //sharp:allow names unknown analyzer %q", fmtPos(pos), name)
+		}
+		return &Directive{Analyzer: name, Reason: reason, Pos: pos}, nil
+	default:
+		return nil, fmt.Errorf("%s: unknown //sharp: directive %q", fmtPos(pos), firstField(text))
+	}
+}
+
+// covers reports whether d suppresses a diagnostic from analyzer at pos:
+// same file, same line or the line directly beneath the directive.
+func (d *Directive) covers(analyzer string, pos token.Position) bool {
+	if d.Analyzer != analyzer || d.Pos.Filename != pos.Filename {
+		return false
+	}
+	return pos.Line == d.Pos.Line || pos.Line == d.Pos.Line+1
+}
+
+func fmtPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+func firstField(s string) string {
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture corpus under testdata/module is a standalone mini-module
+// whose module path is also "fabricsharp", so the real scope rules apply
+// verbatim. Expectations are written in the fixtures themselves:
+//
+//	// want <analyzer> "substr"     — an unsuppressed diagnostic on this line
+//	// wantsup <analyzer> "substr"  — a suppressed diagnostic on this line
+//
+// A comment may carry several clauses for lines with multiple findings.
+// The harness enforces exact agreement in both directions: every
+// diagnostic must be expected, every expectation must be met. This is the
+// hand-rolled stand-in for analysistest, which lives outside the stdlib.
+var wantRE = regexp.MustCompile(`want(sup)?\s+([a-z]+)\s+"([^"]*)"`)
+
+type expectation struct {
+	file       string
+	line       int
+	analyzer   string
+	substr     string
+	suppressed bool
+	met        bool
+}
+
+func TestFixtureCorpus(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	res := Run(mod, Analyzers())
+	for _, e := range res.Errors {
+		t.Errorf("machinery error: %v", e)
+	}
+
+	exps := collectExpectations(t, mod)
+	for _, d := range res.Diagnostics {
+		if !meet(exps, d) {
+			kind := "unsuppressed"
+			if d.Suppressed {
+				kind = "suppressed"
+			}
+			t.Errorf("unexpected %s diagnostic: %v", kind, d)
+		}
+	}
+	for _, e := range exps {
+		if !e.met {
+			kind := "want"
+			if e.suppressed {
+				kind = "wantsup"
+			}
+			t.Errorf("%s:%d: %s %s %q: no matching diagnostic", e.file, e.line, kind, e.analyzer, e.substr)
+		}
+	}
+}
+
+// collectExpectations scans every fixture comment for want clauses.
+func collectExpectations(t *testing.T, mod *Module) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						if AnalyzerByName(m[2]) == nil {
+							t.Fatalf("%s: want clause names unknown analyzer %q", fmtPos(mod.Fset.Position(c.Pos())), m[2])
+						}
+						pos := mod.Fset.Position(c.Pos())
+						exps = append(exps, &expectation{
+							file:       moduleRel(mod.Root, pos.Filename),
+							line:       pos.Line,
+							analyzer:   m[2],
+							substr:     m[3],
+							suppressed: m[1] == "sup",
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(exps) == 0 {
+		t.Fatal("fixture corpus yielded no expectations — corpus missing or comment scan broken")
+	}
+	return exps
+}
+
+// meet consumes the first unmet expectation matching d, if any.
+func meet(exps []*expectation, d Diagnostic) bool {
+	for _, e := range exps {
+		if e.met || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.analyzer != d.Analyzer || e.suppressed != d.Suppressed {
+			continue
+		}
+		if !strings.Contains(d.Message, e.substr) {
+			continue
+		}
+		e.met = true
+		return true
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The suppression inventory is a checked-in ledger of every //sharp:
+// directive in the tree: one line per directive, sorted, so a PR adding a
+// suppression shows up in review as an inventory diff with its reason in
+// plain sight. sharpvet verifies tree == inventory on every run and
+// refuses to pass while they disagree; `sharpvet -write-inventory`
+// regenerates the file.
+//
+// Format (tab-separated, '#' comments):
+//
+//	<module-relative file>\t<analyzer>\t<reason>
+//
+// Line numbers are deliberately absent: moving a suppressed site within
+// its file must not churn the inventory.
+
+const inventoryHeader = `# sharpvet suppression inventory — every //sharp: directive in the tree.
+# Regenerate with: go run ./cmd/sharpvet -write-inventory ./...
+# Format: <file>\t<analyzer>\t<reason>. See docs/determinism.md.
+`
+
+// InventoryEntry is one recorded suppression.
+type InventoryEntry struct {
+	File     string // module-relative path
+	Analyzer string
+	Reason   string
+}
+
+func (e InventoryEntry) line() string {
+	return e.File + "\t" + e.Analyzer + "\t" + e.Reason
+}
+
+// FormatInventory renders directives as the canonical inventory text.
+func FormatInventory(dirs []*Directive) string {
+	entries := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		entries = append(entries, InventoryEntry{File: d.File, Analyzer: d.Analyzer, Reason: d.Reason}.line())
+	}
+	sort.Strings(entries)
+	var b strings.Builder
+	b.WriteString(inventoryHeader)
+	for _, e := range entries {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseInventory reads inventory text back into sorted entry lines.
+func ParseInventory(text string) ([]string, error) {
+	var entries []string
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("inventory line %d: want <file>\\t<analyzer>\\t<reason>, got %q", i+1, line)
+		}
+		entries = append(entries, line)
+	}
+	sort.Strings(entries)
+	return entries, nil
+}
+
+// DiffInventory compares the tree's directives against the checked-in
+// inventory file and returns human-readable discrepancies (nil = in sync).
+func DiffInventory(path string, dirs []*Directive) ([]string, error) {
+	var have []string
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// Missing file diffs as empty: every directive reports as
+		// unrecorded, which tells the user exactly what to do.
+	case err != nil:
+		return nil, err
+	default:
+		if have, err = ParseInventory(string(data)); err != nil {
+			return nil, err
+		}
+	}
+	want, err := ParseInventory(FormatInventory(dirs))
+	if err != nil {
+		return nil, err
+	}
+	return diffSorted(have, want), nil
+}
+
+// diffSorted reports multiset differences between two sorted string slices.
+func diffSorted(have, want []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(have) || j < len(want) {
+		switch {
+		case j == len(want) || (i < len(have) && have[i] < want[j]):
+			out = append(out, fmt.Sprintf("recorded but not in tree: %s", have[i]))
+			i++
+		case i == len(have) || have[i] > want[j]:
+			out = append(out, fmt.Sprintf("in tree but not recorded: %s", want[j]))
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// WriteInventory writes the canonical inventory for dirs to path.
+func WriteInventory(path string, dirs []*Directive) error {
+	return os.WriteFile(path, []byte(FormatInventory(dirs)), 0o644)
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRealModuleIsClean is the integration gate: the shipped tree must
+// carry zero unsuppressed findings, zero machinery errors (no stale or
+// malformed //sharp: directives, no type errors), and a suppression
+// inventory that byte-agrees with the tree. A violation introduced
+// anywhere in the module fails this test the same way `sharpvet ./...`
+// fails in CI.
+func TestRealModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	res := Run(mod, Analyzers())
+	for _, e := range res.Errors {
+		t.Errorf("machinery error: %v", e)
+	}
+	for _, d := range res.Unsuppressed() {
+		t.Errorf("unsuppressed finding: %v", d)
+	}
+	if len(res.Suppressed()) == 0 {
+		t.Error("expected a non-empty suppression baseline (the tree carries reviewed //sharp: directives)")
+	}
+
+	diffs, err := DiffInventory(filepath.Join(root, "sharpvet.inventory"), res.Directives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		t.Errorf("inventory out of sync: %s (regenerate with `go run ./cmd/sharpvet -write-inventory ./...`)", d)
+	}
+
+	// Every suppression must carry prose: the directive parser enforces a
+	// non-empty reason, so assert the invariant held end to end.
+	for _, dir := range res.Directives {
+		if dir.Reason == "" {
+			t.Errorf("%s: directive with empty reason survived parsing", dir.File)
+		}
+	}
+}

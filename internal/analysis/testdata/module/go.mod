@@ -1,0 +1,3 @@
+module fabricsharp
+
+go 1.22

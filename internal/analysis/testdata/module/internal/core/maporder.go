@@ -1,0 +1,159 @@
+// Package core is the maporder fixture corpus: each function is one
+// recognizer case. `// want <analyzer> "substr"` marks a line that must
+// produce an unsuppressed diagnostic; `// wantsup` a suppressed one; a
+// bare line must stay silent. The harness in fixtures_test.go enforces
+// exact agreement both ways.
+package core
+
+import "sort"
+
+func flagPlainCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder "range over map"
+		keys = append(keys, k)
+	}
+	return keys // order escapes unsorted
+}
+
+func okAppendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okGuardedAppendThenSort(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func flagAppendUsedBeforeSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder "range over map"
+		keys = append(keys, k)
+	}
+	first := keys[0] // order observed before any sort
+	_ = first
+	sort.Strings(keys)
+	return keys
+}
+
+func okDeleteOnly(m, dead map[string]int) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+func okSelfDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func okGuardedCounter(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func okCommutativeAccum(m map[string]int) (sum int, bits int) {
+	for _, v := range m {
+		sum += v
+		bits |= v
+	}
+	return sum, bits
+}
+
+func flagOrderDependentAssign(m map[string]int) int {
+	last := 0
+	for _, v := range m { // want maporder "range over map"
+		last = v // plain overwrite: final value depends on visit order
+	}
+	return last
+}
+
+func flagReadAfterWriteAccum(m map[string]int) int {
+	best := 0
+	for _, v := range m { // want maporder "range over map"
+		if v > best { // reads the accumulator another iteration wrote
+			best = v
+		}
+	}
+	return best
+}
+
+func okKeyedStoreByRangeKey(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+func okIdempotentStore(src map[string]int, hit map[int]bool) {
+	for _, v := range src {
+		hit[v] = true
+	}
+}
+
+func flagCollidingStore(src map[string]int, last map[int]string) {
+	for k, v := range src { // want maporder "range over map"
+		last[v] = k // non-unique slot, non-idempotent value: last writer wins
+	}
+}
+
+func flagCallInBody(m map[string]int) {
+	for k := range m { // want maporder "range over map"
+		observe(k) // arbitrary call: its side effects see visit order
+	}
+}
+
+func observe(string) {}
+
+func okNestedCommute(outer map[string]map[string]int) int {
+	total := 0
+	for _, inner := range outer {
+		for _, v := range inner {
+			total += v
+		}
+	}
+	return total
+}
+
+func okLocalDefine(src map[string][]int) int {
+	total := 0
+	for _, vs := range src {
+		n := len(vs)
+		total += n
+	}
+	return total
+}
+
+func okSliceRangeIsNotAMap(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}
+
+func suppressedVisit(m map[string]int) {
+	//sharp:orderinvariant fixture: reviewed suppression — observe is order-blind in this corpus
+	for k := range m { // wantsup maporder "range over map"
+		observe(k)
+	}
+}

@@ -1,0 +1,13 @@
+// Package kvstore stubs the durable-state surface the errdrop fixture
+// exercises: ApplyBatch and Persist (both as a method and a func-valued
+// hook field) are fatal-propagation entry points.
+package kvstore
+
+type Batch struct{}
+
+type Store struct {
+	// Persist is the durable-flush hook; errdrop polices calls through it.
+	Persist func() error
+}
+
+func (s *Store) ApplyBatch(b Batch) error { return nil }

@@ -1,0 +1,51 @@
+// Package node is the errdrop fixture corpus. errdrop's scope is the whole
+// module, so these out-of-deterministic-scope callers are still policed.
+package node
+
+import (
+	"fabricsharp/internal/kvstore"
+	"fabricsharp/internal/wire"
+)
+
+func flagStatementDrop(t wire.Thing) {
+	wire.EncodeThing(t) // want errdrop "error from wire.EncodeThing dropped"
+}
+
+func flagBlankDrop(b []byte) {
+	_, _ = wire.DecodeThing(b) // want errdrop "error from wire.DecodeThing dropped"
+}
+
+func okErrorBound(t wire.Thing) error {
+	_, err := wire.EncodeThing(t)
+	return err
+}
+
+func okNoErrorResult(t wire.Thing) []byte {
+	return wire.EncodeHint(t) // no error result: nothing to drop
+}
+
+func flagGoDrop(s *kvstore.Store, b kvstore.Batch) {
+	go s.ApplyBatch(b) // want errdrop "error from ApplyBatch dropped"
+}
+
+func flagDeferPersist(s *kvstore.Store) {
+	defer s.Persist() // want errdrop "error from Persist dropped"
+}
+
+func okHandled(s *kvstore.Store, b kvstore.Batch) error {
+	if err := s.ApplyBatch(b); err != nil {
+		return err
+	}
+	return s.Persist()
+}
+
+func flagInsideClosure(t wire.Thing) func() {
+	return func() {
+		wire.EncodeThing(t) // want errdrop "error from wire.EncodeThing dropped"
+	}
+}
+
+func suppressedBestEffort(s *kvstore.Store) {
+	//sharp:allow errdrop fixture: reviewed suppression — best-effort flush on shutdown path
+	s.Persist() // wantsup errdrop "error from Persist dropped"
+}

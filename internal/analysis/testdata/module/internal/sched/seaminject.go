@@ -1,0 +1,35 @@
+package sched
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flagInlineRand() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want seaminject "inline rand.New" want seaminject "inline rand.NewSource"
+}
+
+func flagRandLiteral() *rand.Rand {
+	return &rand.Rand{} // want seaminject "rand.Rand literal"
+}
+
+func flagInlineTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // want seaminject "inline time.NewTimer"
+}
+
+func flagAfter(d time.Duration) <-chan time.Time {
+	return time.After(d) // want seaminject "inline time.After"
+}
+
+type options struct {
+	RNG *rand.Rand
+}
+
+func okInjectedViaOptions(o options) int {
+	return o.RNG.Intn(3)
+}
+
+func suppressedFixedSeed() *rand.Rand {
+	//sharp:allow seaminject fixture: reviewed suppression — fixed seed shapes structure only
+	return rand.New(rand.NewSource(7)) // wantsup seaminject "inline rand.New" wantsup seaminject "inline rand.NewSource"
+}

@@ -1,0 +1,43 @@
+// Package sched is the wallclock + seaminject fixture corpus (the sched
+// package path sits inside the deterministic scope, so both analyzers
+// police these files).
+package sched
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func flagNow() int64 {
+	return time.Now().UnixNano() // want wallclock "time.Now in deterministic code"
+}
+
+func flagSince(t0 time.Time) int64 {
+	return time.Since(t0).Nanoseconds() // want wallclock "time.Since in deterministic code"
+}
+
+func flagUntil(t time.Time) time.Duration {
+	return time.Until(t) // want wallclock "time.Until in deterministic code"
+}
+
+func flagEnvRead() string {
+	return os.Getenv("SHARP_DEBUG") // want wallclock "os.Getenv in deterministic code"
+}
+
+func flagGlobalRand() int {
+	return rand.Intn(10) // want wallclock "rand.Intn in deterministic code"
+}
+
+func okInjectedRandMethod(r *rand.Rand) int {
+	return r.Intn(10) // a *rand.Rand method is the injected seam working
+}
+
+func okTimeArithmetic(a, b time.Time) time.Duration {
+	return b.Sub(a) // pure arithmetic on values already in hand
+}
+
+func suppressedDebugEnv() bool {
+	//sharp:allow wallclock fixture: reviewed suppression — debug toggle read at startup, never sealed
+	return os.Getenv("SHARP_TRACE") != "" // wantsup wallclock "os.Getenv"
+}

@@ -1,0 +1,12 @@
+// Package wire stubs the codec surface the errdrop fixture calls into:
+// errdrop polices Encode*/Decode* by name within this package path.
+package wire
+
+type Thing struct{ V int }
+
+func EncodeThing(t Thing) ([]byte, error) { return nil, nil }
+
+func DecodeThing(b []byte) (Thing, error) { return Thing{}, nil }
+
+// EncodeHint has no error result: errdrop must leave its callers alone.
+func EncodeHint(t Thing) []byte { return nil }

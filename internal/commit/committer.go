@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/ledger"
@@ -142,11 +141,11 @@ func (c *Committer) run() {
 	for blk := range c.deliver {
 		c.stats.QueueDepth.Add(-1)
 		if !c.failed.Load() {
-			start := time.Now()
+			start := metrics.StartWatch()
 			if err := c.commit(blk); err != nil {
 				c.fail(err)
 			} else {
-				c.stats.CommitLatencyMS.Add(float64(time.Since(start).Nanoseconds()) / 1e6)
+				c.stats.CommitLatencyMS.Add(float64(start.ElapsedNS()) / 1e6)
 			}
 		}
 		c.pending.Add(-1)

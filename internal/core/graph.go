@@ -134,7 +134,9 @@ func hasCycle(pred, succ map[*txNode]struct{}) bool {
 	if len(pred) == 0 || len(succ) == 0 {
 		return false
 	}
+	//sharp:orderinvariant existential probe: returns whether any (p,s) pair hits; visit order cannot change the answer
 	for p := range pred {
+		//sharp:orderinvariant existential probe: returns whether any (p,s) pair hits; visit order cannot change the answer
 		for s := range succ {
 			if p == s {
 				return true
@@ -155,6 +157,7 @@ func hasCycle(pred, succ map[*txNode]struct{}) bool {
 // the age hint. It returns the number of nodes traversed (the "# of hops"
 // statistic of Figure 13).
 func (g *graph) insert(txn *txNode, pred, succ map[*txNode]struct{}, nextBlock uint64) (hops int) {
+	//sharp:orderinvariant idempotent set insert plus bloom union (bitwise OR) per predecessor; both commute
 	for p := range pred {
 		p.succ[txn] = struct{}{}
 		txn.anti.Union(p.anti)
@@ -170,6 +173,7 @@ func (g *graph) insert(txn *txNode, pred, succ map[*txNode]struct{}, nextBlock u
 	g.nextEpoch()
 	g.visit(txn)
 	stack := g.stack[:0]
+	//sharp:orderinvariant DFS seed order; the walk effects (visited-set, bloom union, age max) are order-insensitive
 	for s := range succ {
 		stack = append(stack, s)
 	}
@@ -184,6 +188,7 @@ func (g *graph) insert(txn *txNode, pred, succ map[*txNode]struct{}, nextBlock u
 		if n.age < nextBlock {
 			n.age = nextBlock
 		}
+		//sharp:orderinvariant DFS push order; visited-set, bloom-union (bitwise OR), and age-max effects all commute
 		for s := range n.succ {
 			stack = append(stack, s)
 		}
@@ -199,6 +204,7 @@ func (g *graph) insert(txn *txNode, pred, succ map[*txNode]struct{}, nextBlock u
 // owned by the graph — it is valid until the next topoOrder call.
 func (g *graph) topoOrder() []*txNode {
 	all := g.topoAll[:0]
+	//sharp:orderinvariant collection order is washed: zero-indegree seeds enter an arrival-index min-heap and emission follows heap order alone
 	for _, n := range g.nodes {
 		if n.pruned {
 			continue
@@ -225,6 +231,7 @@ func (g *graph) topoOrder() []*txNode {
 	for ready.len() > 0 {
 		n := ready.pop()
 		out = append(out, n)
+		//sharp:orderinvariant indegree decrements commute; emission order is fixed by the arrival-index min-heap, not visit order
 		for s := range n.succ {
 			if s.pruned {
 				continue
@@ -257,6 +264,7 @@ func (g *graph) rebuildReachability() {
 		n.anti.AddPositions(n.idPos)
 	}
 	for _, n := range order {
+		//sharp:orderinvariant bloom union is bitwise OR; successor visit order cannot change the resulting filters
 		for s := range n.succ {
 			if !s.pruned {
 				s.anti.Union(n.anti)
@@ -283,6 +291,7 @@ func (g *graph) bumpCommitted(committed []*txNode, block uint64) {
 		if n.age < block {
 			n.age = block
 		}
+		//sharp:orderinvariant DFS push order; visited-set marking and age-max both commute
 		for s := range n.succ {
 			stack = append(stack, s)
 		}
@@ -295,6 +304,7 @@ func (g *graph) bumpCommitted(committed []*txNode, block uint64) {
 // nodes are never pruned. It returns the number of pruned nodes.
 func (g *graph) prune(horizon uint64) int {
 	doomed := g.stack[:0]
+	//sharp:orderinvariant doomed-collection order only affects pool recycling; graph deletions are keyed by unique id and commute
 	for id, n := range g.nodes {
 		if !n.committed || n.pruned {
 			continue
@@ -310,6 +320,7 @@ func (g *graph) prune(horizon uint64) int {
 		// recycle the pruned nodes' filters and maps (nothing else can
 		// reach them: lookups consult g.nodes, and every traversal guards
 		// on n.pruned before touching a node).
+		//sharp:orderinvariant per-node successor-set subtraction; each node is pruned independently and deletions commute
 		for _, n := range g.nodes {
 			for s := range n.succ {
 				if s.pruned {
@@ -418,6 +429,7 @@ func (g *graph) restoreWW(groups [][]*txNode) {
 		if n.pruned || !g.visit(n) {
 			continue
 		}
+		//sharp:orderinvariant DFS push order; the walk only marks a visited-set, which is order-insensitive
 		for s := range n.succ {
 			stack = append(stack, s)
 		}
@@ -428,6 +440,7 @@ func (g *graph) restoreWW(groups [][]*txNode) {
 		if n.stamp != reachEpoch {
 			continue
 		}
+		//sharp:orderinvariant bloom union is bitwise OR; successor visit order cannot change the merged filter
 		for s := range n.succ {
 			if !s.pruned {
 				s.anti.Union(n.anti)

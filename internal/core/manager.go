@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"fabricsharp/internal/intern"
+	"fabricsharp/internal/metrics"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/seqno"
 )
@@ -254,7 +254,7 @@ func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys [
 	// The working sets are reused scratch; the deferred clear covers every
 	// exit path (including index errors), so a failed arrival can never
 	// leak stale nodes into the next one's analysis.
-	t0 := time.Now()
+	t0 := metrics.StartWatch()
 	pred, succ := m.predSet, m.succSet
 	defer func() {
 		clear(pred)
@@ -304,7 +304,7 @@ func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys [
 		}
 	}
 	cyclic := hasCycle(pred, succ)
-	m.stats.IdentifyConflictNS += time.Since(t0).Nanoseconds()
+	m.stats.IdentifyConflictNS += t0.ElapsedNS()
 
 	if cyclic {
 		m.stats.AbortCycle++
@@ -312,14 +312,14 @@ func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys [
 	}
 
 	// Phase 2 (Figure 12: "Update graph"): Algorithm 4.
-	t1 := time.Now()
+	t1 := metrics.StartWatch()
 	node := m.g.newNode(id, startTS, m.rbuf, m.wbuf)
 	hops := m.g.insert(node, pred, succ, m.nextBlock)
 	m.stats.Hops += uint64(hops)
-	m.stats.UpdateGraphNS += time.Since(t1).Nanoseconds()
+	m.stats.UpdateGraphNS += t1.ElapsedNS()
 
 	// Phase 3 (Figure 12: "Index record"): register in P, PW, PR.
-	t2 := time.Now()
+	t2 := metrics.StartWatch()
 	m.pending = append(m.pending, node)
 	for _, r := range node.readKeys {
 		m.pr[r] = append(m.pr[r], node)
@@ -327,7 +327,7 @@ func (m *Manager) OnArrival(id TxID, snapshotBlock uint64, readKeys, writeKeys [
 	for _, w := range node.writeKeys {
 		m.pw[w] = append(m.pw[w], node)
 	}
-	m.stats.IndexRecordNS += time.Since(t2).Nanoseconds()
+	m.stats.IndexRecordNS += t2.ElapsedNS()
 
 	m.stats.Accepted++
 	if n := m.g.size(); n > m.stats.MaxGraphSize {
@@ -350,7 +350,7 @@ func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
 	m.stats.Formations++
 
 	// Compute the commit order (Figure 11: "Compute order").
-	t0 := time.Now()
+	t0 := metrics.StartWatch()
 	topo := m.g.topoOrder()
 	order := m.orderBuf[:0]
 	for _, n := range topo {
@@ -366,14 +366,14 @@ func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
 		m.stats.SpanSum += span
 		m.stats.SpanCount++
 	}
-	m.stats.ComputeOrderNS += time.Since(t0).Nanoseconds()
+	m.stats.ComputeOrderNS += t0.ElapsedNS()
 
 	// Restore ww dependencies (Figure 11: "Restore ww"): collect the keys
 	// with two or more pending writers, order them deterministically by
 	// record-key string (the same order the pre-interning implementation
 	// used, so decisions are bit-identical), and hand the position-sorted
 	// writer groups to the graph.
-	t1 := time.Now()
+	t1 := metrics.StartWatch()
 	m.keyEpoch++
 	wwKeys := m.wwKeys[:0]
 	for _, n := range order {
@@ -393,11 +393,11 @@ func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
 	m.g.restoreWW(groups)
 	m.wwKeys = wwKeys
 	m.wwGroups = groups
-	m.stats.RestoreWWNS += time.Since(t1).Nanoseconds()
+	m.stats.RestoreWWNS += t1.ElapsedNS()
 
 	// Persist commitments to the CW/CR storages (Figure 11: "Persist to
 	// storage") and clear the pending indices.
-	t2 := time.Now()
+	t2 := metrics.StartWatch()
 	ids := make([]TxID, len(order))
 	for i, n := range order {
 		ids[i] = n.id
@@ -423,10 +423,10 @@ func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
 	m.pending = m.pending[:0]
 	m.g.bumpCommitted(order, block)
 	m.orderBuf = order
-	m.stats.PersistNS += time.Since(t2).Nanoseconds()
+	m.stats.PersistNS += t2.ElapsedNS()
 
 	// Prune G and the indices (Figure 11: "Prune G"), then advance M.
-	t3 := time.Now()
+	t3 := metrics.StartWatch()
 	m.nextBlock++
 	if h, ok := m.horizon(); ok {
 		m.stats.PrunedNodes += uint64(m.g.prune(h))
@@ -440,17 +440,17 @@ func (m *Manager) OnBlockFormation() ([]TxID, uint64, error) {
 	if block%m.opts.RelayBlocks == 0 {
 		m.g.rebuildReachability()
 	}
-	m.stats.PruneNS += time.Since(t3).Nanoseconds()
+	m.stats.PruneNS += t3.ElapsedNS()
 
 	// Epoch compaction (PR 4): after index pruning, at a block boundary
 	// every replica reaches identically, rebuild the intern table around the
 	// keys still referenced by retained state.
 	if m.opts.CompactEvery > 0 && block%m.opts.CompactEvery == 0 {
-		t4 := time.Now()
+		t4 := metrics.StartWatch()
 		if err := m.compact(); err != nil {
 			return nil, 0, err
 		}
-		m.stats.CompactNS += time.Since(t4).Nanoseconds()
+		m.stats.CompactNS += t4.ElapsedNS()
 	}
 
 	m.stats.Committed += uint64(len(ids))
@@ -492,6 +492,7 @@ func (m *Manager) compact() error {
 	// Stamps restart at zero: keyEpoch only grows and is never reset, so a
 	// zero stamp can never collide with a live epoch.
 	m.keyStamp = make([]uint64, newLen)
+	//sharp:orderinvariant per-node in-place KeyID remap; every node is rewritten independently of visit order
 	for _, n := range m.g.nodes {
 		intern.RemapInPlace(n.readKeys, remap)
 		intern.RemapInPlace(n.writeKeys, remap)

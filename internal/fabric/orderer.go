@@ -62,6 +62,7 @@ func (o *orderer) run() {
 	defer o.net.wg.Done()
 	stream, cancel := o.net.kafka.Subscribe()
 	defer cancel()
+	//sharp:allow seaminject block-cut timer only proposes TTC cut markers into the consensus stream; sealed output remains a pure function of that stream
 	timer := time.NewTimer(o.net.opts.BlockTimeout)
 	defer timer.Stop()
 	timerArmed := false

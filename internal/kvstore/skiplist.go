@@ -47,6 +47,7 @@ func newSkiplist() *skiplist {
 		height: 1,
 		// Deterministic seed: tower heights only affect performance, and a
 		// fixed seed keeps test runs and replicated orderers bit-identical.
+		//sharp:allow seaminject fixed seed 0x5ee01e55: tower heights shape performance only, never contents or iteration results
 		rng: rand.New(rand.NewSource(0x5ee01e55)),
 	}
 }

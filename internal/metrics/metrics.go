@@ -10,9 +10,23 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fabricsharp/internal/protocol"
 )
+
+// Stopwatch measures elapsed wall time for stage instrumentation. It lives
+// here — outside the deterministic scope — so consensus-critical packages
+// can time their stages without touching the wall clock directly: elapsed
+// time feeds operator-facing stats only, never sealed output, and sharpvet's
+// wallclock analyzer enforces that the raw clock stays behind this seam.
+type Stopwatch struct{ t0 time.Time }
+
+// StartWatch starts a stopwatch at the current instant.
+func StartWatch() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// ElapsedNS returns the nanoseconds elapsed since StartWatch.
+func (s Stopwatch) ElapsedNS() int64 { return time.Since(s.t0).Nanoseconds() }
 
 // Counter is a monotonically increasing, concurrency-safe event counter.
 // The zero value is ready to use.

@@ -187,6 +187,7 @@ func reorderBatch(tbl *intern.Table, batch []*protocol.Transaction) (ordered, dr
 		i := ready[0]
 		ready = ready[1:]
 		ordered = append(ordered, batch[i])
+		//sharp:orderinvariant indegree decrements commute; ready candidates are re-sorted before every pop, washing visit order
 		for j := range succ[i] {
 			if !alive[j] {
 				continue

@@ -286,6 +286,7 @@ func (db *DB) PruneSnapshots(minSnapshotBlock uint64) {
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.Lock()
+		//sharp:orderinvariant per-key history truncation keyed by the unique range key; iterations are independent
 		for key, versions := range sh.hist {
 			// Find the last version with Block <= minSnapshotBlock.
 			idx := -1
@@ -341,6 +342,7 @@ func (db *DB) ForEachLatest(fn func(key string, vv VersionedValue) bool) {
 	db.applyMu.Lock()
 	defer db.applyMu.Unlock()
 	for i := range db.shards {
+		//sharp:orderinvariant visitation API documented as unordered; deterministic consumers must sort (StateFingerprint does)
 		for key, versions := range db.shards[i].hist {
 			last := versions[len(versions)-1]
 			if last.Deleted {
@@ -362,6 +364,7 @@ func (db *DB) KeysInRange(start, end string, asOfBlock uint64) []string {
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.RLock()
+		//sharp:orderinvariant matched keys are sorted once after the shard sweep, before return
 		for key, versions := range sh.hist {
 			if key < start || (end != "" && key >= end) {
 				continue
@@ -422,6 +425,7 @@ func (db *DB) StateFingerprint() string {
 	}
 	var live []kv
 	for i := range db.shards {
+		//sharp:orderinvariant live set is sorted by key before hashing, washing iteration order
 		for k, versions := range db.shards[i].hist {
 			last := versions[len(versions)-1]
 			if !last.Deleted {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# lint.sh — the local mirror of CI's lint job: formatting, go vet, and the
+# sharpvet determinism suite (docs/determinism.md). Run it before pushing;
+# CI runs exactly these gates and will reject what this rejects.
+#
+# Usage: scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== sharpvet (replica-identical determinism contract)"
+# -list prints the suppression inventory after a clean run so reviewers see
+# every justified exception; any unsuppressed finding or inventory drift
+# exits nonzero.
+go run ./cmd/sharpvet -list ./...
+
+echo "lint: all gates green"
