@@ -100,9 +100,13 @@ func BenchmarkSingleRunPerSystem(b *testing.B) {
 			var eff float64
 			for i := 0; i < b.N; i++ {
 				rng := rand.New(rand.NewSource(42))
+				w, err := workload.NewModifiedSmallbank(rng, 0, 0.1, 0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
 				res, err := network.Run(network.Config{
 					System:      system,
-					Workload:    workload.NewModifiedSmallbank(rng, 0.1, 0.1),
+					Workload:    w,
 					Seed:        42,
 					Duration:    5 * sim.Second,
 					RequestRate: 700,
@@ -269,7 +273,10 @@ func BenchmarkCommitThroughput(b *testing.B) {
 // BenchmarkValidationMVCC micro-benchmarks the validation phase.
 func BenchmarkValidationMVCC(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	w := workload.NewModifiedSmallbank(rng, 0.1, 0.1)
+	w, err := workload.NewModifiedSmallbank(rng, 0, 0.1, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	res, err := network.Run(network.Config{
 		System: sched.SystemFabric, Workload: w, Seed: 1,
 		Duration: 2 * sim.Second, RequestRate: 400, BlockSize: 50,

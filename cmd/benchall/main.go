@@ -28,7 +28,8 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "short measurement windows (5s virtual instead of 20s)")
 	seed := flag.Int64("seed", 42, "random seed for every run")
-	fig := flag.String("fig", "all", "which exhibit: 1, t1, 10, 11, 12, 13, 14, 15, reorder, ablation, ordering, all")
+	fig := flag.String("fig", "all", "which exhibit: 1, t1, 10, 11, 12, 13, 14, 15, reorder, ablation, ordering, workload, all")
+	workloadName := flag.String("workload", "", "scenario for -fig workload (empty = every registered scenario)")
 	jsonPath := flag.String("json", "", "append the ordering results to this trajectory file (with -fig ordering)")
 	label := flag.String("label", "", "record label for -json (e.g. pr2)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
@@ -91,6 +92,15 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("(appended record %q to %s)\n", lbl, *jsonPath)
+		}
+	case "workload":
+		var err error
+		if tables, err = bench.ScenarioMatrixAll(opts, *workloadName); err != nil {
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+			fmt.Fprintf(os.Stderr, "workload matrix: %v\n", err)
+			os.Exit(1)
 		}
 	case "all":
 		tables = bench.All(opts)

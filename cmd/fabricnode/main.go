@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"fabricsharp/internal/node"
+	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 )
 
@@ -47,6 +49,8 @@ func main() {
 	raftRedirects := flag.String("raft-redirects", "", "comma-separated raftAddr=clientAddr pairs for NotLeader redirect hints")
 	raftDir := flag.String("raft-dir", "", "persist raft term+vote under this directory (role orderer)")
 	raftElection := flag.Duration("raft-election-timeout", 0, "base raft election timeout (0 = default)")
+	workloadName := flag.String("workload", "", "registered scenario whose genesis state this node installs (identical cluster-wide; empty = no genesis)")
+	accounts := flag.Int("accounts", 0, "scenario pool-size override (requires -workload; 0 = scenario default)")
 	flag.Parse()
 
 	names := splitNonEmpty(*peerNames)
@@ -64,12 +68,21 @@ func main() {
 		RaftRedirects: redirects,
 		RaftDir:       *raftDir,
 		RaftElection:  *raftElection,
+		Workload:      *workloadName,
+		Accounts:      *accounts,
 	}
 	if err := nf.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "fabricnode:", err)
 		fmt.Fprintln(os.Stderr, "usage: fabricnode -role orderer|peer [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	// Every node of a cluster resolves the same -workload/-accounts pair to
+	// the same write set, so all replicas install bit-identical genesis.
+	var genesis []protocol.WriteItem
+	if *workloadName != "" {
+		sc, _ := scenario.Get(*workloadName) // existence validated above
+		genesis = sc.GenesisWrites(scenario.Params{Accounts: *accounts})
 	}
 	var (
 		addr     string
@@ -89,6 +102,7 @@ func main() {
 			CompactEvery:        *compactEvery,
 			DedupHorizon:        *dedupHorizon,
 			Rescue:              *rescue,
+			Genesis:             genesis,
 			RaftID:              *raftID,
 			RaftCluster:         nf.RaftCluster,
 			RaftRedirects:       redirects,
@@ -109,6 +123,7 @@ func main() {
 			DataDir:           *dataDir,
 			ValidationWorkers: *workers,
 			Rescue:            *rescue,
+			Genesis:           genesis,
 		})
 		if err != nil {
 			fatal(err)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"fabricsharp/internal/scenario"
 )
 
 // nodeFlags is the cross-validated subset of fabricnode's flags. Validation
@@ -22,6 +24,8 @@ type nodeFlags struct {
 	RaftRedirects map[string]string
 	RaftDir       string
 	RaftElection  time.Duration
+	Workload      string
+	Accounts      int
 }
 
 func (f nodeFlags) validate() error {
@@ -30,6 +34,18 @@ func (f nodeFlags) validate() error {
 	}
 	if dup := firstDuplicate(f.PeerNames); dup != "" {
 		return fmt.Errorf("-peers lists %q twice", dup)
+	}
+	if f.Workload == "" {
+		if f.Accounts != 0 {
+			return fmt.Errorf("-accounts tunes a scenario's genesis; it requires -workload")
+		}
+	} else {
+		if _, ok := scenario.Get(f.Workload); !ok {
+			return fmt.Errorf("unknown -workload %q (have %s)", f.Workload, strings.Join(scenario.Names(), ", "))
+		}
+		if f.Accounts < 0 {
+			return fmt.Errorf("-accounts must be non-negative, got %d", f.Accounts)
+		}
 	}
 	switch f.Role {
 	case "orderer":

@@ -51,6 +51,17 @@ func TestValidateAcceptsWellFormedConfigs(t *testing.T) {
 			f.RaftRedirects = nil
 			return f
 		}(),
+		"orderer with workload": func() nodeFlags {
+			f := ordererFlags()
+			f.Workload = "token"
+			return f
+		}(),
+		"peer with workload and accounts": func() nodeFlags {
+			f := peerFlags()
+			f.Workload = "analytics"
+			f.Accounts = 64
+			return f
+		}(),
 	} {
 		if err := f.validate(); err != nil {
 			t.Errorf("%s: unexpected error: %v", name, err)
@@ -161,6 +172,18 @@ func TestValidateRejectsBrokenConfigs(t *testing.T) {
 				return f
 			},
 			wantErr: "omits the local member",
+		},
+		"unknown workload": {
+			base:    func() nodeFlags { f := ordererFlags(); f.Workload = "nosuch"; return f },
+			wantErr: "unknown -workload",
+		},
+		"accounts without workload": {
+			base:    func() nodeFlags { f := peerFlags(); f.Accounts = 64; return f },
+			wantErr: "requires -workload",
+		},
+		"negative accounts": {
+			base:    func() nodeFlags { f := ordererFlags(); f.Workload = "token"; f.Accounts = -1; return f },
+			wantErr: "non-negative",
 		},
 	}
 	for name, c := range cases {

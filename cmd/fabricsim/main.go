@@ -14,9 +14,9 @@ import (
 	"os"
 
 	"fabricsharp/internal/network"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/sim"
-	"fabricsharp/internal/workload"
 )
 
 func main() {
@@ -30,31 +30,41 @@ func main() {
 	clientDelayMS := flag.Int("client-delay", 0, "client delay (ms)")
 	readIntervalMS := flag.Int("read-interval", 0, "interval between reads (ms)")
 	seed := flag.Int64("seed", 42, "random seed")
-	wl := flag.String("workload", "msmallbank", "msmallbank | mixed | create | noop | singlemod")
+	wl := flag.String("workload", "msmallbank", "registered scenario name (see -list-workloads)")
+	accounts := flag.Int("accounts", 0, "pool size override (0 = scenario default)")
 	theta := flag.Float64("theta", 0.5, "zipfian coefficient (mixed/singlemod)")
+	listWorkloads := flag.Bool("list-workloads", false, "print the registered scenarios and exit")
 	verify := flag.Bool("verify", false, "run the serializability verifier afterwards")
 	flag.Parse()
 
+	if *listWorkloads {
+		for _, name := range scenario.Names() {
+			sc, _ := scenario.Get(name)
+			fmt.Printf("%-12s %s\n", name, sc.Doc)
+		}
+		return
+	}
+
+	sc, ok := scenario.Get(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (have %v)\n", *wl, scenario.Names())
+		os.Exit(2)
+	}
+	params := scenario.Params{
+		Accounts: *accounts,
+		Theta:    *theta,
+		ReadHot:  *readHot,
+		WriteHot: *writeHot,
+	}
 	// Two explicit, independently seeded streams: one for the workload
 	// generator, one for the pipeline's own choices. Nothing in the harness
 	// touches the global math/rand source, so runs reproduce exactly even
 	// when several harness processes (or parallel CI shards) run at once.
 	rng := rand.New(rand.NewSource(*seed))
 	pipelineRng := rand.New(rand.NewSource(*seed))
-	var gen workload.Generator
-	switch *wl {
-	case "msmallbank":
-		gen = workload.NewModifiedSmallbank(rng, *readHot, *writeHot)
-	case "mixed":
-		gen = workload.NewMixedSmallbank(rng, 10000, *theta)
-	case "create":
-		gen = &workload.CreateAccount{}
-	case "noop":
-		gen = workload.NoOp{}
-	case "singlemod":
-		gen = workload.NewSingleMod(rng, 10000, *theta)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+	gen, err := sc.Generator(rng, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -96,6 +106,10 @@ func main() {
 	}
 	if res.RescuedAntiRW > 0 {
 		fmt.Printf("anti-rw saves  %d committed transactions a stale-read check would have aborted\n", res.RescuedAntiRW)
+	}
+	if err := sc.CheckInvariant(res.State, params); err != nil {
+		fmt.Fprintf(os.Stderr, "SCENARIO INVARIANT VIOLATION: %v\n", err)
+		os.Exit(1)
 	}
 	if *verify {
 		if err := network.VerifySerializability(res); err != nil {

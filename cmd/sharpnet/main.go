@@ -42,8 +42,10 @@ import (
 
 	"fabricsharp/internal/fabric"
 	"fabricsharp/internal/node"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/wire"
+	"fabricsharp/internal/workload"
 )
 
 func main() {
@@ -54,7 +56,8 @@ func main() {
 	hotKeys := flag.Int("hot", 8, "number of contended counters (demo mode)")
 	ordererAddr := flag.String("orderer", "", "comma-separated orderer addresses (load/status/check modes)")
 	peerAddrs := flag.String("peer-addrs", "", "comma-separated peer addresses (load/status/check modes)")
-	accounts := flag.Int("accounts", 32, "SmallBank account pool (load mode)")
+	accounts := flag.Int("accounts", 32, "account pool: SmallBank accounts to create, or with -workload the scenario pool override (load mode)")
+	workloadName := flag.String("workload", "", "registered scenario to drive instead of the built-in SmallBank mix; the cluster must have been booted with the same -workload/-accounts genesis (load mode)")
 	seed := flag.Int64("seed", 42, "base seed; client i draws from an explicit rand.Rand seeded with seed+i (load mode)")
 	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "how long to retry dialing the cluster (load mode)")
 	expectCommitted := flag.Uint64("expect-committed", 0, "minimum committed-transaction tally the ledger must hold (check mode)")
@@ -68,6 +71,7 @@ func main() {
 		Clients:         *clients,
 		Txs:             *txs,
 		Accounts:        *accounts,
+		Workload:        *workloadName,
 		ExpectCommitted: *expectCommitted,
 	}
 	if err := cf.validate(); err != nil {
@@ -79,7 +83,7 @@ func main() {
 	case "demo":
 		demo(*system, cf.Clients, cf.Txs, *hotKeys)
 	case "load":
-		load(cf.Orderers, cf.Peers, cf.Clients, cf.Txs, cf.Accounts, *seed, *dialTimeout)
+		load(cf.Orderers, cf.Peers, cf.Clients, cf.Txs, cf.Accounts, cf.Workload, *seed, *dialTimeout)
 	case "status":
 		statusMode(cf.Orderers, cf.Peers, *dialTimeout)
 	case "check":
@@ -197,33 +201,48 @@ func smallbankOp(rng *rand.Rand, accounts int) (string, []string) {
 	}
 }
 
-func load(orderers, peers []string, clients, txs, accounts int, seed int64, dialTimeout time.Duration) {
+func load(orderers, peers []string, clients, txs, accounts int, workloadName string, seed int64, dialTimeout time.Duration) {
 	if len(orderers) == 0 || len(peers) == 0 {
 		fmt.Fprintln(os.Stderr, "load mode requires -orderer and -peer-addrs")
 		os.Exit(2)
 	}
+	var sc scenario.Scenario
+	if workloadName != "" {
+		var ok bool
+		if sc, ok = scenario.Get(workloadName); !ok {
+			fmt.Fprintf(os.Stderr, "unknown -workload %q (have %s)\n", workloadName, strings.Join(scenario.Names(), ", "))
+			os.Exit(2)
+		}
+	}
 	start := time.Now()
 
-	// Phase 0: seed the account pool (blind writes, contention-free).
-	seeder, err := node.DialClient("seeder", orderers, peers, dialTimeout)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	for i := 0; i < accounts; i++ {
-		res, err := seeder.Submit("smallbank", "create_account", fmt.Sprintf("acct%d", i), "1000", "1000")
+	// Phase 0 (built-in SmallBank mix only): seed the account pool with
+	// blind, contention-free writes. A named scenario skips this — its
+	// genesis was installed by every fabricnode booted with the same
+	// -workload/-accounts pair.
+	seeded := int64(0)
+	if workloadName == "" {
+		seeder, err := node.DialClient("seeder", orderers, peers, dialTimeout)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "seeding account %d: %v\n", i, err)
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if !res.Code.Committed() {
-			fmt.Fprintf(os.Stderr, "seeding account %d aborted: %s\n", i, res.Code)
-			os.Exit(1)
+		for i := 0; i < accounts; i++ {
+			res, err := seeder.Submit("smallbank", "create_account", fmt.Sprintf("acct%d", i), "1000", "1000")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seeding account %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			if !res.Code.Committed() {
+				fmt.Fprintf(os.Stderr, "seeding account %d aborted: %s\n", i, res.Code)
+				os.Exit(1)
+			}
 		}
+		seeder.Close()
+		seeded = int64(accounts)
 	}
-	seeder.Close()
 
-	// Phase 1: contended SmallBank traffic from independent workers.
+	// Phase 1: contended traffic from independent workers.
 	var committed, aborted, failed int64
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -231,6 +250,15 @@ func load(orderers, peers []string, clients, txs, accounts int, seed int64, dial
 		go func(c int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(c)))
+			var gen workload.Generator
+			if workloadName != "" {
+				var err error
+				if gen, err = sc.Generator(rng, scenario.Params{Accounts: accounts}); err != nil {
+					fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
+					atomic.AddInt64(&failed, int64(txs))
+					return
+				}
+			}
 			client, err := node.DialClient(fmt.Sprintf("load%d", c), orderers, peers, dialTimeout)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -239,9 +267,21 @@ func load(orderers, peers []string, clients, txs, accounts int, seed int64, dial
 			}
 			defer client.Close()
 			for i := 0; i < txs; i++ {
-				function, args := smallbankOp(rng, accounts)
-				res, err := client.Submit("smallbank", function, args...)
+				contract := "smallbank"
+				var function string
+				var args []string
+				if gen != nil {
+					op := gen.Next()
+					contract, function, args = op.Contract, op.Function, op.Args
+				} else {
+					function, args = smallbankOp(rng, accounts)
+				}
+				res, err := client.Submit(contract, function, args...)
 				switch {
+				case err != nil && strings.Contains(err.Error(), "endorsement refused"):
+					// The contract itself rejected the invocation (e.g. a
+					// losing auction bid): an abort by design, not a failure.
+					atomic.AddInt64(&aborted, 1)
 				case err != nil:
 					atomic.AddInt64(&failed, 1)
 					fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
@@ -271,9 +311,9 @@ func load(orderers, peers []string, clients, txs, accounts int, seed int64, dial
 	}
 	fmt.Printf("\norderer    %d blocks sealed, tip %x\n", ordStatus.Blocks, ordStatus.TipHash)
 	fmt.Printf("submitted  %d (%d committed, %d aborted, %d failed) in %.1fs\n",
-		int64(accounts)+committed+aborted+failed, committed, aborted, failed, elapsed.Seconds())
+		seeded+committed+aborted+failed, committed, aborted, failed, elapsed.Seconds())
 	fmt.Printf("throughput %.0f tx/s end-to-end over TCP\n",
-		(float64(accounts)+float64(committed+aborted))/elapsed.Seconds())
+		float64(seeded+committed+aborted)/elapsed.Seconds())
 
 	// The probe retries until every live orderer (a freshly restarted
 	// replica may still be catching up the replicated log) and every peer
@@ -306,7 +346,7 @@ func load(orderers, peers []string, clients, txs, accounts int, seed int64, dial
 	// Machine-readable tally for the chaos smoke: every one of these
 	// transactions was acked committed to a client, so the surviving
 	// cluster's ledger must account for all of them (check mode asserts it).
-	fmt.Printf("COMMITTED_TOTAL %d\n", int64(accounts)+committed)
+	fmt.Printf("COMMITTED_TOTAL %d\n", seeded+committed)
 	fmt.Println("CONVERGED: all peers at bit-identical chain tips and state fingerprints")
 }
 

@@ -1,6 +1,11 @@
 package main
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"fabricsharp/internal/scenario"
+)
 
 // clientFlags is the cross-validated subset of sharpnet's flags. Each mode
 // accepts a specific flag shape; anything else is a misuse worth refusing
@@ -13,6 +18,7 @@ type clientFlags struct {
 	Clients         int
 	Txs             int
 	Accounts        int
+	Workload        string
 	ExpectCommitted uint64
 }
 
@@ -24,6 +30,9 @@ func (f clientFlags) validate() error {
 		}
 		if f.ExpectCommitted != 0 {
 			return fmt.Errorf("-expect-committed is a check-mode flag")
+		}
+		if f.Workload != "" {
+			return fmt.Errorf("-workload is a load-mode flag (demo runs its own contended counter workload)")
 		}
 		return f.validateWorkload()
 	case "load":
@@ -38,10 +47,16 @@ func (f clientFlags) validate() error {
 		if len(f.Orderers) == 0 && len(f.Peers) == 0 {
 			return fmt.Errorf("status mode needs -orderer and/or -peer-addrs to probe")
 		}
+		if f.Workload != "" {
+			return fmt.Errorf("-workload is a load-mode flag")
+		}
 		return nil
 	case "check":
 		if len(f.Orderers) == 0 || len(f.Peers) == 0 {
 			return fmt.Errorf("check mode requires -orderer and -peer-addrs")
+		}
+		if f.Workload != "" {
+			return fmt.Errorf("-workload is a load-mode flag")
 		}
 		return nil
 	case "":
@@ -58,8 +73,17 @@ func (f clientFlags) validateWorkload() error {
 	if f.Txs <= 0 {
 		return fmt.Errorf("-txs must be positive, got %d", f.Txs)
 	}
-	if f.Mode == "load" && f.Accounts <= 0 {
-		return fmt.Errorf("-accounts must be positive, got %d", f.Accounts)
+	if f.Mode == "load" {
+		if f.Workload != "" {
+			if _, ok := scenario.Get(f.Workload); !ok {
+				return fmt.Errorf("unknown -workload %q (have %s)", f.Workload, strings.Join(scenario.Names(), ", "))
+			}
+			if f.Accounts < 0 {
+				return fmt.Errorf("-accounts must be non-negative with -workload (0 = scenario default), got %d", f.Accounts)
+			}
+		} else if f.Accounts <= 0 {
+			return fmt.Errorf("-accounts must be positive, got %d", f.Accounts)
+		}
 	}
 	return nil
 }

@@ -15,6 +15,10 @@ func TestValidateAcceptsWellFormedModes(t *testing.T) {
 		"status orderers": {Mode: "status", Orderers: cluster},
 		"check":           {Mode: "check", Orderers: cluster, Peers: peers, ExpectCommitted: 500},
 		"check no tally":  {Mode: "check", Orderers: cluster, Peers: peers},
+		"load scenario":   {Mode: "load", Orderers: cluster, Peers: peers, Clients: 4, Txs: 125, Workload: "auction"},
+		"load scenario with pool": {
+			Mode: "load", Orderers: cluster, Peers: peers, Clients: 4, Txs: 125, Workload: "token", Accounts: 16,
+		},
 	} {
 		if err := f.validate(); err != nil {
 			t.Errorf("%s: unexpected error: %v", name, err)
@@ -41,6 +45,10 @@ func TestValidateRejectsMisuse(t *testing.T) {
 		"load zero accounts":     {clientFlags{Mode: "load", Orderers: cluster, Peers: peers, Clients: 1, Txs: 1}, "-accounts must be positive"},
 		"status with no targets": {clientFlags{Mode: "status"}, "needs -orderer and/or -peer-addrs"},
 		"check without peers":    {clientFlags{Mode: "check", Orderers: cluster}, "requires -orderer and -peer-addrs"},
+		"load unknown workload":  {clientFlags{Mode: "load", Orderers: cluster, Peers: peers, Clients: 1, Txs: 1, Workload: "nosuch"}, "unknown -workload"},
+		"load negative accounts": {clientFlags{Mode: "load", Orderers: cluster, Peers: peers, Clients: 1, Txs: 1, Workload: "token", Accounts: -1}, "non-negative"},
+		"demo with workload":     {clientFlags{Mode: "demo", Clients: 1, Txs: 1, Workload: "token"}, "load-mode flag"},
+		"check with workload":    {clientFlags{Mode: "check", Orderers: cluster, Peers: peers, Workload: "token"}, "load-mode flag"},
 	}
 	for name, c := range cases {
 		err := c.flags.validate()

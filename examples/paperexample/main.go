@@ -39,9 +39,14 @@ and five transactions are in flight:
 	// modified-Smallbank workload and print the throughput ordering.
 	fmt.Println("\nSame effect at scale (5s simulated, 700 tps offered, defaults of Table 2):")
 	for _, system := range fabricsharp.Systems() {
+		gen, err := fabricsharp.NewModifiedSmallbankWorkload(rand.New(rand.NewSource(7)), 0, 0.1, 0.1)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
 		res, err := fabricsharp.RunExperiment(fabricsharp.ExperimentConfig{
 			System:      system,
-			Workload:    fabricsharp.NewModifiedSmallbankWorkload(rand.New(rand.NewSource(7)), 0.1, 0.1),
+			Workload:    gen,
 			Seed:        42,
 			Duration:    5 * fabricsharp.Second,
 			RequestRate: 700,

@@ -35,7 +35,7 @@ func AblationMaxSpan(o Options) *Table {
 		rng := o.Rng(o.Seed)
 		res := run(network.Config{
 			System:      sched.SystemSharp,
-			Workload:    workload.NewModifiedSmallbank(rng, Params.Defaults.ReadHot, Params.Defaults.WriteHot),
+			Workload:    mustGen(workload.NewModifiedSmallbank(rng, 0, Params.Defaults.ReadHot, Params.Defaults.WriteHot)),
 			Seed:        o.Seed,
 			Duration:    o.duration(),
 			RequestRate: Params.Defaults.RequestRate,

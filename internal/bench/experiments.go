@@ -82,7 +82,7 @@ func msmallbankConfig(o Options, system sched.System, readHot, writeHot float64,
 	rng := o.Rng(o.Seed*1000 + 7)
 	return network.Config{
 		System:       system,
-		Workload:     workload.NewModifiedSmallbank(rng, readHot, writeHot),
+		Workload:     mustGen(workload.NewModifiedSmallbank(rng, 0, readHot, writeHot)),
 		Seed:         o.Seed,
 		Duration:     o.duration(),
 		RequestRate:  Params.Defaults.RequestRate,
@@ -101,6 +101,15 @@ func defaultClientDelay() sim.Time {
 
 func defaultReadInterval() sim.Time {
 	return sim.Time(Params.Defaults.ReadIntervalMS) * sim.Millisecond
+}
+
+// mustGen unwraps a validated workload constructor; the harness's fixed
+// parameters are known-good, so a failure is a programming error.
+func mustGen(g workload.Generator, err error) workload.Generator {
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return g
 }
 
 func run(cfg network.Config) *network.Result {
@@ -406,7 +415,7 @@ func Figure15(o Options) *Table {
 		theta := theta
 		runPair(fmt.Sprintf("mixed θ=%.2f", theta), func() workload.Generator {
 			rng := o.Rng(o.Seed*10 + int64(theta*100))
-			return workload.NewMixedSmallbank(rng, 10000, theta)
+			return mustGen(workload.NewMixedSmallbank(rng, 10000, theta))
 		})
 	}
 	return t

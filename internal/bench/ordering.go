@@ -11,6 +11,7 @@ import (
 	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/reexec"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/validation"
@@ -179,8 +180,16 @@ func RunOrdering(system sched.System, shape OrderingShape, txCount, blockSize in
 		// decimal integers, not placeholder bytes. Seeding happens before the
 		// timed window; seed versions sit below every real block.
 		shadow = validation.NewValueShadowState()
-		registry = chaincode.NewRegistry(chaincode.Smallbank{})
-		contract, _ = registry.Get("smallbank")
+		msc, ok := scenario.Get("mixed")
+		if !ok {
+			return OrderingResult{}, fmt.Errorf("bench: mixed scenario not registered")
+		}
+		registry = chaincode.NewRegistry(msc.Contracts()...)
+		var found bool
+		contract, found = registry.Get("smallbank")
+		if !found {
+			return OrderingResult{}, fmt.Errorf("bench: mixed scenario no longer deploys smallbank")
+		}
 		seeded := map[string]bool{}
 		for _, tx := range txs {
 			for _, id := range tx.Args[:2] {

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+
+	"fabricsharp/internal/network"
+	"fabricsharp/internal/scenario"
+	"fabricsharp/internal/sched"
+)
+
+// ScenarioMatrix runs one registered scenario across all five systems on the
+// simulator and checks the scenario's own invariant against each run's final
+// state — the quick way to compare the schedulers on a conflict structure the
+// paper's figures do not cover. The returned error reports the first
+// invariant violation (the table still carries every row).
+func ScenarioMatrix(o Options, name string) (*Table, error) {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown scenario %q (have %v)", name, scenario.Names())
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Scenario %q across the five systems", name),
+		Columns: []string{"system", "effective tps", "raw tps", "abort %", "invariant"},
+		Comment: sc.Doc,
+	}
+	// Generic tuning across heterogeneous scenarios: pool sizes stay at each
+	// scenario's default; skew and hot ratios take the Table 2 defaults.
+	params := scenario.Params{
+		Theta:    0.5,
+		ReadHot:  Params.Defaults.ReadHot,
+		WriteHot: Params.Defaults.WriteHot,
+	}
+	var firstErr error
+	for i, system := range sched.Systems() {
+		res := run(network.Config{
+			System:         system,
+			Scenario:       name,
+			ScenarioParams: params,
+			Seed:           o.Seed,
+			Rng:            o.Rng(o.Seed*443 + int64(i)),
+			Duration:       o.duration(),
+			RequestRate:    Params.Defaults.RequestRate,
+			BlockSize:      Params.Defaults.BlockSize,
+			MaxSpan:        Params.Defaults.MaxSpan,
+		})
+		verdict := "ok"
+		if err := sc.CheckInvariant(res.State, params); err != nil {
+			verdict = err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("bench: scenario %q on %s: %w", name, system, err)
+			}
+		}
+		t.AddRow(systemLabel(system), res.EffectiveTPS, res.RawTPS,
+			fmt.Sprintf("%.1f", 100*res.AbortRate()), verdict)
+	}
+	return t, firstErr
+}
+
+// ScenarioMatrixAll runs ScenarioMatrix for the named scenario, or for every
+// registered scenario when name is empty.
+func ScenarioMatrixAll(o Options, name string) ([]*Table, error) {
+	names := []string{name}
+	if name == "" {
+		names = scenario.Names()
+	}
+	var tables []*Table
+	var firstErr error
+	for _, n := range names {
+		t, err := ScenarioMatrix(o, n)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if t != nil {
+			tables = append(tables, t)
+		}
+	}
+	return tables, firstErr
+}

@@ -1,0 +1,71 @@
+package chaincode
+
+import "fmt"
+
+// Auction is a single-object English auction: every bid reads and writes the
+// same high-bid key, making the contract a deliberate worst case for
+// optimistic validation — concurrent bids always conflict — and a best case
+// for ordering-aware schedulers, which can serialize them without aborts.
+//
+// Keys: AuctionHighKey holds the standing high bid, AuctionLeaderKey the
+// bidder holding it, and "bid:<bidder>" each bidder's last accepted bid.
+type Auction struct{}
+
+// AuctionHighKey holds the standing high bid (genesis seeds it to 0).
+const AuctionHighKey = "auction:high"
+
+// AuctionLeaderKey holds the bidder with the standing high bid.
+const AuctionLeaderKey = "auction:leader"
+
+// BidKey returns the state key recording a bidder's last accepted bid.
+func BidKey(bidder string) string { return "bid:" + bidder }
+
+// Name implements Contract.
+func (Auction) Name() string { return "auction" }
+
+// Invoke implements Contract.
+//
+// Functions:
+//
+//	bid bidder amount — beat the standing high bid or fail
+//	watch             — read-only view of the leader and high bid
+func (Auction) Invoke(stub Stub) error {
+	args := stub.Args()
+	switch stub.Function() {
+	case "bid":
+		if err := needArgs(stub, 2); err != nil {
+			return err
+		}
+		amount, err := parseInt(args[1])
+		if err != nil {
+			return err
+		}
+		high, err := readInt(stub, AuctionHighKey)
+		if err != nil {
+			return err
+		}
+		if amount <= high {
+			return fmt.Errorf("chaincode: bid %d does not beat the standing %d", amount, high)
+		}
+		if err := stub.PutState(AuctionHighKey, formatInt(amount)); err != nil {
+			return err
+		}
+		if err := stub.PutState(AuctionLeaderKey, []byte(args[0])); err != nil {
+			return err
+		}
+		return stub.PutState(BidKey(args[0]), formatInt(amount))
+	case "watch":
+		high, err := readInt(stub, AuctionHighKey)
+		if err != nil {
+			return err
+		}
+		leader, err := stub.GetState(AuctionLeaderKey)
+		if err != nil {
+			return err
+		}
+		stub.SetResult([]byte(fmt.Sprintf("leader=%s high=%d", leader, high)))
+		return nil
+	default:
+		return fmt.Errorf("chaincode: auction has no function %q", stub.Function())
+	}
+}

@@ -1,0 +1,71 @@
+package chaincode
+
+import "fmt"
+
+// Token is a fixed-supply token ledger: the whole supply is issued at
+// genesis and transfers neither mint nor burn, so the sum of all balances is
+// invariant under any correct schedule. A scheduler that loses an update or
+// double-applies one breaks the conservation law — the scenario's post-run
+// invariant checks exactly that.
+//
+// Keys: "token:<id>" holds each account's balance.
+type Token struct{}
+
+// TokenKey returns an account's balance key.
+func TokenKey(id string) string { return "token:" + id }
+
+// Name implements Contract.
+func (Token) Name() string { return "token" }
+
+// Invoke implements Contract.
+//
+// Functions:
+//
+//	transfer from to amount — move tokens, failing on insufficient funds
+//	balance id              — read-only balance query
+func (Token) Invoke(stub Stub) error {
+	args := stub.Args()
+	switch stub.Function() {
+	case "transfer":
+		if err := needArgs(stub, 3); err != nil {
+			return err
+		}
+		amount, err := parseInt(args[2])
+		if err != nil {
+			return err
+		}
+		if amount <= 0 {
+			return fmt.Errorf("chaincode: transfer amount %d must be positive", amount)
+		}
+		if args[0] == args[1] {
+			return fmt.Errorf("chaincode: transfer to self")
+		}
+		from, err := readInt(stub, TokenKey(args[0]))
+		if err != nil {
+			return err
+		}
+		to, err := readInt(stub, TokenKey(args[1]))
+		if err != nil {
+			return err
+		}
+		if from < amount {
+			return fmt.Errorf("chaincode: account %s holds %d, cannot transfer %d", args[0], from, amount)
+		}
+		if err := stub.PutState(TokenKey(args[0]), formatInt(from-amount)); err != nil {
+			return err
+		}
+		return stub.PutState(TokenKey(args[1]), formatInt(to+amount))
+	case "balance":
+		if err := needArgs(stub, 1); err != nil {
+			return err
+		}
+		bal, err := readInt(stub, TokenKey(args[0]))
+		if err != nil {
+			return err
+		}
+		stub.SetResult(formatInt(bal))
+		return nil
+	default:
+		return fmt.Errorf("chaincode: token has no function %q", stub.Function())
+	}
+}

@@ -29,11 +29,13 @@ import (
 	"fabricsharp/internal/kvstore"
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/statedb"
 	"fabricsharp/internal/transport"
 	"fabricsharp/internal/validation"
+	"fabricsharp/internal/workload"
 )
 
 // Options configures a network.
@@ -53,9 +55,18 @@ type Options struct {
 	BlockSize int
 	// BlockTimeout cuts a partial block (default 500ms).
 	BlockTimeout time.Duration
-	// Contracts to deploy; defaults to the built-in suite (kv, smallbank,
-	// msmallbank, supplychain).
+	// Contracts to deploy; defaults to the scenario registry's full set
+	// (scenario.AllContracts), so a default network can endorse any
+	// registered scenario.
 	Contracts []chaincode.Contract
+	// Genesis, when non-empty, is the block-0 write set every replica
+	// installs before the first block seals: peer state databases through
+	// workload.SeedGenesis, and each orderer's shadow state at the same
+	// workload.GenesisVersion — the two must agree or shadow MVCC verdicts
+	// would diverge from peer validation. Scenario-driven deployments fill
+	// it from scenario.Scenario.GenesisWrites. Ignored on a DataDir resume
+	// whose stored state already contains the genesis.
+	Genesis []protocol.WriteItem
 	// MaxSpan is Sharp's pruning horizon (default 10).
 	MaxSpan uint64
 	// CompactEvery enables the orderers' deterministic intern-table epoch
@@ -158,10 +169,7 @@ func (o Options) withDefaults() Options {
 		o.BlockTimeout = 500 * time.Millisecond
 	}
 	if len(o.Contracts) == 0 {
-		o.Contracts = []chaincode.Contract{
-			chaincode.KVContract{}, chaincode.Smallbank{},
-			chaincode.ModifiedSmallbank{}, chaincode.SupplyChain{},
-		}
+		o.Contracts = scenario.AllContracts()
 	}
 	if o.MaxSpan == 0 {
 		o.MaxSpan = 10
@@ -342,6 +350,14 @@ func NewNetwork(opts Options) (*Network, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Fresh replicas install the scenario genesis before any block
+		// commits; a DataDir resume already holds it (its persisted state or
+		// chain is non-empty) and must not re-apply block 0.
+		if chain.Len() == 0 && state.Keys() == 0 {
+			if err := workload.SeedGenesis(state, opts.Genesis); err != nil {
+				return nil, fmt.Errorf("fabric: seeding %s genesis: %w", name, err)
+			}
+		}
 		n.peers = append(n.peers, &Peer{id: id, state: state, chain: chain})
 		peerIDs = append(peerIDs, name)
 	}
@@ -367,6 +383,18 @@ func NewNetwork(opts Options) (*Network, error) {
 			// Rescue re-executes chaincode at the orderer, which needs the
 			// committed values, not just versions.
 			shadow = validation.NewValueShadowState()
+		}
+		// The shadow must agree with the peers' seeded states key for key:
+		// an endorsement over a genesis key carries workload.GenesisVersion
+		// in its read set, and the shadow validator has to see that same
+		// version or its sealed verdict would diverge from peer validation.
+		// Seeding precedes replayStoredChain so a resumed chain replays on
+		// top of genesis exactly as it originally committed.
+		for _, w := range opts.Genesis {
+			if w.Delete {
+				continue
+			}
+			shadow.Seed(w.Key, w.Value, workload.GenesisVersion())
 		}
 		o := &orderer{
 			net:       n,

@@ -18,6 +18,8 @@ import (
 	"math"
 	"math/rand"
 
+	"fabricsharp/internal/chaincode"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/sim"
 	"fabricsharp/internal/workload"
@@ -126,8 +128,17 @@ type Config struct {
 	System sched.System
 	// Profile selects the platform model.
 	Profile Profile
-	// Workload generates the submitted operations.
+	// Workload generates the submitted operations. Leave nil and set
+	// Scenario to resolve one from the registry instead.
 	Workload workload.Generator
+	// Scenario, when Workload is nil, names a registered scenario whose
+	// generator (built from Rng/Seed and ScenarioParams) drives the run.
+	Scenario string
+	// ScenarioParams tunes the named Scenario.
+	ScenarioParams scenario.Params
+	// Contracts overrides the deployed contract set; the default,
+	// scenario.AllContracts(), can endorse every registered scenario.
+	Contracts []chaincode.Contract
 	// Seed drives every random choice the pipeline itself makes.
 	Seed int64
 	// Rng, when non-nil, is the explicit random stream the pipeline draws
@@ -179,6 +190,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSpan == 0 {
 		c.MaxSpan = 10
+	}
+	if len(c.Contracts) == 0 {
+		c.Contracts = scenario.AllContracts()
 	}
 	c.Timing = c.Timing.withProfileDefaults(c.Profile)
 	return c

@@ -10,6 +10,7 @@ import (
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/metrics"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/sim"
@@ -94,6 +95,21 @@ type pipeline struct {
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	if cfg.Workload == nil && cfg.Scenario != "" {
+		sc, ok := scenario.Get(cfg.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("network: unknown scenario %q (have %v)", cfg.Scenario, scenario.Names())
+		}
+		gen, err := sc.Generator(rng, cfg.ScenarioParams)
+		if err != nil {
+			return nil, fmt.Errorf("network: scenario %q: %w", cfg.Scenario, err)
+		}
+		cfg.Workload = gen
+	}
 	if cfg.Workload == nil {
 		return nil, fmt.Errorf("network: config needs a workload")
 	}
@@ -114,15 +130,11 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
-	rng := cfg.Rng
-	if rng == nil {
-		rng = rand.New(rand.NewSource(cfg.Seed))
-	}
 	p := &pipeline{
 		cfg:         cfg,
 		eng:         eng,
 		rng:         rng,
-		registry:    chaincode.NewRegistry(chaincode.KVContract{}, chaincode.Smallbank{}, chaincode.ModifiedSmallbank{}, chaincode.SupplyChain{}),
+		registry:    chaincode.NewRegistry(cfg.Contracts...),
 		state:       state,
 		chain:       chain,
 		scheduler:   scheduler,

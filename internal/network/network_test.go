@@ -14,8 +14,10 @@ import (
 // smallRun returns a quick contended configuration for tests.
 func smallRun(system sched.System, seed int64) Config {
 	rng := rand.New(rand.NewSource(seed))
-	w := workload.NewModifiedSmallbank(rng, 0.3, 0.3)
-	w.Accounts = 500
+	w, err := workload.NewModifiedSmallbank(rng, 500, 0.3, 0.3)
+	if err != nil {
+		panic(err)
+	}
 	w.HotFrac = 0.02
 	return Config{
 		System:      system,

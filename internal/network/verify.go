@@ -7,6 +7,7 @@ import (
 	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/statedb"
 )
@@ -158,9 +159,15 @@ func VerifySerializability(res *Result) error {
 			res.Config.System, n-len(order), n, stuck)
 	}
 
-	// Serial re-execution of the real contracts in the equivalent order.
+	// Serial re-execution of the real contracts in the equivalent order,
+	// against the same contract set the run deployed (the registry-backed
+	// default covers every registered scenario).
 	replay := res.Genesis.Clone()
-	registry := chaincode.NewRegistry(chaincode.KVContract{}, chaincode.Smallbank{}, chaincode.ModifiedSmallbank{}, chaincode.SupplyChain{})
+	contracts := res.Config.Contracts
+	if len(contracts) == 0 {
+		contracts = scenario.AllContracts()
+	}
+	registry := chaincode.NewRegistry(contracts...)
 	for step, idx := range order {
 		c := committed[idx]
 		contract, ok := registry.Get(c.tx.Contract)

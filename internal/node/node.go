@@ -28,6 +28,7 @@ import (
 	"fabricsharp/internal/fabric"
 	"fabricsharp/internal/ledger"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 )
 
@@ -36,13 +37,11 @@ import (
 // anyway).
 const DefaultResultHorizon = 1 << 17
 
-// defaultContracts is the contract suite every node deploys, matching the
-// in-process network's default registry.
+// defaultContracts is the contract suite every node deploys: the scenario
+// registry's union, so every replica can endorse every registered scenario
+// and all replicas agree on the deployed set.
 func defaultContracts() []chaincode.Contract {
-	return []chaincode.Contract{
-		chaincode.KVContract{}, chaincode.Smallbank{},
-		chaincode.ModifiedSmallbank{}, chaincode.SupplyChain{},
-	}
+	return scenario.AllContracts()
 }
 
 // needsMVCC reports whether the system's validation phase must re-check

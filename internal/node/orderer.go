@@ -41,6 +41,12 @@ type OrdererConfig struct {
 	// transactions; must match the peers' setting (the rescue digest is
 	// byte-asserted across the cluster).
 	Rescue bool
+	// Genesis writes seed the orderer's shadow validation states (and any
+	// in-process peer states) at the shared genesis version; every replica
+	// of the cluster — orderers and remote peers alike — must receive the
+	// identical set or MVCC verdicts diverge. Resolve it once from the
+	// scenario registry and hand the same slice to every node config.
+	Genesis []protocol.WriteItem
 
 	// RaftCluster, when non-empty, joins this process to a wire Raft
 	// ordering cluster: submissions go through the replicated log, every
@@ -61,6 +67,10 @@ type OrdererConfig struct {
 	// RaftElectionTimeout overrides the base election timeout (default
 	// 250ms, randomized per member).
 	RaftElectionTimeout time.Duration
+	// RaftDial overrides the raft layer's outbound connection establishment
+	// (fault-injection seam; the raft protocol retransmits, so lossy
+	// wrappers are safe here). Default: transport.Dial.
+	RaftDial func(addr string) (transport.FrameConn, error)
 }
 
 // Orderer is a running ordering process: an ordering-only fabric.Network
@@ -111,6 +121,7 @@ func StartOrderer(cfg OrdererConfig) (*Orderer, error) {
 		CompactEvery: cfg.CompactEvery,
 		DedupHorizon: cfg.DedupHorizon,
 		Rescue:       cfg.Rescue,
+		Genesis:      cfg.Genesis,
 		OnResult:     func(res fabric.TxResult) { o.results.put(res) },
 	}
 	if len(cfg.RaftCluster) > 0 {
@@ -119,6 +130,7 @@ func StartOrderer(cfg OrdererConfig) (*Orderer, error) {
 			Cluster:         cfg.RaftCluster,
 			Dir:             cfg.RaftDir,
 			ElectionTimeout: cfg.RaftElectionTimeout,
+			Dial:            cfg.RaftDial,
 			Metrics:         &o.consensus,
 		})
 		if err != nil {

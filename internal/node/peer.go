@@ -19,6 +19,7 @@ import (
 	"fabricsharp/internal/transport"
 	"fabricsharp/internal/validation"
 	"fabricsharp/internal/wire"
+	"fabricsharp/internal/workload"
 )
 
 // PeerConfig parameterizes a validating-peer process.
@@ -41,8 +42,17 @@ type PeerConfig struct {
 	// restart resumes from the stored chain and re-subscribes from its
 	// height (catch-up over the wire).
 	DataDir string
-	// Contracts to deploy (default: the built-in suite).
+	// Contracts to deploy (default: the scenario registry's union).
 	Contracts []chaincode.Contract
+	// Genesis writes seed a fresh peer's state database at the shared
+	// genesis version before any block is delivered; the set must be
+	// identical on every replica (peers and orderer shadows) or MVCC
+	// verdicts diverge. Ignored when DataDir resumes a stored chain.
+	Genesis []protocol.WriteItem
+	// DialOrderer overrides how the block subscription connects (fault
+	// injection seam; see transport.Subscriber.Dial for the no-drops
+	// caveat). Default: transport.DialRetry.
+	DialOrderer func(addr string) (transport.FrameConn, error)
 	// ValidationWorkers caps intra-block validation parallelism
 	// (default GOMAXPROCS).
 	ValidationWorkers int
@@ -142,6 +152,13 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 		// Resuming from disk: the committer's chain and state already hold
 		// the stored blocks; the subscription resumes just above them.
 		p.delivered.Store(height)
+	} else if p.state.Keys() == 0 {
+		// Fresh replica: install the scenario genesis before the first block
+		// can be delivered, at the same version every other replica uses.
+		if err := workload.SeedGenesis(p.state, cfg.Genesis); err != nil {
+			p.closeStores()
+			return nil, fmt.Errorf("node: peer %s genesis: %w", cfg.Name, err)
+		}
 	}
 	workers := cfg.ValidationWorkers
 	if workers <= 0 {
@@ -183,6 +200,7 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 		}),
 		OnError:    func(err error) { p.errs.set(err) },
 		OnFailover: p.failovers.Inc,
+		Dial:       cfg.DialOrderer,
 	}
 	p.sub.Start()
 	srv, err := transport.Listen(cfg.Listen, p.handle)

@@ -8,6 +8,7 @@ import (
 
 	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/seqno"
 )
 
@@ -53,7 +54,11 @@ func payment(id, from, to, amount string, readVer seqno.Seq) *protocol.Transacti
 }
 
 func registry() *chaincode.Registry {
-	return chaincode.NewRegistry(chaincode.Smallbank{})
+	sc, ok := scenario.Get("mixed")
+	if !ok {
+		panic("reexec test: mixed scenario not registered")
+	}
+	return chaincode.NewRegistry(sc.Contracts()...)
 }
 
 // TestRescueReadsFinalValidState: a rescued transaction serializes after the

@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"fabricsharp/internal/chaincode"
+)
+
+// Registry maps scenario names to descriptors. Registration is explicit —
+// no init() magic, no global mutable state: Builtin() constructs the stock
+// registry fresh on every call, and embedders build their own the same way.
+type Registry struct {
+	byName map[string]Scenario
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]Scenario{}}
+}
+
+// Register adds a scenario, rejecting unnamed or incomplete descriptors and
+// duplicate names.
+func (r *Registry) Register(s Scenario) error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: descriptor needs a name")
+	}
+	if s.Contracts == nil || s.Generator == nil {
+		return fmt.Errorf("scenario: %q needs Contracts and Generator", s.Name)
+	}
+	if _, dup := r.byName[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	r.byName[s.Name] = s
+	return nil
+}
+
+// Get looks a scenario up by name.
+func (r *Registry) Get(name string) (Scenario, bool) {
+	s, ok := r.byName[name]
+	return s, ok
+}
+
+// Names returns every registered name, sorted — the registry's one
+// deterministic ordering, used by flag help, listings, and the chaos matrix.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Contracts returns the union of every registered scenario's contracts plus
+// the given extras, deduplicated by contract name and sorted by it. This is
+// the default contract set of every registry-backed consumer: a network
+// booted from it can endorse any registered scenario.
+func (r *Registry) Contracts(extra ...chaincode.Contract) []chaincode.Contract {
+	byName := map[string]chaincode.Contract{}
+	for _, name := range r.Names() {
+		for _, c := range r.byName[name].Contracts() {
+			byName[c.Name()] = c
+		}
+	}
+	for _, c := range extra {
+		byName[c.Name()] = c
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]chaincode.Contract, 0, len(names))
+	for _, name := range names {
+		out = append(out, byName[name])
+	}
+	return out
+}

@@ -44,6 +44,13 @@ type Subscriber struct {
 	// OnFailover, when set, is called each time the subscriber abandons one
 	// address and connects to a different one (metrics hook).
 	OnFailover func()
+	// Dial, when non-nil, opens delivery connections in place of the default
+	// DialRetry — the seam fault-injection tests wrap. The subscribe/stream
+	// protocol has no retransmission: the one Subscribe frame the subscriber
+	// sends is never re-sent, so a wrapper that can DROP frames leaves the
+	// stream waiting forever on a subscription the server never saw.
+	// Wrappers here must only duplicate or delay.
+	Dial func(addr string) (FrameConn, error)
 
 	done      chan struct{}
 	wg        sync.WaitGroup
@@ -51,7 +58,7 @@ type Subscriber struct {
 	closeOnce sync.Once
 
 	mu   sync.Mutex
-	conn *Conn
+	conn FrameConn
 }
 
 // Start launches the subscriber loop. Idempotent.
@@ -97,7 +104,13 @@ func (s *Subscriber) run() {
 	for !s.closedNow() {
 		addr := s.Addrs[next%len(s.Addrs)]
 		next++
-		conn, err := DialRetry(addr, time.Now().Add(subscriberDialBudget))
+		var conn FrameConn
+		var err error
+		if s.Dial != nil {
+			conn, err = s.Dial(addr)
+		} else {
+			conn, err = DialRetry(addr, time.Now().Add(subscriberDialBudget))
+		}
 		if err != nil {
 			failures++
 			if failures%len(s.Addrs) == 0 {
@@ -140,7 +153,7 @@ func (s *Subscriber) run() {
 
 // stream subscribes and consumes blocks until the connection breaks
 // (returns false: reconnect) or delivery fails fatally (returns true: stop).
-func (s *Subscriber) stream(conn *Conn, addr string) bool {
+func (s *Subscriber) stream(conn FrameConn, addr string) bool {
 	if err := conn.Send(wire.MsgSubscribe, wire.EncodeSubscribe(wire.Subscribe{From: s.Height()})); err != nil {
 		return false
 	}

@@ -13,6 +13,7 @@ import (
 
 	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/statedb"
 )
 
@@ -81,17 +82,51 @@ func (z *Zipf) Next() int {
 	return lo
 }
 
-// seedAccounts writes initial modified-Smallbank balances as genesis
-// (block 0) state.
-func seedAccounts(db *statedb.DB, n int, key func(int) string, balance int64) error {
+// GenesisVersion is the version every genesis write carries: position 1 of
+// block 0, below any transaction the pipeline will ever seal. Endorsements
+// over genesis keys therefore read this version, and every replica — peer
+// state databases and orderer shadow states alike — must install genesis at
+// exactly this version or MVCC verdicts diverge between them.
+func GenesisVersion() seqno.Seq { return seqno.Commit(0, 1) }
+
+// SeedGenesis installs writes as the block-0 genesis state. Every scenario
+// genesis — in-process simulator runs, loopback fabric networks, and the
+// process-per-node peers of a wire cluster — goes through this one helper so
+// all replicas seed bit-identically. An empty write set is a no-op; seeding
+// a database that already holds blocks is an error (ApplyBlock enforces the
+// ordering).
+func SeedGenesis(db *statedb.DB, writes []protocol.WriteItem) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	return db.ApplyBlock(0, []statedb.BlockWrites{{Pos: GenesisVersion().Pos, Writes: writes}})
+}
+
+// AccountGenesis builds the genesis write set shared by the single-mod and
+// modified-Smallbank workloads: n accounts with balance 1000 each.
+func AccountGenesis(n int) []protocol.WriteItem {
 	writes := make([]protocol.WriteItem, 0, n)
 	for i := 0; i < n; i++ {
 		writes = append(writes, protocol.WriteItem{
-			Key:   key(i),
-			Value: []byte(fmt.Sprintf("%d", balance)),
+			Key:   chaincode.AccountKey(fmt.Sprint(i)),
+			Value: []byte("1000"),
 		})
 	}
-	return db.ApplyBlock(0, []statedb.BlockWrites{{Pos: 1, Writes: writes}})
+	return writes
+}
+
+// SmallbankGenesis builds the original-Smallbank genesis write set: n
+// accounts with checking and savings balances of 10000 each.
+func SmallbankGenesis(n int) []protocol.WriteItem {
+	writes := make([]protocol.WriteItem, 0, 2*n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprint(i)
+		writes = append(writes,
+			protocol.WriteItem{Key: chaincode.CheckingKey(id), Value: []byte("10000")},
+			protocol.WriteItem{Key: chaincode.SavingsKey(id), Value: []byte("10000")},
+		)
+	}
+	return writes
 }
 
 // ---------------------------------------------------------------------------
@@ -135,7 +170,7 @@ func (s *SingleMod) Next() Op {
 
 // Seed implements Generator.
 func (s *SingleMod) Seed(db *statedb.DB) error {
-	return seedAccounts(db, s.Accounts, func(i int) string { return chaincode.AccountKey(fmt.Sprint(i)) }, 1000)
+	return SeedGenesis(db, AccountGenesis(s.Accounts))
 }
 
 // ---------------------------------------------------------------------------
@@ -154,16 +189,50 @@ type ModifiedSmallbank struct {
 	rng           *rand.Rand
 }
 
-// NewModifiedSmallbank builds the workload with the paper's defaults for
-// unset fields (10k accounts, 1% hot).
-func NewModifiedSmallbank(rng *rand.Rand, readHot, writeHot float64) *ModifiedSmallbank {
-	return &ModifiedSmallbank{
-		Accounts:      10000,
+// NewModifiedSmallbank builds the workload over `accounts` accounts (0 means
+// the paper's default of 10k, of which 1% are hot). It rejects parameter
+// combinations under which pick could never terminate: each transaction
+// needs 4 distinct accounts, so the pool — and, at the ratio extremes, the
+// reachable sub-pool — must hold at least 4.
+func NewModifiedSmallbank(rng *rand.Rand, accounts int, readHot, writeHot float64) (*ModifiedSmallbank, error) {
+	if accounts == 0 {
+		accounts = 10000
+	}
+	if accounts < 4 {
+		return nil, fmt.Errorf("workload: modified smallbank picks 4 distinct accounts per transaction, got a pool of %d", accounts)
+	}
+	for _, r := range []float64{readHot, writeHot} {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("workload: hot-access ratio %v outside [0, 1]", r)
+		}
+	}
+	m := &ModifiedSmallbank{
+		Accounts:      accounts,
 		HotFrac:       0.01,
 		ReadHotRatio:  readHot,
 		WriteHotRatio: writeHot,
 		rng:           rng,
 	}
+	// At ratio 1 every draw is hot; at ratio 0 every draw is cold. The
+	// corresponding sub-pool must still offer 4 distinct accounts or pick
+	// would spin forever.
+	hot := m.hotAccounts()
+	if (readHot == 1 || writeHot == 1) && hot < 4 {
+		return nil, fmt.Errorf("workload: hot ratio 1 with only %d hot account(s); need >= 4", hot)
+	}
+	if (readHot == 0 || writeHot == 0) && accounts-hot < 4 {
+		return nil, fmt.Errorf("workload: hot ratio 0 with only %d cold account(s); need >= 4", accounts-hot)
+	}
+	return m, nil
+}
+
+// hotAccounts is the size of the hot sub-pool (at least 1).
+func (m *ModifiedSmallbank) hotAccounts() int {
+	hot := int(float64(m.Accounts) * m.HotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	return hot
 }
 
 // Name implements Generator.
@@ -172,11 +241,10 @@ func (m *ModifiedSmallbank) Name() string {
 }
 
 // pick returns 4 distinct accounts, each hot with probability hotRatio.
+// NewModifiedSmallbank validated that the reachable pool holds at least 4
+// accounts, so the loop terminates (with probability 1).
 func (m *ModifiedSmallbank) pick(hotRatio float64) []string {
-	hot := int(float64(m.Accounts) * m.HotFrac)
-	if hot < 1 {
-		hot = 1
-	}
+	hot := m.hotAccounts()
 	seen := map[int]bool{}
 	out := make([]string, 0, 4)
 	for len(out) < 4 {
@@ -202,7 +270,7 @@ func (m *ModifiedSmallbank) Next() Op {
 
 // Seed implements Generator.
 func (m *ModifiedSmallbank) Seed(db *statedb.DB) error {
-	return seedAccounts(db, m.Accounts, func(i int) string { return chaincode.AccountKey(fmt.Sprint(i)) }, 1000)
+	return SeedGenesis(db, AccountGenesis(m.Accounts))
 }
 
 // ---------------------------------------------------------------------------
@@ -242,9 +310,17 @@ type MixedSmallbank struct {
 	zipf     *Zipf
 }
 
-// NewMixedSmallbank builds the workload.
-func NewMixedSmallbank(rng *rand.Rand, accounts int, theta float64) *MixedSmallbank {
-	return &MixedSmallbank{Accounts: accounts, Theta: theta, rng: rng, zipf: NewZipf(rng, accounts, theta)}
+// NewMixedSmallbank builds the workload over `accounts` accounts (0 means
+// 10k). The two-account transactions draw distinct accounts, so a pool of
+// one could never terminate Next; it is rejected here instead.
+func NewMixedSmallbank(rng *rand.Rand, accounts int, theta float64) (*MixedSmallbank, error) {
+	if accounts == 0 {
+		accounts = 10000
+	}
+	if accounts < 2 {
+		return nil, fmt.Errorf("workload: mixed smallbank draws distinct account pairs, got a pool of %d", accounts)
+	}
+	return &MixedSmallbank{Accounts: accounts, Theta: theta, rng: rng, zipf: NewZipf(rng, accounts, theta)}, nil
 }
 
 // Name implements Generator.
@@ -273,13 +349,5 @@ func (m *MixedSmallbank) Next() Op {
 
 // Seed implements Generator.
 func (m *MixedSmallbank) Seed(db *statedb.DB) error {
-	writes := make([]protocol.WriteItem, 0, 2*m.Accounts)
-	for i := 0; i < m.Accounts; i++ {
-		id := fmt.Sprint(i)
-		writes = append(writes,
-			protocol.WriteItem{Key: chaincode.CheckingKey(id), Value: []byte("10000")},
-			protocol.WriteItem{Key: chaincode.SavingsKey(id), Value: []byte("10000")},
-		)
-	}
-	return db.ApplyBlock(0, []statedb.BlockWrites{{Pos: 1, Writes: writes}})
+	return SeedGenesis(db, SmallbankGenesis(m.Accounts))
 }

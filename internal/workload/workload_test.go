@@ -75,7 +75,10 @@ func newDB(t *testing.T) *statedb.DB {
 
 func TestModifiedSmallbankShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	w := NewModifiedSmallbank(rng, 0.3, 0.2)
+	w, err := NewModifiedSmallbank(rng, 0, 0.3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	db := newDB(t)
 	if err := w.Seed(db); err != nil {
 		t.Fatal(err)
@@ -112,7 +115,10 @@ func TestModifiedSmallbankShape(t *testing.T) {
 
 func TestMixedSmallbankMix(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	w := NewMixedSmallbank(rng, 100, 0.5)
+	w, err := NewMixedSmallbank(rng, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	db := newDB(t)
 	if err := w.Seed(db); err != nil {
 		t.Fatal(err)
@@ -189,10 +195,196 @@ func TestNoOpAndSingleMod(t *testing.T) {
 	}
 }
 
+func TestConstructorValidation(t *testing.T) {
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(9)) }
+	cases := []struct {
+		name    string
+		build   func() error
+		wantErr bool
+	}{
+		{"msmallbank pool of 3", func() error {
+			_, err := NewModifiedSmallbank(rng(), 3, 0.1, 0.1)
+			return err
+		}, true},
+		{"msmallbank ratio above 1", func() error {
+			_, err := NewModifiedSmallbank(rng(), 0, 1.5, 0.1)
+			return err
+		}, true},
+		{"msmallbank negative ratio", func() error {
+			_, err := NewModifiedSmallbank(rng(), 0, 0.1, -0.1)
+			return err
+		}, true},
+		// 100 accounts → 1 hot: readHot=1 would draw 4 distinct hot
+		// accounts from a sub-pool of one, the pick loop that used to spin.
+		{"msmallbank all-hot with tiny hot pool", func() error {
+			_, err := NewModifiedSmallbank(rng(), 100, 1, 0.1)
+			return err
+		}, true},
+		// 4 accounts → 1 hot, 3 cold: writeHot=0 needs 4 distinct cold.
+		{"msmallbank all-cold with tiny cold pool", func() error {
+			_, err := NewModifiedSmallbank(rng(), 4, 0.1, 0)
+			return err
+		}, true},
+		{"msmallbank defaults", func() error {
+			_, err := NewModifiedSmallbank(rng(), 0, 0.1, 0.1)
+			return err
+		}, false},
+		{"msmallbank extremes on big pool", func() error {
+			_, err := NewModifiedSmallbank(rng(), 10000, 1, 0)
+			return err
+		}, false},
+		{"mixed pool of 1", func() error {
+			_, err := NewMixedSmallbank(rng(), 1, 0.5)
+			return err
+		}, true},
+		{"mixed pool of 2", func() error {
+			_, err := NewMixedSmallbank(rng(), 2, 0.5)
+			return err
+		}, false},
+		{"auction no bidders", func() error {
+			_, err := NewAuction(rng(), -1)
+			return err
+		}, true},
+		{"token pool of 1", func() error {
+			_, err := NewTokenTransfer(rng(), 1)
+			return err
+		}, true},
+		{"analytics no metrics", func() error {
+			_, err := NewAnalytics(rng(), -5)
+			return err
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build()
+			if tc.wantErr && err == nil {
+				t.Error("expected error")
+			}
+			if !tc.wantErr && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+func TestModifiedSmallbankExtremesTerminate(t *testing.T) {
+	// Ratio 1 (all hot) and ratio 0 (all cold) on a validated pool must
+	// still produce 4 distinct accounts per side.
+	rng := rand.New(rand.NewSource(11))
+	w, err := NewModifiedSmallbank(rng, 1000, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		op := w.Next()
+		if len(op.Args) != 8 {
+			t.Fatalf("args = %v", op.Args)
+		}
+	}
+}
+
+func TestAuctionWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w, err := NewAuction(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := newDB(t)
+	if err := w.Seed(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Keys() != 1 {
+		t.Errorf("auction genesis seeded %d keys, want 1", db.Keys())
+	}
+	lastBid := -1
+	bids, watches := 0, 0
+	for i := 0; i < 1000; i++ {
+		op := w.Next()
+		switch op.Function {
+		case "bid":
+			bids++
+			var amount int
+			fmt.Sscan(op.Args[1], &amount)
+			if amount < lastBid {
+				t.Fatalf("bid amounts must ratchet: %d after %d", amount, lastBid)
+			}
+			lastBid = amount
+		case "watch":
+			watches++
+		default:
+			t.Fatalf("unexpected function %q", op.Function)
+		}
+	}
+	if bids == 0 || watches == 0 {
+		t.Errorf("mix degenerate: %d bids, %d watches", bids, watches)
+	}
+}
+
+func TestTokenTransferWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w, err := NewTokenTransfer(rng, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := newDB(t)
+	if err := w.Seed(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Keys() != 50 {
+		t.Errorf("token genesis seeded %d keys, want 50", db.Keys())
+	}
+	for i := 0; i < 1000; i++ {
+		op := w.Next()
+		if op.Function == "transfer" && op.Args[0] == op.Args[1] {
+			t.Fatal("self-transfer generated")
+		}
+	}
+}
+
+func TestAnalyticsWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	w, err := NewAnalytics(rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := newDB(t)
+	if err := w.Seed(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Keys() != 21 { // 20 metrics + aggregate
+		t.Errorf("analytics genesis seeded %d keys, want 21", db.Keys())
+	}
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		counts[w.Next().Function]++
+	}
+	for _, fn := range []string{"scan", "audit", "update"} {
+		if counts[fn] == 0 {
+			t.Errorf("no %s operations in 2000 draws", fn)
+		}
+	}
+	if counts["scan"]+counts["audit"] <= counts["update"] {
+		t.Errorf("analytics should be read-heavy: %v", counts)
+	}
+}
+
+func TestSeedGenesisRejectsNonFreshDB(t *testing.T) {
+	db := newDB(t)
+	if err := SeedGenesis(db, AccountGenesis(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SeedGenesis(db, AccountGenesis(5)); err == nil {
+		t.Error("re-seeding a seeded database must fail")
+	}
+}
+
 func TestGeneratorsDeterministicGivenSeed(t *testing.T) {
 	mk := func() []string {
 		rng := rand.New(rand.NewSource(77))
-		w := NewModifiedSmallbank(rng, 0.2, 0.2)
+		w, err := NewModifiedSmallbank(rng, 0, 0.2, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var ops []string
 		for i := 0; i < 50; i++ {
 			ops = append(ops, fmt.Sprint(w.Next()))

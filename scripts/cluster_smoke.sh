@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # cluster_smoke.sh — boot a real multi-OS-process EOV cluster, drive
-# SmallBank traffic through it with the sharpnet wire client, and assert
+# SmallBank traffic (or any registered scenario, via WORKLOAD=) through it
+# with the sharpnet wire client, and assert
 # every replica converges to bit-identical chain tip hashes and state
 # fingerprints. Runs once per requested system. CI runs this as the
 # cluster-smoke job; node logs land in $LOGDIR for artifact upload.
@@ -17,8 +18,13 @@
 #             chaos uses the first one only)
 #   CLIENTS   concurrent load clients          (default: 4)
 #   TXS       transactions per client          (default: 118)
-#   ACCOUNTS  SmallBank account pool           (default: 28; total tx =
+#   ACCOUNTS  SmallBank account pool, or the scenario's pool size when
+#             WORKLOAD is set                  (default: 28; total tx =
 #             ACCOUNTS + CLIENTS*TXS = 500 with the defaults)
+#   WORKLOAD  registered scenario name (see `fabricsim -list-workloads`,
+#             docs/workloads.md). When set, every node installs the
+#             scenario's genesis and the load clients drive its generator
+#             instead of the built-in SmallBank seeding (default: "")
 #   PORT_BASE first TCP port                   (default: 27050)
 #   LOGDIR    where node logs go               (default: ./cluster-logs)
 #   RESCUE    1 = post-order re-execution on   (default: 1; set 0 to disable)
@@ -29,6 +35,7 @@ SYSTEMS=${SYSTEMS:-"fabric# focc-l"}
 CLIENTS=${CLIENTS:-4}
 TXS=${TXS:-118}
 ACCOUNTS=${ACCOUNTS:-28}
+WORKLOAD=${WORKLOAD:-}
 PORT_BASE=${PORT_BASE:-27050}
 LOGDIR=${LOGDIR:-cluster-logs}
 RESCUE=${RESCUE:-1}
@@ -38,6 +45,16 @@ BIN=$(mktemp -d)
 RESCUE_FLAG=""
 if [ "$RESCUE" = "1" ]; then
   RESCUE_FLAG="-rescue"
+fi
+
+# With WORKLOAD set, nodes install the scenario's genesis (identical on every
+# replica) and the load clients pull operations from its generator; ACCOUNTS
+# becomes the scenario's pool-size override.
+NODE_WL_FLAGS=""
+LOAD_WL_FLAGS=""
+if [ -n "$WORKLOAD" ]; then
+  NODE_WL_FLAGS="-workload $WORKLOAD -accounts $ACCOUNTS"
+  LOAD_WL_FLAGS="-workload $WORKLOAD"
 fi
 
 mkdir -p "$LOGDIR"
@@ -80,7 +97,7 @@ if [ "$CHAOS" = "1" ]; then
     esac
     "$BIN/fabricnode" -role orderer -listen "$caddr" \
         -peers peer0,peer1 -system "$system" -block-size 50 -block-timeout 50ms \
-        -orderers 1 $RESCUE_FLAG \
+        -orderers 1 $RESCUE_FLAG $NODE_WL_FLAGS \
         -raft-id "$raddr" -raft-cluster "$CLUSTER" -raft-redirects "$REDIRECTS" \
         -raft-dir "$RAFT_DIR/member$1" -raft-election-timeout 150ms \
         >> "$LOGDIR/orderer$1-$slug.log" 2>&1 &
@@ -112,16 +129,16 @@ if [ "$CHAOS" = "1" ]; then
   echo "=== chaos smoke: $system (orderers $ORDS, raft $CLUSTER, peers $PEERS) ==="
   start_orderer 0; start_orderer 1; start_orderer 2
   "$BIN/fabricnode" -role peer -name peer0 -listen "$P0" \
-      -orderer "$ORDS" -peers peer0,peer1 -system "$system" $RESCUE_FLAG \
+      -orderer "$ORDS" -peers peer0,peer1 -system "$system" $RESCUE_FLAG $NODE_WL_FLAGS \
       > "$LOGDIR/peer0-$slug.log" 2>&1 &
   PIDS+=($!)
   "$BIN/fabricnode" -role peer -name peer1 -listen "$P1" \
-      -orderer "$ORDS" -peers peer0,peer1 -system "$system" $RESCUE_FLAG \
+      -orderer "$ORDS" -peers peer0,peer1 -system "$system" $RESCUE_FLAG $NODE_WL_FLAGS \
       > "$LOGDIR/peer1-$slug.log" 2>&1 &
   PIDS+=($!)
 
   "$BIN/sharpnet" -mode load -orderer "$ORDS" -peer-addrs "$PEERS" \
-      -clients "$CLIENTS" -txs "$TXS" -accounts "$ACCOUNTS" \
+      -clients "$CLIENTS" -txs "$TXS" -accounts "$ACCOUNTS" $LOAD_WL_FLAGS \
       > "$LOGDIR/load-$slug.log" 2>&1 &
   LOAD_PID=$!
   PIDS+=($LOAD_PID)
@@ -150,6 +167,9 @@ if [ "$CHAOS" = "1" ]; then
   fi
   cat "$LOGDIR/load-$slug.log"
   TOTAL=$((ACCOUNTS + CLIENTS * TXS))
+  if [ -n "$WORKLOAD" ]; then
+    TOTAL=$((CLIENTS * TXS))  # scenario mode seeds via genesis, not load txs
+  fi
   if [ "$TOTAL" -lt 500 ]; then
     echo "chaos: only $TOTAL transactions driven, need 500+ (raise CLIENTS/TXS/ACCOUNTS)" >&2
     exit 1
@@ -176,24 +196,24 @@ for system in $SYSTEMS; do
 
   "$BIN/fabricnode" -role orderer -listen "127.0.0.1:$orderer_port" \
       -peers peer0,peer1 -system "$system" -block-size 50 -block-timeout 50ms \
-      $RESCUE_FLAG \
+      $RESCUE_FLAG $NODE_WL_FLAGS \
       > "$LOGDIR/orderer-$slug.log" 2>&1 &
   PIDS+=($!)
   "$BIN/fabricnode" -role peer -name peer0 -listen "127.0.0.1:$peer0_port" \
       -orderer "127.0.0.1:$orderer_port" -peers peer0,peer1 -system "$system" \
-      $RESCUE_FLAG \
+      $RESCUE_FLAG $NODE_WL_FLAGS \
       > "$LOGDIR/peer0-$slug.log" 2>&1 &
   PIDS+=($!)
   "$BIN/fabricnode" -role peer -name peer1 -listen "127.0.0.1:$peer1_port" \
       -orderer "127.0.0.1:$orderer_port" -peers peer0,peer1 -system "$system" \
-      $RESCUE_FLAG \
+      $RESCUE_FLAG $NODE_WL_FLAGS \
       > "$LOGDIR/peer1-$slug.log" 2>&1 &
   PIDS+=($!)
 
   # The wire client retries dials, so no explicit readiness wait is needed.
   "$BIN/sharpnet" -mode load -orderer "127.0.0.1:$orderer_port" \
       -peer-addrs "127.0.0.1:$peer0_port,127.0.0.1:$peer1_port" \
-      -clients "$CLIENTS" -txs "$TXS" -accounts "$ACCOUNTS" \
+      -clients "$CLIENTS" -txs "$TXS" -accounts "$ACCOUNTS" $LOAD_WL_FLAGS \
       | tee "$LOGDIR/load-$slug.log"
 
   teardown

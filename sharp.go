@@ -34,6 +34,7 @@ import (
 	"fabricsharp/internal/fabric"
 	"fabricsharp/internal/network"
 	"fabricsharp/internal/protocol"
+	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/sim"
 	"fabricsharp/internal/workload"
@@ -136,13 +137,30 @@ var (
 	// zipfian skew theta (Figure 1).
 	NewSingleModWorkload = workload.NewSingleMod
 	// NewModifiedSmallbankWorkload: the Fabric++ evaluation workload —
-	// 4 reads + 4 writes over 10k accounts with read/write hot ratios
-	// (Figures 10-14).
+	// 4 reads + 4 writes over the account pool (0 = the paper's 10k) with
+	// read/write hot ratios (Figures 10-14). Errors on parameters that
+	// cannot produce the required distinct accounts.
 	NewModifiedSmallbankWorkload = workload.NewModifiedSmallbank
 	// NewMixedSmallbankWorkload: 50% queries / 30% single-account /
-	// 20% two-account with zipfian skew (Figure 15).
+	// 20% two-account with zipfian skew (Figure 15). Errors on pools too
+	// small for distinct account pairs.
 	NewMixedSmallbankWorkload = workload.NewMixedSmallbank
 )
+
+// Scenario bundles a workload's contracts, generator, genesis state, and
+// post-run invariant behind one registered name; the registry drives the
+// simulator (ExperimentConfig.Scenario), the in-process network, and every
+// command-line front end from the same definitions.
+type Scenario = scenario.Scenario
+
+// ScenarioParams tunes a named scenario (pool size, skew, hot ratios).
+type ScenarioParams = scenario.Params
+
+// Scenarios lists the registered scenario names, sorted.
+func Scenarios() []string { return scenario.Names() }
+
+// GetScenario resolves a registered scenario by name.
+func GetScenario(name string) (Scenario, bool) { return scenario.Get(name) }
 
 // ExperimentTable is a rendered paper exhibit.
 type ExperimentTable = bench.Table
