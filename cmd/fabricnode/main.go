@@ -8,9 +8,11 @@
 //	fabricnode -role peer -name peer0 -listen 127.0.0.1:7051 -orderer 127.0.0.1:7050 -peers peer0,peer1 -system fabric#
 //	fabricnode -role peer -name peer1 -listen 127.0.0.1:7052 -orderer 127.0.0.1:7050 -peers peer0,peer1 -system fabric#
 //
-// then drive it with `sharpnet -mode load -orderer 127.0.0.1:7050 -peer-addrs
-// 127.0.0.1:7051,127.0.0.1:7052`. Nodes shut down gracefully on SIGINT or
-// SIGTERM (peers finish committing every delivered block first).
+// then drive it with `sharpnet load -orderer 127.0.0.1:7050 -peer-addrs
+// 127.0.0.1:7051,127.0.0.1:7052` (add -target-tps for open-loop pacing, and
+// `sharpnet trace` to drain the stage-tracing rings — docs/observability.md).
+// Nodes shut down gracefully on SIGINT or SIGTERM (peers finish committing
+// every delivered block first).
 package main
 
 import (
@@ -51,6 +53,7 @@ func main() {
 	raftElection := flag.Duration("raft-election-timeout", 0, "base raft election timeout (0 = default)")
 	workloadName := flag.String("workload", "", "registered scenario whose genesis state this node installs (identical cluster-wide; empty = no genesis)")
 	accounts := flag.Int("accounts", 0, "scenario pool-size override (requires -workload; 0 = scenario default)")
+	traceEvents := flag.Int("trace-events", 0, "stage-tracing ring capacity in events (0 = default; tracing is always on)")
 	flag.Parse()
 
 	names := splitNonEmpty(*peerNames)
@@ -108,6 +111,7 @@ func main() {
 			RaftRedirects:       redirects,
 			RaftDir:             *raftDir,
 			RaftElectionTimeout: *raftElection,
+			TraceEvents:         *traceEvents,
 		})
 		if err != nil {
 			fatal(err)
@@ -124,6 +128,7 @@ func main() {
 			ValidationWorkers: *workers,
 			Rescue:            *rescue,
 			Genesis:           genesis,
+			TraceEvents:       *traceEvents,
 		})
 		if err != nil {
 			fatal(err)

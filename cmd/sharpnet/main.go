@@ -1,94 +1,132 @@
-// Command sharpnet drives the EOV blockchain two ways:
+// Command sharpnet drives the EOV blockchain through subcommands:
 //
-//   - -mode demo (default): boots the in-process network (library mode) and
-//     runs a short contended counter workload against it — a zero-setup way
-//     to watch the execute-order-validate pipeline and the Sharp reordering
-//     at work.
-//   - -mode load: acts as a pure wire client against a process-per-node
-//     cluster (cmd/fabricnode): endorses SmallBank traffic on real peers
-//     over TCP, submits to the orderer, polls results, and finally asserts
-//     that every peer converged to bit-identical chain tip hashes and state
-//     fingerprints. Exit status 0 means converged; anything else is a
-//     failed run. This is what the CI cluster-smoke job runs against three
-//     separate OS processes.
-//
-// Two auxiliary modes support the chaos smoke against a Raft ordering
-// cluster:
-//
-//   - -mode status: prints one machine-readable line per orderer and peer
-//     (role, name, term, leader, blocks, tip, committed count).
-//   - -mode check: polls until every live orderer and every peer agree on a
-//     bit-identical chain tip and state fingerprint, then asserts the
-//     ledger's committed-transaction tally covers -expect-committed.
+//	sharpnet demo    — boot the in-process network (library mode) and run a
+//	                   short contended counter workload against it: a
+//	                   zero-setup way to watch the execute-order-validate
+//	                   pipeline and the Sharp reordering at work.
+//	sharpnet load    — act as a pure wire client against a process-per-node
+//	                   cluster (cmd/fabricnode). With -target-tps it is an
+//	                   open-loop generator: submissions are paced at the
+//	                   target rate regardless of completion latency, and the
+//	                   run ends with per-stage latency quantiles joined from
+//	                   every node's trace ring. Without -target-tps it runs
+//	                   the legacy closed-loop -clients/-txs mix. Either way
+//	                   it finally asserts that every peer converged to
+//	                   bit-identical chain tips and state fingerprints.
+//	sharpnet trace   — drain the always-on stage-tracing rings of live
+//	                   orderers and peers and print merged per-stage latency
+//	                   quantiles (submit → order → seal → deliver → validate
+//	                   → commit).
+//	sharpnet status  — print one machine-readable line per cluster member
+//	                   (role, name, term, leader, blocks, tip, committed).
+//	sharpnet check   — poll until every live orderer and every peer agree on
+//	                   a bit-identical chain tip and state fingerprint, then
+//	                   assert the ledger's committed tally covers
+//	                   -expect-committed.
 //
 // Usage:
 //
-//	sharpnet [-system fabric#] [-clients 4] [-txs 200]
-//	sharpnet -mode load -orderer 127.0.0.1:7050,127.0.0.1:7060 \
-//	         -peer-addrs 127.0.0.1:7051,127.0.0.1:7052 \
-//	         [-clients 4] [-txs 125] [-accounts 32] [-seed 42]
-//	sharpnet -mode check -orderer ... -peer-addrs ... -expect-committed 500
+//	sharpnet demo [-system fabric#] [-clients 4] [-txs 200]
+//	sharpnet load -orderer 127.0.0.1:7050 -peer-addrs 127.0.0.1:7051,127.0.0.1:7052 \
+//	         -target-tps 500 -duration 10s [-workload msmallbank] [-accounts 100000]
+//	sharpnet load -orderer ... -peer-addrs ... [-clients 4] [-txs 125] [-accounts 32]
+//	sharpnet trace -orderer ... -peer-addrs ...
+//	sharpnet check -orderer ... -peer-addrs ... -expect-committed 500
+//
+// The pre-subcommand CLI (`sharpnet -mode load ...`) still works through a
+// deprecation shim that maps -mode onto the matching subcommand.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
 	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"fabricsharp/internal/fabric"
-	"fabricsharp/internal/node"
-	"fabricsharp/internal/scenario"
-	"fabricsharp/internal/sched"
-	"fabricsharp/internal/wire"
-	"fabricsharp/internal/workload"
 )
 
 func main() {
-	mode := flag.String("mode", "demo", "demo (in-process network) | load (wire client against a fabricnode cluster)")
-	system := flag.String("system", "fabric#", "fabric | fabric++ | fabric# | focc-s | focc-l (demo mode)")
-	clients := flag.Int("clients", 4, "concurrent clients")
-	txs := flag.Int("txs", 200, "transactions per client")
-	hotKeys := flag.Int("hot", 8, "number of contended counters (demo mode)")
-	ordererAddr := flag.String("orderer", "", "comma-separated orderer addresses (load/status/check modes)")
-	peerAddrs := flag.String("peer-addrs", "", "comma-separated peer addresses (load/status/check modes)")
-	accounts := flag.Int("accounts", 32, "account pool: SmallBank accounts to create, or with -workload the scenario pool override (load mode)")
-	workloadName := flag.String("workload", "", "registered scenario to drive instead of the built-in SmallBank mix; the cluster must have been booted with the same -workload/-accounts genesis (load mode)")
-	seed := flag.Int64("seed", 42, "base seed; client i draws from an explicit rand.Rand seeded with seed+i (load mode)")
-	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "how long to retry dialing the cluster (load mode)")
-	expectCommitted := flag.Uint64("expect-committed", 0, "minimum committed-transaction tally the ledger must hold (check mode)")
-	convergeTimeout := flag.Duration("converge-timeout", 60*time.Second, "how long check mode waits for the cluster to agree")
-	flag.Parse()
-
-	cf := clientFlags{
-		Mode:            *mode,
-		Orderers:        splitAddrs(*ordererAddr),
-		Peers:           splitAddrs(*peerAddrs),
-		Clients:         *clients,
-		Txs:             *txs,
-		Accounts:        *accounts,
-		Workload:        *workloadName,
-		ExpectCommitted: *expectCommitted,
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "help", "-h", "-help", "--help":
+			usage(os.Stdout)
+			return
+		}
 	}
-	if err := cf.validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "sharpnet:", err)
-		flag.PrintDefaults()
+	args, legacyMode := legacyArgs(args)
+	if legacyMode != "" {
+		fmt.Fprintf(os.Stderr,
+			"sharpnet: the -mode flag is deprecated; use `sharpnet %s` with the same flags\n", legacyMode)
+	}
+	if len(args) == 0 {
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-	switch cf.Mode {
+	cmd, rest := args[0], args[1:]
+	var code int
+	switch cmd {
 	case "demo":
-		demo(*system, cf.Clients, cf.Txs, *hotKeys)
+		code = cmdDemo(rest)
 	case "load":
-		load(cf.Orderers, cf.Peers, cf.Clients, cf.Txs, cf.Accounts, cf.Workload, *seed, *dialTimeout)
+		code = cmdLoad(rest)
+	case "trace":
+		code = cmdTrace(rest)
 	case "status":
-		statusMode(cf.Orderers, cf.Peers, *dialTimeout)
+		code = cmdStatus(rest)
 	case "check":
-		check(cf.Orderers, cf.Peers, cf.ExpectCommitted, *convergeTimeout)
+		code = cmdCheck(rest)
+	default:
+		fmt.Fprintf(os.Stderr, "sharpnet: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		code = 2
 	}
+	os.Exit(code)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: sharpnet <command> [flags]
+
+commands:
+  demo    run the in-process network demo (no cluster needed)
+  load    drive a fabricnode cluster: open-loop at -target-tps with stage
+          tracing, or the legacy closed-loop -clients/-txs mix
+  trace   drain every node's stage-tracing ring and print merged per-stage
+          latency quantiles
+  status  print one line per reachable cluster member
+  check   poll until the cluster agrees bit for bit, then assert the
+          committed-transaction tally
+
+run 'sharpnet <command> -h' for that command's flags.
+`)
+}
+
+// legacyArgs maps the pre-subcommand flag soup (`sharpnet -mode load ...`,
+// default mode demo) onto the subcommand CLI: the -mode pair is stripped and
+// its value becomes the leading subcommand. The second return is the mapped
+// mode ("" when the invocation was already subcommand-shaped), so main
+// prints exactly one deprecation warning.
+func legacyArgs(args []string) ([]string, string) {
+	if len(args) == 0 || !strings.HasPrefix(args[0], "-") {
+		return args, ""
+	}
+	mode := "demo"
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-mode" || a == "--mode":
+			if i+1 < len(args) {
+				i++
+				mode = args[i]
+			}
+		case strings.HasPrefix(a, "-mode="):
+			mode = a[len("-mode="):]
+		case strings.HasPrefix(a, "--mode="):
+			mode = a[len("--mode="):]
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return append([]string{mode}, rest...), mode
 }
 
 func splitAddrs(s string) []string {
@@ -99,360 +137,4 @@ func splitAddrs(s string) []string {
 		}
 	}
 	return out
-}
-
-// ---------------------------------------------------------------------------
-// demo mode: the original in-process session
-// ---------------------------------------------------------------------------
-
-func demo(system string, clients, txs, hotKeys int) {
-	net, err := fabric.NewNetwork(fabric.Options{
-		System:       sched.System(system),
-		BlockSize:    50,
-		BlockTimeout: 100 * time.Millisecond,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer net.Close()
-
-	var committed, aborted int64
-	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			client, err := net.NewClient(fmt.Sprintf("client%d", c))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			for i := 0; i < txs; i++ {
-				key := fmt.Sprintf("counter%d", (c+i)%hotKeys)
-				res, err := client.Submit("kv", "rmw", key, "1")
-				switch {
-				case err != nil:
-					fmt.Fprintf(os.Stderr, "submit error: %v\n", err)
-				case res.Committed():
-					atomic.AddInt64(&committed, 1)
-				default:
-					atomic.AddInt64(&aborted, 1)
-					if aborted <= 5 {
-						fmt.Printf("  aborted %s: %s\n", res.TxID, res.Code)
-					}
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	net.WaitIdle(5 * time.Second)
-	elapsed := time.Since(start)
-
-	fmt.Printf("\nsystem     %s\n", system)
-	fmt.Printf("committed  %d\n", committed)
-	fmt.Printf("aborted    %d (%.1f%%)\n", aborted,
-		100*float64(aborted)/float64(committed+aborted))
-	fmt.Printf("throughput %.0f tx/s (wall clock)\n", float64(committed)/elapsed.Seconds())
-	fmt.Printf("height     %d blocks\n", net.Height())
-
-	// Serializability, observably: the counters must sum to the committed
-	// increments.
-	client, _ := net.NewClient("auditor")
-	total := int64(0)
-	for k := 0; k < hotKeys; k++ {
-		raw, err := client.Query("kv", "get", fmt.Sprintf("counter%d", k))
-		if err == nil && raw != nil {
-			var v int64
-			fmt.Sscan(string(raw), &v)
-			total += v
-		}
-	}
-	fmt.Printf("audit      counters sum to %d (committed increments: %d)\n", total, committed)
-	if total != committed {
-		fmt.Fprintln(os.Stderr, "AUDIT FAILED: state does not match committed transactions")
-		os.Exit(1)
-	}
-}
-
-// ---------------------------------------------------------------------------
-// load mode: wire client against a process-per-node cluster
-// ---------------------------------------------------------------------------
-
-// smallbankOp draws one contended SmallBank operation from an explicit rng
-// (never the global math/rand: each worker owns a deterministic stream, so
-// runs are reproducible regardless of scheduling or parallel harnesses).
-func smallbankOp(rng *rand.Rand, accounts int) (string, []string) {
-	a := fmt.Sprintf("acct%d", rng.Intn(accounts))
-	b := fmt.Sprintf("acct%d", rng.Intn(accounts))
-	amount := fmt.Sprint(1 + rng.Intn(50))
-	switch rng.Intn(5) {
-	case 0:
-		return "deposit_checking", []string{a, amount}
-	case 1:
-		return "transact_savings", []string{a, amount}
-	case 2:
-		return "write_check", []string{a, amount}
-	case 3:
-		return "amalgamate", []string{a, b}
-	default:
-		return "send_payment", []string{a, b, amount}
-	}
-}
-
-func load(orderers, peers []string, clients, txs, accounts int, workloadName string, seed int64, dialTimeout time.Duration) {
-	if len(orderers) == 0 || len(peers) == 0 {
-		fmt.Fprintln(os.Stderr, "load mode requires -orderer and -peer-addrs")
-		os.Exit(2)
-	}
-	var sc scenario.Scenario
-	if workloadName != "" {
-		var ok bool
-		if sc, ok = scenario.Get(workloadName); !ok {
-			fmt.Fprintf(os.Stderr, "unknown -workload %q (have %s)\n", workloadName, strings.Join(scenario.Names(), ", "))
-			os.Exit(2)
-		}
-	}
-	start := time.Now()
-
-	// Phase 0 (built-in SmallBank mix only): seed the account pool with
-	// blind, contention-free writes. A named scenario skips this — its
-	// genesis was installed by every fabricnode booted with the same
-	// -workload/-accounts pair.
-	seeded := int64(0)
-	if workloadName == "" {
-		seeder, err := node.DialClient("seeder", orderers, peers, dialTimeout)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		for i := 0; i < accounts; i++ {
-			res, err := seeder.Submit("smallbank", "create_account", fmt.Sprintf("acct%d", i), "1000", "1000")
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "seeding account %d: %v\n", i, err)
-				os.Exit(1)
-			}
-			if !res.Code.Committed() {
-				fmt.Fprintf(os.Stderr, "seeding account %d aborted: %s\n", i, res.Code)
-				os.Exit(1)
-			}
-		}
-		seeder.Close()
-		seeded = int64(accounts)
-	}
-
-	// Phase 1: contended traffic from independent workers.
-	var committed, aborted, failed int64
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(c)))
-			var gen workload.Generator
-			if workloadName != "" {
-				var err error
-				if gen, err = sc.Generator(rng, scenario.Params{Accounts: accounts}); err != nil {
-					fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
-					atomic.AddInt64(&failed, int64(txs))
-					return
-				}
-			}
-			client, err := node.DialClient(fmt.Sprintf("load%d", c), orderers, peers, dialTimeout)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				atomic.AddInt64(&failed, int64(txs))
-				return
-			}
-			defer client.Close()
-			for i := 0; i < txs; i++ {
-				contract := "smallbank"
-				var function string
-				var args []string
-				if gen != nil {
-					op := gen.Next()
-					contract, function, args = op.Contract, op.Function, op.Args
-				} else {
-					function, args = smallbankOp(rng, accounts)
-				}
-				res, err := client.Submit(contract, function, args...)
-				switch {
-				case err != nil && strings.Contains(err.Error(), "endorsement refused"):
-					// The contract itself rejected the invocation (e.g. a
-					// losing auction bid): an abort by design, not a failure.
-					atomic.AddInt64(&aborted, 1)
-				case err != nil:
-					atomic.AddInt64(&failed, 1)
-					fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
-				case res.Code.Committed():
-					atomic.AddInt64(&committed, 1)
-				default:
-					atomic.AddInt64(&aborted, 1)
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	// Phase 2: convergence. Every peer must reach the orderer's sealed
-	// chain and agree bit for bit.
-	checker, err := node.DialClient("checker", orderers, peers, dialTimeout)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer checker.Close()
-	ordStatus, err := checker.OrdererStatus()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("\norderer    %d blocks sealed, tip %x\n", ordStatus.Blocks, ordStatus.TipHash)
-	fmt.Printf("submitted  %d (%d committed, %d aborted, %d failed) in %.1fs\n",
-		seeded+committed+aborted+failed, committed, aborted, failed, elapsed.Seconds())
-	fmt.Printf("throughput %.0f tx/s end-to-end over TCP\n",
-		float64(seeded+committed+aborted)/elapsed.Seconds())
-
-	// The probe retries until every live orderer (a freshly restarted
-	// replica may still be catching up the replicated log) and every peer
-	// agree bit for bit.
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		why := agreementProbe(orderers, peers, 0, 2*time.Second)
-		if why == "" {
-			break
-		}
-		if time.Now().After(deadline) {
-			fmt.Fprintf(os.Stderr, "CONVERGENCE FAILED: %s\n", why)
-			os.Exit(1)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	for i := range peers {
-		st, err := checker.PeerStatus(i)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("peer %-8s %d blocks, height %d, tip %x, state %.16s…\n",
-			st.Name, st.Blocks, st.Height, st.TipHash, st.StateHash)
-	}
-	if failed > 0 {
-		fmt.Fprintln(os.Stderr, "LOAD FAILED: some submissions errored")
-		os.Exit(1)
-	}
-	// Machine-readable tally for the chaos smoke: every one of these
-	// transactions was acked committed to a client, so the surviving
-	// cluster's ledger must account for all of them (check mode asserts it).
-	fmt.Printf("COMMITTED_TOTAL %d\n", seeded+committed)
-	fmt.Println("CONVERGED: all peers at bit-identical chain tips and state fingerprints")
-}
-
-// ---------------------------------------------------------------------------
-// status / check modes: cluster-wide agreement probes for the chaos smoke
-// ---------------------------------------------------------------------------
-
-// statusMode prints one line per reachable cluster member; unreachable
-// members are reported but not fatal (the chaos smoke probes mid-kill).
-func statusMode(orderers, peers []string, dialTimeout time.Duration) {
-	for _, addr := range orderers {
-		st, err := node.StatusAt(addr, dialTimeout)
-		if err != nil {
-			fmt.Printf("orderer %s down (%v)\n", addr, err)
-			continue
-		}
-		fmt.Printf("orderer %s name=%s term=%d leader=%s blocks=%d height=%d committed=%d tip=%x\n",
-			addr, st.Name, st.Term, st.Leader, st.Blocks, st.Height, st.CommittedTx, st.TipHash)
-	}
-	for _, addr := range peers {
-		st, err := node.StatusAt(addr, dialTimeout)
-		if err != nil {
-			fmt.Printf("peer %s down (%v)\n", addr, err)
-			continue
-		}
-		fmt.Printf("peer %s name=%s blocks=%d height=%d committed=%d tip=%x state=%s\n",
-			addr, st.Name, st.Blocks, st.Height, st.CommittedTx, st.TipHash, st.StateHash)
-	}
-}
-
-// check polls until every live orderer and every peer agree on a
-// bit-identical chain tip (peers additionally on the state fingerprint),
-// then asserts the replicated ledger's committed tally covers
-// expectCommitted. Unreachable orderers are skipped — the chaos smoke runs
-// this with a member killed — but at least one must answer; peers must all
-// answer (none are killed).
-func check(orderers, peers []string, expectCommitted uint64, timeout time.Duration) {
-	if len(orderers) == 0 || len(peers) == 0 {
-		fmt.Fprintln(os.Stderr, "check mode requires -orderer and -peer-addrs")
-		os.Exit(2)
-	}
-	deadline := time.Now().Add(timeout)
-	probe := 2 * time.Second
-	var lastWhy string
-	for {
-		why := agreementProbe(orderers, peers, expectCommitted, probe)
-		if why == "" {
-			fmt.Println("CHECK OK: survivors agree bit for bit and no committed transaction was lost")
-			return
-		}
-		lastWhy = why
-		if time.Now().After(deadline) {
-			fmt.Fprintf(os.Stderr, "CHECK FAILED after %v: %s\n", timeout, lastWhy)
-			os.Exit(1)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
-}
-
-// agreementProbe takes one cluster snapshot and returns "" when the
-// agreement invariants hold, else a reason to keep waiting.
-func agreementProbe(orderers, peers []string, expectCommitted uint64, dialTimeout time.Duration) string {
-	type member struct {
-		addr string
-		st   wire.Status
-	}
-	var live []member
-	for _, addr := range orderers {
-		st, err := node.StatusAt(addr, dialTimeout)
-		if err != nil {
-			continue // killed member: survivors carry the invariant
-		}
-		live = append(live, member{addr, st})
-	}
-	if len(live) == 0 {
-		return "no orderer reachable"
-	}
-	ref := live[0].st
-	for _, m := range live[1:] {
-		if m.st.Blocks != ref.Blocks || string(m.st.TipHash) != string(ref.TipHash) {
-			return fmt.Sprintf("orderers %s and %s disagree (%d/%x vs %d/%x)",
-				live[0].addr, m.addr, ref.Blocks, ref.TipHash, m.st.Blocks, m.st.TipHash)
-		}
-	}
-	if ref.CommittedTx < expectCommitted {
-		return fmt.Sprintf("ledger holds %d committed transactions, clients observed %d",
-			ref.CommittedTx, expectCommitted)
-	}
-	var refState string
-	for i, addr := range peers {
-		st, err := node.StatusAt(addr, dialTimeout)
-		if err != nil {
-			return fmt.Sprintf("peer %s unreachable (%v)", addr, err)
-		}
-		if st.Blocks != ref.Blocks || string(st.TipHash) != string(ref.TipHash) {
-			return fmt.Sprintf("peer %s at %d/%x, orderers at %d/%x",
-				addr, st.Blocks, st.TipHash, ref.Blocks, ref.TipHash)
-		}
-		if st.CommittedTx != ref.CommittedTx {
-			return fmt.Sprintf("peer %s counts %d committed, orderers %d", addr, st.CommittedTx, ref.CommittedTx)
-		}
-		if i == 0 {
-			refState = st.StateHash
-		} else if st.StateHash != refState {
-			return fmt.Sprintf("peer state fingerprints diverge (%s: %.16s… vs %.16s…)", addr, st.StateHash, refState)
-		}
-	}
-	return ""
 }

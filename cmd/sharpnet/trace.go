@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fabricsharp/internal/node"
+	"fabricsharp/internal/trace"
+)
+
+// traceFlags configures `sharpnet trace`: drain every listed node's
+// stage-tracing ring and print the merged latency table.
+type traceFlags struct {
+	Orderers    []string
+	Peers       []string
+	DialTimeout time.Duration
+}
+
+func (f traceFlags) validate() error {
+	if len(f.Orderers) == 0 && len(f.Peers) == 0 {
+		return fmt.Errorf("trace needs -orderer and/or -peer-addrs to drain")
+	}
+	return nil
+}
+
+func cmdTrace(args []string) int {
+	fs := flag.NewFlagSet("sharpnet trace", flag.ExitOnError)
+	var f traceFlags
+	var orderers, peers string
+	fs.StringVar(&orderers, "orderer", "", "comma-separated orderer addresses")
+	fs.StringVar(&peers, "peer-addrs", "", "comma-separated peer addresses")
+	fs.DurationVar(&f.DialTimeout, "dial-timeout", 30*time.Second, "per-node drain budget")
+	_ = fs.Parse(args)
+	f.Orderers, f.Peers = splitAddrs(orderers), splitAddrs(peers)
+	if err := f.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "sharpnet trace:", err)
+		return 2
+	}
+	addrs := append(append([]string{}, f.Orderers...), f.Peers...)
+	tls, dumps, err := node.FetchTimelines(addrs, f.DialTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharpnet trace:", err)
+		return 1
+	}
+	for _, d := range dumps {
+		fmt.Printf("node %-10s role %-8s recorded %8d  retained %8d\n",
+			d.Node, d.Role, d.Recorded, len(d.Events))
+	}
+	fmt.Println()
+	fmt.Print(trace.Summarize(tls).Format())
+	fmt.Printf("TIMELINES %d\n", len(tls))
+	return 0
+}

@@ -24,6 +24,7 @@ var deterministicPackages = map[string]bool{
 	ModulePath + "/internal/reexec":     true,
 	ModulePath + "/internal/sched":      true,
 	ModulePath + "/internal/statedb":    true,
+	ModulePath + "/internal/trace":      true,
 	ModulePath + "/internal/validation": true,
 	ModulePath + "/internal/wire":       true,
 }

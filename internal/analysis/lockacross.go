@@ -20,8 +20,8 @@ import (
 // select carrying a default clause are non-blocking and stay silent.
 var LockAcross = &Analyzer{
 	Name:  "lockacross",
-	Doc:   "flags channel sends, Submit, and socket writes performed while a sync mutex is held (transport, node)",
-	Scope: PackageScope("internal/transport", "internal/node"),
+	Doc:   "flags channel sends, Submit, and socket writes performed while a sync mutex is held (transport, node, trace)",
+	Scope: PackageScope("internal/transport", "internal/node", "internal/trace"),
 	Run:   runLockAcross,
 }
 

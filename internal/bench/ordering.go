@@ -140,6 +140,14 @@ type OrderingResult struct {
 	// (sampled after every cut) — the memory-residency figure the churn
 	// shape exists to bound. omitempty keeps pre-PR-4 records intact.
 	MaxResidentKeys int `json:"max_resident_keys,omitempty"`
+	// Open-loop wire-cluster columns: populated by records captured from
+	// `sharpnet load -target-tps` runs (offered rate, achieved completion
+	// rate, and scheduled-instant submit→commit latency quantiles), absent
+	// for the in-process ordering microbenchmarks.
+	TargetTPS   int     `json:"target_tps,omitempty"`
+	AchievedTPS float64 `json:"achieved_tps,omitempty"`
+	P50CommitMS float64 `json:"p50_commit_ms,omitempty"`
+	P99CommitMS float64 `json:"p99_commit_ms,omitempty"`
 }
 
 // RunOrdering drives one scheduler over a pre-generated stream, cutting a

@@ -12,6 +12,7 @@ import (
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/reexec"
 	"fabricsharp/internal/statedb"
+	"fabricsharp/internal/trace"
 )
 
 // DefaultQueueDepth is the delivery-channel buffer when Config leaves it
@@ -41,6 +42,10 @@ type Config struct {
 	// committer then drains further deliveries without applying them, so an
 	// upstream orderer never blocks on a poisoned pipeline.
 	OnError func(err error)
+	// Tracer, when set, records per-transaction stage timestamps (deliver,
+	// validate, commit, rescue) — write-only side telemetry outside the
+	// deterministic scope (see internal/trace). Nil disables recording.
+	Tracer *trace.Tracer
 }
 
 // Stats instruments one committer: delivery-queue depth (with high-water
@@ -112,6 +117,9 @@ func (c *Committer) Start() {
 // deadlock, because the committer depends on nothing the deliverer holds.
 // The block is not mutated; the committer appends its own copy.
 func (c *Committer) Deliver(blk *ledger.Block) {
+	for _, tx := range blk.Transactions {
+		c.cfg.Tracer.Record(string(tx.ID), trace.StageDeliver, blk.Header.Number)
+	}
 	c.pending.Add(1)
 	c.stats.QueueDepth.Add(1)
 	c.deliver <- blk
@@ -175,6 +183,9 @@ func (c *Committer) commit(blk *ledger.Block) error {
 		return fmt.Errorf("append block %d: %w", blk.Header.Number, err)
 	}
 	res := ValidateBlock(c.cfg.State, peerBlk, c.cfg.Validation)
+	for _, tx := range peerBlk.Transactions {
+		c.cfg.Tracer.Record(string(tx.ID), trace.StageValidate, peerBlk.Header.Number)
+	}
 	if blk.Validation != nil {
 		if err := assertVerdictsEqual(blk.Header.Number, blk.Validation, res.Codes); err != nil {
 			return err
@@ -191,6 +202,15 @@ func (c *Committer) commit(blk *ledger.Block) error {
 	}
 	if err := c.apply(peerBlk, res.Writes); err != nil {
 		return err
+	}
+	if c.cfg.Tracer != nil {
+		num := peerBlk.Header.Number
+		for i, tx := range peerBlk.Transactions {
+			c.cfg.Tracer.Record(string(tx.ID), trace.StageCommit, num)
+			if res.Codes[i] == protocol.Rescued {
+				c.cfg.Tracer.Record(string(tx.ID), trace.StageRescue, num)
+			}
+		}
 	}
 	c.stats.TxsValidated.Add(uint64(len(peerBlk.Transactions)))
 	if res.Groups > 0 {

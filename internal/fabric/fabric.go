@@ -33,6 +33,7 @@ import (
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/statedb"
+	"fabricsharp/internal/trace"
 	"fabricsharp/internal/transport"
 	"fabricsharp/internal/validation"
 	"fabricsharp/internal/workload"
@@ -142,6 +143,11 @@ type Options struct {
 	// Called from pipeline goroutines; implementations must be fast and
 	// thread-safe.
 	OnResult func(TxResult)
+	// Tracer, when set, records stage timestamps (order, seal) for every
+	// transaction the lead orderer processes — write-only side telemetry
+	// outside the deterministic scope (see internal/trace). Nil disables
+	// recording at zero cost.
+	Tracer *trace.Tracer
 	// Rescue enables post-order speculative re-execution: MVCC-aborted
 	// transactions re-run against the block's committed prefix at every
 	// replica (orderer shadow and peer committers alike), and the rescued

@@ -10,6 +10,7 @@ import (
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/reexec"
 	"fabricsharp/internal/sched"
+	"fabricsharp/internal/trace"
 	"fabricsharp/internal/validation"
 )
 
@@ -183,6 +184,11 @@ func (o *orderer) processArrival(tx *protocol.Transaction, arm, disarm func()) {
 		}
 		return
 	}
+	if o.deliver {
+		// Stage telemetry (lead replica only, so one event per tx): the
+		// scheduler admitted the transaction from the consensus stream.
+		o.net.opts.Tracer.Record(string(tx.ID), trace.StageOrder, 0)
+	}
 	if o.scheduler.PendingCount() >= o.net.opts.BlockSize {
 		o.cut()
 		disarm()
@@ -286,6 +292,9 @@ func (o *orderer) cut() {
 	o.evictSeen(num)
 	if !o.deliver {
 		return
+	}
+	for _, tx := range res.Ordered {
+		o.net.opts.Tracer.Record(string(tx.ID), trace.StageSeal, num)
 	}
 	o.net.dispatch(blk)
 	if len(o.net.peers) == 0 {

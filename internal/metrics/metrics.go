@@ -164,6 +164,15 @@ func (h *SyncHistogram) Mean() float64 {
 	return h.sum / float64(h.n)
 }
 
+// Quantiles returns the q-quantiles (0 < q <= 1, e.g. 0.5, 0.99, 0.999)
+// over one snapshot of the retained samples: a single copy + sort answers
+// every requested quantile, instead of re-snapshotting per percentile.
+// Exact below the reservoir bound, a uniform subsample beyond it.
+func (h *SyncHistogram) Quantiles(qs ...float64) []float64 {
+	snap := h.Snapshot()
+	return snap.Quantiles(qs...)
+}
+
 // Histogram collects float64 samples (seconds, milliseconds — caller's
 // choice) and answers summary statistics. The zero value is ready to use.
 type Histogram struct {
@@ -209,6 +218,31 @@ func (h *Histogram) Percentile(p float64) float64 {
 		idx = len(h.samples) - 1
 	}
 	return h.samples[idx]
+}
+
+// Quantiles answers several quantiles (0 < q <= 1) with one sort: the
+// samples are ordered once and every q indexes the sorted slice directly.
+// Each result matches Percentile(100*q) exactly.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(h.samples) == 0 {
+		return out
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	for i, q := range qs {
+		idx := int(q*float64(len(h.samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(h.samples) {
+			idx = len(h.samples) - 1
+		}
+		out[i] = h.samples[idx]
+	}
+	return out
 }
 
 // P50 is the median.

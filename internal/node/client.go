@@ -336,6 +336,34 @@ func StatusAt(addr string, timeout time.Duration) (wire.Status, error) {
 	return status(conn)
 }
 
+// statusAttemptBudget bounds one StatusAtRetry dial+call attempt so a
+// connection a restarting node resets mid-call fails fast and retries
+// instead of eating the whole deadline.
+const statusAttemptBudget = 2 * time.Second
+
+// StatusAtRetry is StatusAt hardened for probing a cluster mid-restart: a
+// node that answers the dial but resets the in-flight status call (its
+// listener is up before its pipeline) gets retried with jittered backoff
+// until deadline instead of failing the whole probe on one refused
+// connection.
+func StatusAtRetry(addr string, deadline time.Time) (wire.Status, error) {
+	bo := transport.NewBackoff(10*time.Millisecond, 500*time.Millisecond, 0)
+	var st wire.Status
+	err := transport.Retry(deadline, bo, func() error {
+		budget := time.Until(deadline)
+		if budget > statusAttemptBudget {
+			budget = statusAttemptBudget
+		}
+		var err error
+		st, err = StatusAt(addr, budget)
+		return err
+	})
+	if err != nil {
+		return wire.Status{}, err
+	}
+	return st, nil
+}
+
 func status(conn *transport.Conn) (wire.Status, error) {
 	typ, resp, err := conn.Call(wire.MsgStatusReq, nil)
 	if err != nil {

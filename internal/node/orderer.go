@@ -12,6 +12,7 @@ import (
 	"fabricsharp/internal/metrics"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/sched"
+	"fabricsharp/internal/trace"
 	"fabricsharp/internal/transport"
 	"fabricsharp/internal/wire"
 )
@@ -71,6 +72,10 @@ type OrdererConfig struct {
 	// (fault-injection seam; the raft protocol retransmits, so lossy
 	// wrappers are safe here). Default: transport.Dial.
 	RaftDial func(addr string) (transport.FrameConn, error)
+	// TraceEvents sizes the always-on stage-tracing ring (events retained;
+	// rounded up to a power of two). 0 selects trace.DefaultRingSize;
+	// tracing cannot be disabled — it is cheap enough to stay on.
+	TraceEvents int
 }
 
 // Orderer is a running ordering process: an ordering-only fabric.Network
@@ -88,6 +93,7 @@ type Orderer struct {
 	redirects map[string]string
 	name      string
 	consensus metrics.ConsensusMetrics
+	tracer    *trace.Tracer
 
 	// sealed broadcasts "a block was sealed" to delivery streams: each
 	// waiter grabs the current channel and blocks until it closes.
@@ -104,10 +110,15 @@ func StartOrderer(cfg OrdererConfig) (*Orderer, error) {
 	if err := nonEmpty(cfg.PeerNames, "PeerNames"); err != nil {
 		return nil, err
 	}
+	name := "orderer0"
+	if len(cfg.RaftCluster) > 0 {
+		name = cfg.RaftID
+	}
 	o := &Orderer{
 		results:   newResultStore(cfg.ResultHorizon),
 		redirects: cfg.RaftRedirects,
-		name:      "orderer0",
+		name:      name,
+		tracer:    trace.New(name, "orderer", cfg.TraceEvents),
 		sealed:    make(chan struct{}),
 		done:      make(chan struct{}),
 	}
@@ -122,6 +133,7 @@ func StartOrderer(cfg OrdererConfig) (*Orderer, error) {
 		DedupHorizon: cfg.DedupHorizon,
 		Rescue:       cfg.Rescue,
 		Genesis:      cfg.Genesis,
+		Tracer:       o.tracer,
 		OnResult:     func(res fabric.TxResult) { o.results.put(res) },
 	}
 	if len(cfg.RaftCluster) > 0 {
@@ -137,7 +149,6 @@ func StartOrderer(cfg OrdererConfig) (*Orderer, error) {
 			return nil, err
 		}
 		o.raft = raft
-		o.name = cfg.RaftID
 		opts.Ordering = raft
 	}
 	net, err := fabric.NewNetwork(opts)
@@ -245,6 +256,8 @@ func (o *Orderer) handle(c *transport.Conn) {
 				st.Leader = o.leaderHint()
 			}
 			_ = c.Send(wire.MsgStatus, wire.EncodeStatus(st))
+		case wire.MsgTraceReq:
+			_ = c.Send(wire.MsgTraceDump, wire.EncodeTraceDump(dumpToWire(o.tracer.Dump())))
 		default:
 			// Unknown request: answer with an error rather than going mute,
 			// then drop the conn (the peer is confused or newer than us).
@@ -260,6 +273,7 @@ func (o *Orderer) handleSubmit(c *transport.Conn, payload []byte) {
 		_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Err: err.Error()}))
 		return
 	}
+	o.tracer.Record(string(tx.ID), trace.StageSubmit, 0)
 	// DecodeTransaction precomputed the key caches, so the schedulers see
 	// exactly what an in-process submit would hand them.
 	if err := o.net.SubmitEnvelope(consensus.Envelope{Tx: tx, SubmittedBy: tx.ClientID}); err != nil {
@@ -277,6 +291,11 @@ func (o *Orderer) handleSubmit(c *transport.Conn, payload []byte) {
 		}
 		_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Err: err.Error()}))
 		return
+	}
+	if o.raft != nil {
+		// A raft Submit returns once the entry is quorum-durable in the
+		// replicated log — the raft-commit stage boundary.
+		o.tracer.Record(string(tx.ID), trace.StageRaftCommit, 0)
 	}
 	_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{OK: true}))
 }

@@ -16,6 +16,7 @@ import (
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/seqno"
 	"fabricsharp/internal/statedb"
+	"fabricsharp/internal/trace"
 	"fabricsharp/internal/transport"
 	"fabricsharp/internal/validation"
 	"fabricsharp/internal/wire"
@@ -62,6 +63,9 @@ type PeerConfig struct {
 	// transactions; must match the orderer's setting (the rescue digest is
 	// byte-asserted across the cluster).
 	Rescue bool
+	// TraceEvents sizes the always-on stage-tracing ring (events retained;
+	// rounded up to a power of two). 0 selects trace.DefaultRingSize.
+	TraceEvents int
 }
 
 // Peer is a running validating-peer process: endorsement and status over
@@ -77,6 +81,7 @@ type Peer struct {
 	committer *commit.Committer
 	srv       *transport.Server
 	sub       *transport.Subscriber
+	tracer    *trace.Tracer
 	closers   []interface{ Close() error }
 
 	// delivered tracks the highest block number handed to the committer —
@@ -109,6 +114,7 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 		name:     cfg.Name,
 		msp:      identity.NewService(),
 		registry: chaincode.NewRegistry(contracts...),
+		tracer:   trace.New(cfg.Name, "peer", cfg.TraceEvents),
 		closed:   make(chan struct{}),
 	}
 	// The deterministic dev MSP: every cluster process derives the same
@@ -180,6 +186,7 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 		},
 		QueueDepth: cfg.QueueDepth,
 		OnError:    func(err error) { p.errs.set(err) },
+		Tracer:     p.tracer,
 	})
 	p.committer.Start()
 	p.sub = &transport.Subscriber{
@@ -272,6 +279,8 @@ func (p *Peer) handle(c *transport.Conn) {
 				StateHash:   p.state.StateFingerprint(),
 				CommittedTx: committedTxCount(p.chain),
 			}))
+		case wire.MsgTraceReq:
+			_ = c.Send(wire.MsgTraceDump, wire.EncodeTraceDump(dumpToWire(p.tracer.Dump())))
 		default:
 			_ = c.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Err: fmt.Sprintf("unexpected %v", typ)}))
 			return

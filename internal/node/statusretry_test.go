@@ -1,0 +1,81 @@
+package node
+
+import (
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fabricsharp/internal/sched"
+)
+
+// flakyProxy fronts a real peer with a listener that kills the first
+// failConns accepted connections — the shape a node mid-restart presents
+// (the socket answers, the call dies) — then forwards transparently.
+func flakyProxy(t *testing.T, upstream string, failConns int32) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	var accepted atomic.Int32
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if accepted.Add(1) <= failConns {
+				_ = c.Close()
+				continue
+			}
+			up, err := net.Dial("tcp", upstream)
+			if err != nil {
+				_ = c.Close()
+				continue
+			}
+			go func() { _, _ = io.Copy(up, c); _ = up.Close() }()
+			go func() { _, _ = io.Copy(c, up); _ = c.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestStatusAtRetryToleratesRestart pins the satellite bugfix: status and
+// check probes must survive a node whose connections die mid-handshake for
+// a bounded window, and still fail cleanly when the node never recovers.
+func TestStatusAtRetryToleratesRestart(t *testing.T) {
+	_, peers := bootCluster(t, sched.SystemSharp, 1)
+	upstream := peers[0].Addr()
+	cases := []struct {
+		name      string
+		failConns int32
+		deadline  time.Duration
+		wantOK    bool
+	}{
+		{"healthy", 0, 5 * time.Second, true},
+		{"one dead conn", 1, 5 * time.Second, true},
+		{"restart window", 3, 10 * time.Second, true},
+		{"never recovers", 1 << 30, 300 * time.Millisecond, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			addr := flakyProxy(t, upstream, c.failConns)
+			st, err := StatusAtRetry(addr, time.Now().Add(c.deadline))
+			if c.wantOK {
+				if err != nil {
+					t.Fatalf("probe through flaky proxy failed: %v", err)
+				}
+				if st.Name != "peer0" || st.Role != "peer" {
+					t.Fatalf("probe answered as %s/%s", st.Name, st.Role)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("probe of a dead node reported success")
+			}
+		})
+	}
+}

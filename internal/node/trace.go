@@ -1,0 +1,87 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"fabricsharp/internal/trace"
+	"fabricsharp/internal/transport"
+	"fabricsharp/internal/wire"
+)
+
+// dumpToWire converts a drained ring into its wire shape. The wire package
+// stays leaf-level (no internal/trace import), so the node layer owns the
+// conversion in both directions.
+func dumpToWire(d trace.Dump) *wire.TraceDump {
+	out := &wire.TraceDump{Node: d.Node, Role: d.Role, Recorded: d.Recorded}
+	if len(d.Events) > 0 {
+		out.Events = make([]wire.TraceEvent, len(d.Events))
+		for i, ev := range d.Events {
+			out.Events[i] = wire.TraceEvent{
+				TxID:   ev.TxID,
+				Stage:  uint8(ev.Stage),
+				Block:  ev.Block,
+				WallNS: ev.WallNS,
+				Seq:    ev.Seq,
+			}
+		}
+	}
+	return out
+}
+
+// wireToDump is the inverse of dumpToWire.
+func wireToDump(t *wire.TraceDump) trace.Dump {
+	d := trace.Dump{Node: t.Node, Role: t.Role, Recorded: t.Recorded}
+	if len(t.Events) > 0 {
+		d.Events = make([]trace.Event, len(t.Events))
+		for i, ev := range t.Events {
+			d.Events[i] = trace.Event{
+				TxID:   ev.TxID,
+				Stage:  trace.Stage(ev.Stage),
+				Block:  ev.Block,
+				WallNS: ev.WallNS,
+				Seq:    ev.Seq,
+			}
+		}
+	}
+	return d
+}
+
+// TraceAt drains one node's stage-tracing ring — any orderer or peer
+// address — without the Client's failover machinery.
+func TraceAt(addr string, timeout time.Duration) (trace.Dump, error) {
+	conn, err := transport.DialRetry(addr, time.Now().Add(timeout))
+	if err != nil {
+		return trace.Dump{}, err
+	}
+	defer conn.Close()
+	typ, resp, err := conn.Call(wire.MsgTraceReq, wire.EncodeTraceReq(wire.TraceReq{}))
+	if err != nil {
+		return trace.Dump{}, fmt.Errorf("node: trace: %w", err)
+	}
+	if typ != wire.MsgTraceDump {
+		return trace.Dump{}, fmt.Errorf("node: trace answered with %v", typ)
+	}
+	dump, err := wire.DecodeTraceDump(resp)
+	if err != nil {
+		return trace.Dump{}, fmt.Errorf("node: trace: %w", err)
+	}
+	return wireToDump(dump), nil
+}
+
+// FetchTimelines drains every named node's ring and joins the per-node
+// events by TxID into end-to-end timelines — the client side of the
+// observability loop behind `sharpnet trace` and `sharpnet load`. Each
+// address gets its own dial budget; the first failure aborts (a partial
+// merge would silently understate stage coverage).
+func FetchTimelines(addrs []string, timeout time.Duration) ([]trace.Timeline, []trace.Dump, error) {
+	dumps := make([]trace.Dump, 0, len(addrs))
+	for _, addr := range addrs {
+		d, err := TraceAt(addr, timeout)
+		if err != nil {
+			return nil, nil, fmt.Errorf("node: fetch timelines from %s: %w", addr, err)
+		}
+		dumps = append(dumps, d)
+	}
+	return trace.Merge(dumps), dumps, nil
+}

@@ -1,0 +1,151 @@
+// Package trace is the always-on, per-node stage-tracing layer: every
+// transaction moving through the pipeline leaves timestamped stage events
+// (submit → order → raft-commit → seal → deliver → validate →
+// commit/rescue) in a fixed-size lock-free ring buffer, cheap enough to
+// stay enabled under production load. Clients drain the rings over the
+// wire (MsgTraceReq) and join per-node timelines by TxID into end-to-end
+// stage latencies — the observability substrate behind `sharpnet load
+// -target-tps` and `sharpnet trace`.
+//
+// Determinism: the package is inside sharpvet's deterministic scope, but
+// recording is strictly write-only side telemetry — nothing in the
+// pipeline ever reads a ring or a timestamp back, so sealed output stays a
+// pure function of the consensus stream. The single wall-clock read lives
+// behind nowNS with the one allowed suppression.
+package trace
+
+import "time"
+
+// Stage identifies one pipeline boundary of a transaction's life. The
+// numeric order is the pipeline order; merge logic relies on it.
+type Stage uint8
+
+const (
+	// StageSubmit: an ordering node received the endorsed transaction off
+	// the wire (before consensus).
+	StageSubmit Stage = 1 + iota
+	// StageOrder: the scheduler admitted the transaction from the
+	// consensus stream (Algorithm 2 arrival processing).
+	StageOrder
+	// StageRaftCommit: the replicated log acked the transaction
+	// quorum-durable (Raft clusters only; absent on standalone orderers).
+	StageRaftCommit
+	// StageSeal: the transaction was sealed into a block, shadow verdicts
+	// embedded.
+	StageSeal
+	// StageDeliver: the sealed block carrying the transaction arrived at a
+	// peer's committer.
+	StageDeliver
+	// StageValidate: the peer derived the transaction's verdict.
+	StageValidate
+	// StageCommit: the peer applied the block — the transaction's fate is
+	// settled on that replica.
+	StageCommit
+	// StageRescue: post-order re-execution rescued the transaction
+	// (recorded alongside StageCommit for rescued verdicts).
+	StageRescue
+
+	stageEnd // count sentinel; keep last
+)
+
+// NumStages is the number of defined stages (array sizing).
+const NumStages = int(stageEnd) - 1
+
+var stageNames = [...]string{
+	StageSubmit:     "submit",
+	StageOrder:      "order",
+	StageRaftCommit: "raft-commit",
+	StageSeal:       "seal",
+	StageDeliver:    "deliver",
+	StageValidate:   "validate",
+	StageCommit:     "commit",
+	StageRescue:     "rescue",
+}
+
+func (s Stage) String() string {
+	if s >= 1 && s < stageEnd {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Stages lists every defined stage in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, 0, NumStages)
+	for s := StageSubmit; s < stageEnd; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Event is one recorded stage timestamp, decoded out of a ring.
+type Event struct {
+	// TxID is the transaction identifier (truncated to MaxTxIDLen bytes).
+	TxID string
+	// Stage is the pipeline boundary crossed.
+	Stage Stage
+	// Block is the sealed block number, 0 for pre-seal stages.
+	Block uint64
+	// WallNS is the wall-clock timestamp (UnixNano) at record time.
+	WallNS int64
+	// Seq is the ring ticket: the node-local total order of recording.
+	Seq uint64
+}
+
+// Dump is one node's drained ring: the payload of a MsgTraceDump.
+type Dump struct {
+	// Node and Role identify the origin ("peer0"/"peer", raft addr/"orderer").
+	Node string
+	Role string
+	// Recorded is the lifetime event count; Recorded - len(Events) events
+	// were overwritten by wraparound (or torn away mid-drain).
+	Recorded uint64
+	// Events holds the surviving window, oldest first (by Seq).
+	Events []Event
+}
+
+// Tracer is one node's always-on stage recorder: a named ring plus the
+// wall-clock seam. All methods are safe on a nil receiver (records are
+// dropped), so pipeline call sites stay unconditional.
+type Tracer struct {
+	node string
+	role string
+	ring *Ring
+}
+
+// New builds a Tracer over a fresh ring. capacity <= 0 selects
+// DefaultRingSize; other values round up to a power of two.
+func New(node, role string, capacity int) *Tracer {
+	return &Tracer{node: node, role: role, ring: NewRing(capacity)}
+}
+
+// Record notes that txID crossed stage (block 0 for pre-seal stages),
+// stamped with the current wall clock. Zero-allocation, lock-free; safe
+// from any goroutine and on a nil Tracer.
+func (t *Tracer) Record(txID string, stage Stage, block uint64) {
+	if t == nil {
+		return
+	}
+	t.ring.RecordAt(txID, stage, block, nowNS())
+}
+
+// Dump drains a consistent snapshot of the ring.
+func (t *Tracer) Dump() Dump {
+	if t == nil {
+		return Dump{}
+	}
+	return Dump{
+		Node:     t.node,
+		Role:     t.role,
+		Recorded: t.ring.Recorded(),
+		Events:   t.ring.Snapshot(),
+	}
+}
+
+// nowNS is the package's single wall-clock read. Timestamps feed
+// operator-facing timelines only — never sealed output or any consensus
+// decision.
+func nowNS() int64 {
+	//sharp:allow wallclock stage timestamps are write-only telemetry drained by operators; nothing deterministic reads them back
+	return time.Now().UnixNano()
+}

@@ -58,3 +58,21 @@ func (b *Backoff) Reset() {
 	b.cur = b.base
 	b.mu.Unlock()
 }
+
+// Retry runs fn until it returns nil or the next backed-off attempt would
+// land past deadline, in which case the last error is returned. It absorbs
+// transient connection failures — a node mid-restart answers the dial but
+// resets in-flight calls, which a bare DialRetry budget does not cover.
+func Retry(deadline time.Time, bo *Backoff, fn func() error) error {
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		d := bo.Next()
+		if time.Now().Add(d).After(deadline) {
+			return err
+		}
+		time.Sleep(d)
+	}
+}

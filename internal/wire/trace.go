@@ -1,0 +1,92 @@
+package wire
+
+import "fmt"
+
+// Trace messages drain a node's always-on stage-tracing ring (see
+// internal/trace) over the wire. They are purely additive message types —
+// the frame Version stays unchanged; nodes that predate them fail loudly at
+// dispatch, which is the versioning contract for new types.
+
+// TraceEvent mirrors trace.Event for the wire: one recorded stage timestamp.
+// wire does not import internal/trace (the codec stays leaf-level); the node
+// layer converts between the two shapes.
+type TraceEvent struct {
+	TxID   string
+	Stage  uint8
+	Block  uint64
+	WallNS int64
+	Seq    uint64
+}
+
+// TraceReq asks a node to drain its tracing ring. It has no parameters —
+// the payload exists so the message still round-trips canonically.
+type TraceReq struct{}
+
+// EncodeTraceReq renders a TraceReq canonically (empty payload).
+func EncodeTraceReq(TraceReq) []byte { return nil }
+
+// DecodeTraceReq decodes a TraceReq.
+func DecodeTraceReq(b []byte) (TraceReq, error) {
+	d := &decoder{buf: b}
+	if err := d.finish(); err != nil {
+		return TraceReq{}, fmt.Errorf("trace-req: %w", err)
+	}
+	return TraceReq{}, nil
+}
+
+// TraceDump answers TraceReq: one node's drained ring, oldest event first.
+type TraceDump struct {
+	// Node and Role identify the origin node.
+	Node string
+	Role string
+	// Recorded is the ring's lifetime event count; Recorded - len(Events)
+	// events were lost to wraparound.
+	Recorded uint64
+	Events   []TraceEvent
+}
+
+// traceEventEncodedMin is the minimum encoded size of one TraceEvent:
+// u32 TxID length + u8 stage + u64 block + u64 wall + u64 seq.
+const traceEventEncodedMin = 4 + 1 + 8 + 8 + 8
+
+// EncodeTraceDump renders t canonically.
+func EncodeTraceDump(t *TraceDump) []byte {
+	dst := appendString(nil, t.Node)
+	dst = appendString(dst, t.Role)
+	dst = appendU64(dst, t.Recorded)
+	dst = appendU32(dst, uint32(len(t.Events)))
+	for _, ev := range t.Events {
+		dst = appendString(dst, ev.TxID)
+		dst = appendU8(dst, ev.Stage)
+		dst = appendU64(dst, ev.Block)
+		dst = appendU64(dst, uint64(ev.WallNS))
+		dst = appendU64(dst, ev.Seq)
+	}
+	return dst
+}
+
+// DecodeTraceDump decodes a TraceDump.
+func DecodeTraceDump(b []byte) (*TraceDump, error) {
+	d := &decoder{buf: b}
+	t := &TraceDump{
+		Node:     d.string(),
+		Role:     d.string(),
+		Recorded: d.u64(),
+	}
+	if n := d.count(traceEventEncodedMin); n > 0 {
+		t.Events = make([]TraceEvent, n)
+		for i := range t.Events {
+			t.Events[i] = TraceEvent{
+				TxID:   d.string(),
+				Stage:  d.u8(),
+				Block:  d.u64(),
+				WallNS: int64(d.u64()),
+				Seq:    d.u64(),
+			}
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, fmt.Errorf("trace-dump: %w", err)
+	}
+	return t, nil
+}

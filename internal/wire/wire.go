@@ -84,6 +84,10 @@ const (
 	MsgRaftVote MsgType = 13
 	// MsgRaftVoteResp answers MsgRaftVote.
 	MsgRaftVoteResp MsgType = 14
+	// MsgTraceReq asks a node to drain its stage-tracing ring.
+	MsgTraceReq MsgType = 15
+	// MsgTraceDump answers MsgTraceReq with the drained timeline events.
+	MsgTraceDump MsgType = 16
 )
 
 // String names the message type for diagnostics.
@@ -117,6 +121,10 @@ func (t MsgType) String() string {
 		return "raft-vote"
 	case MsgRaftVoteResp:
 		return "raft-vote-resp"
+	case MsgTraceReq:
+		return "trace-req"
+	case MsgTraceDump:
+		return "trace-dump"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}

@@ -7,28 +7,35 @@
 # cluster-smoke job; node logs land in $LOGDIR for artifact upload.
 #
 # Two shapes:
-#   default   1 orderer + 2 peers, plain convergence.
+#   default   1 orderer + 2 peers, plain convergence, then a short
+#             open-loop burst (`sharpnet load -target-tps`) asserting the
+#             achieved rate reaches >=95% of the target and the merged
+#             stage traces cover >=99% of the burst's committed txs.
 #   CHAOS=1   3 Raft orderers + 2 peers; the Raft leader is SIGKILLed
 #             mid-load, restarted, and the re-elected leader is killed
 #             too. Asserts zero lost committed transactions and
 #             bit-identical survivors (the fault-tolerance contract).
 #
 # Environment knobs:
-#   SYSTEMS   systems to exercise              (default: "fabric# focc-l";
-#             chaos uses the first one only)
-#   CLIENTS   concurrent load clients          (default: 4)
-#   TXS       transactions per client          (default: 118)
-#   ACCOUNTS  SmallBank account pool, or the scenario's pool size when
-#             WORKLOAD is set                  (default: 28; total tx =
-#             ACCOUNTS + CLIENTS*TXS = 500 with the defaults)
-#   WORKLOAD  registered scenario name (see `fabricsim -list-workloads`,
-#             docs/workloads.md). When set, every node installs the
-#             scenario's genesis and the load clients drive its generator
-#             instead of the built-in SmallBank seeding (default: "")
-#   PORT_BASE first TCP port                   (default: 27050)
-#   LOGDIR    where node logs go               (default: ./cluster-logs)
-#   RESCUE    1 = post-order re-execution on   (default: 1; set 0 to disable)
-#   CHAOS     1 = kill-the-leader failover run (default: 0)
+#   SYSTEMS     systems to exercise            (default: "fabric# focc-l";
+#               chaos uses the first one only)
+#   CLIENTS     concurrent load clients        (default: 4)
+#   TXS         transactions per client        (default: 118)
+#   ACCOUNTS    SmallBank account pool, or the scenario's pool size when
+#               WORKLOAD is set                (default: 28; total tx =
+#               ACCOUNTS + CLIENTS*TXS = 500 with the defaults)
+#   WORKLOAD    registered scenario name (see `fabricsim -list-workloads`,
+#               docs/workloads.md). When set, the closed-loop clients drive
+#               its generator instead of the built-in SmallBank seeding,
+#               and the open-loop burst uses it too (default: "", which
+#               still installs the msmallbank genesis for the burst)
+#   TARGET_TPS  open-loop burst offered rate   (default: 150)
+#   OL_DURATION open-loop burst length         (default: 3s)
+#   OL_WORKERS  open-loop submission workers   (default: 32)
+#   PORT_BASE   first TCP port                 (default: 27050)
+#   LOGDIR      where node logs go             (default: ./cluster-logs)
+#   RESCUE      1 = post-order re-execution on (default: 1; set 0 to disable)
+#   CHAOS       1 = kill-the-leader failover   (default: 0)
 set -euo pipefail
 
 SYSTEMS=${SYSTEMS:-"fabric# focc-l"}
@@ -36,6 +43,9 @@ CLIENTS=${CLIENTS:-4}
 TXS=${TXS:-118}
 ACCOUNTS=${ACCOUNTS:-28}
 WORKLOAD=${WORKLOAD:-}
+TARGET_TPS=${TARGET_TPS:-150}
+OL_DURATION=${OL_DURATION:-3s}
+OL_WORKERS=${OL_WORKERS:-32}
 PORT_BASE=${PORT_BASE:-27050}
 LOGDIR=${LOGDIR:-cluster-logs}
 RESCUE=${RESCUE:-1}
@@ -47,13 +57,15 @@ if [ "$RESCUE" = "1" ]; then
   RESCUE_FLAG="-rescue"
 fi
 
-# With WORKLOAD set, nodes install the scenario's genesis (identical on every
-# replica) and the load clients pull operations from its generator; ACCOUNTS
-# becomes the scenario's pool-size override.
-NODE_WL_FLAGS=""
+# Every node installs a scenario genesis (identical cluster-wide): the
+# WORKLOAD override's, or msmallbank's so the open-loop burst has an account
+# pool seeded at block 0. The closed-loop clients drive WORKLOAD's generator
+# when set, else the built-in SmallBank mix (whose create_account seeding
+# coexists with the genesis keys).
+OL_WORKLOAD=${WORKLOAD:-msmallbank}
+NODE_WL_FLAGS="-workload $OL_WORKLOAD -accounts $ACCOUNTS"
 LOAD_WL_FLAGS=""
 if [ -n "$WORKLOAD" ]; then
-  NODE_WL_FLAGS="-workload $WORKLOAD -accounts $ACCOUNTS"
   LOAD_WL_FLAGS="-workload $WORKLOAD"
 fi
 
@@ -107,7 +119,7 @@ if [ "$CHAOS" = "1" ]; then
 
   # current_leader prints the leader's client address ("" mid-election).
   current_leader() {
-    "$BIN/sharpnet" -mode status -orderer "$ORDS" -dial-timeout 2s 2>/dev/null \
+    "$BIN/sharpnet" status -orderer "$ORDS" -dial-timeout 2s 2>/dev/null \
       | sed -n 's/.* leader=\([^ ][^ ]*\) .*/\1/p' | head -1
   }
 
@@ -137,7 +149,7 @@ if [ "$CHAOS" = "1" ]; then
       > "$LOGDIR/peer1-$slug.log" 2>&1 &
   PIDS+=($!)
 
-  "$BIN/sharpnet" -mode load -orderer "$ORDS" -peer-addrs "$PEERS" \
+  "$BIN/sharpnet" load -orderer "$ORDS" -peer-addrs "$PEERS" \
       -clients "$CLIENTS" -txs "$TXS" -accounts "$ACCOUNTS" $LOAD_WL_FLAGS \
       > "$LOGDIR/load-$slug.log" 2>&1 &
   LOAD_PID=$!
@@ -179,7 +191,7 @@ if [ "$CHAOS" = "1" ]; then
     echo "chaos: no committed-transaction tally in the load log" >&2
     exit 1
   fi
-  "$BIN/sharpnet" -mode check -orderer "$ORDS" -peer-addrs "$PEERS" \
+  "$BIN/sharpnet" check -orderer "$ORDS" -peer-addrs "$PEERS" \
       -expect-committed "$COMMITTED" | tee "$LOGDIR/check-$slug.log"
 
   teardown
@@ -211,10 +223,35 @@ for system in $SYSTEMS; do
   PIDS+=($!)
 
   # The wire client retries dials, so no explicit readiness wait is needed.
-  "$BIN/sharpnet" -mode load -orderer "127.0.0.1:$orderer_port" \
+  "$BIN/sharpnet" load -orderer "127.0.0.1:$orderer_port" \
       -peer-addrs "127.0.0.1:$peer0_port,127.0.0.1:$peer1_port" \
       -clients "$CLIENTS" -txs "$TXS" -accounts "$ACCOUNTS" $LOAD_WL_FLAGS \
       | tee "$LOGDIR/load-$slug.log"
+
+  # Open-loop burst against the same (already converged) cluster: the pacer
+  # must sustain >=95% of the target rate, and the merged stage traces must
+  # cover >=99% of the burst's committed transactions end to end.
+  echo "--- open-loop burst: $TARGET_TPS tx/s for $OL_DURATION ($OL_WORKLOAD) ---"
+  "$BIN/sharpnet" load -orderer "127.0.0.1:$orderer_port" \
+      -peer-addrs "127.0.0.1:$peer0_port,127.0.0.1:$peer1_port" \
+      -target-tps "$TARGET_TPS" -duration "$OL_DURATION" -workers "$OL_WORKERS" \
+      -workload "$OL_WORKLOAD" -accounts "$ACCOUNTS" \
+      | tee "$LOGDIR/openloop-$slug.log"
+  ACHIEVED=$(sed -n 's/^ACHIEVED_TPS //p' "$LOGDIR/openloop-$slug.log")
+  COVERAGE=$(sed -n 's/^TRACE_COVERAGE_PCT //p' "$LOGDIR/openloop-$slug.log")
+  if [ -z "$ACHIEVED" ] || [ -z "$COVERAGE" ]; then
+    echo "open-loop: ACHIEVED_TPS / TRACE_COVERAGE_PCT machine lines missing" >&2
+    exit 1
+  fi
+  if ! awk -v a="$ACHIEVED" -v t="$TARGET_TPS" 'BEGIN{exit !(a >= 0.95*t)}'; then
+    echo "open-loop: achieved $ACHIEVED tx/s, need >=95% of $TARGET_TPS" >&2
+    exit 1
+  fi
+  if ! awk -v c="$COVERAGE" 'BEGIN{exit !(c >= 99)}'; then
+    echo "open-loop: trace coverage $COVERAGE%, need >=99%" >&2
+    exit 1
+  fi
+  echo "open-loop: $ACHIEVED tx/s achieved, $COVERAGE% trace coverage"
 
   teardown
   echo "=== $system: OK ==="

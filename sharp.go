@@ -28,15 +28,20 @@
 package fabricsharp
 
 import (
+	"context"
+	"time"
+
 	"fabricsharp/internal/bench"
 	"fabricsharp/internal/chaincode"
 	"fabricsharp/internal/core"
 	"fabricsharp/internal/fabric"
 	"fabricsharp/internal/network"
+	"fabricsharp/internal/node"
 	"fabricsharp/internal/protocol"
 	"fabricsharp/internal/scenario"
 	"fabricsharp/internal/sched"
 	"fabricsharp/internal/sim"
+	"fabricsharp/internal/trace"
 	"fabricsharp/internal/workload"
 )
 
@@ -189,3 +194,51 @@ var (
 // SharpManagerStats exposes the core concurrency-control statistics type
 // (hops, spans, phase timings) reported by ExperimentResult.SharpStats.
 type SharpManagerStats = core.Stats
+
+// ---------------------------------------------------------------------------
+// Cluster mode: open-loop load generation and stage tracing over the wire
+// ---------------------------------------------------------------------------
+
+// LoadOptions configures an open-loop load run against a process-per-node
+// cluster (cmd/fabricnode): a rate controller paces submissions at
+// TargetTPS regardless of completion latency. LoadReport carries the run's
+// throughput and scheduled-instant latency quantiles.
+type (
+	LoadOptions = node.LoadOptions
+	LoadReport  = node.LoadReport
+)
+
+// RunLoad drives an open-loop load run; cancel ctx to stop early.
+func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
+	return node.RunLoad(ctx, opts)
+}
+
+// Stage tracing: every cluster node keeps an always-on ring of per-
+// transaction stage timestamps (submit → order → seal → deliver → validate
+// → commit). TraceDump is one node's drained ring; TraceTimeline is one
+// transaction's cross-node timeline; TraceSummary holds per-stage latency
+// quantiles over a merged timeline set.
+type (
+	TraceStage    = trace.Stage
+	TraceEvent    = trace.Event
+	TraceDump     = trace.Dump
+	TraceTimeline = trace.Timeline
+	TraceSummary  = trace.Summary
+)
+
+// TraceAt drains one node's stage-tracing ring over the wire.
+func TraceAt(addr string, timeout time.Duration) (TraceDump, error) {
+	return node.TraceAt(addr, timeout)
+}
+
+// FetchTimelines drains every named node's ring and joins the events by
+// transaction ID into end-to-end timelines (plus the raw per-node dumps).
+func FetchTimelines(addrs []string, timeout time.Duration) ([]TraceTimeline, []TraceDump, error) {
+	return node.FetchTimelines(addrs, timeout)
+}
+
+// SummarizeTimelines computes stage-transition and submit→commit latency
+// quantiles from merged timelines.
+func SummarizeTimelines(timelines []TraceTimeline) TraceSummary {
+	return trace.Summarize(timelines)
+}
